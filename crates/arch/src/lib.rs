@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # tfsim-arch — architectural simulator
+//!
+//! A functional (instruction-at-a-time) simulator for the Alpha subset.
+//! It plays two roles in the reproduction:
+//!
+//! 1. **Golden reference.** The microarchitectural fault-injection framework
+//!    compares the pipeline's retirement stream against the retirement
+//!    records ([`RetireRecord`]) this simulator produces.
+//! 2. **Section-5 substrate.** The paper's architectural-level experiments
+//!    (Figure 11) inject faults into the dynamic instruction stream of a
+//!    SimpleScalar-like functional simulator; [`swinject`] reproduces those
+//!    six fault models and the four-way outcome classification.
+//!
+//! ```
+//! use tfsim_arch::FuncSim;
+//! use tfsim_isa::{Asm, Program, Reg};
+//!
+//! let mut a = Asm::new(0x1_0000);
+//! a.li(Reg::R0, 1);     // syscall: exit
+//! a.li(Reg::R16, 42);   // exit code
+//! a.callsys();
+//! let mut sim = FuncSim::new(&Program::new("exit42", a));
+//! let result = sim.run(1000);
+//! assert_eq!(result.exit_code, Some(42));
+//! ```
+
+mod sim;
+pub mod swinject;
+
+pub use sim::{ArchFault, ArchState, Exception, FuncSim, RetireRecord, RunResult, StepEvent, StoreRecord};

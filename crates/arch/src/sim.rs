@@ -1,0 +1,724 @@
+//! The functional simulator core.
+
+use tfsim_isa::{alu, decode, syscall, ExecClass, Mnemonic, PalFunc, Program, Reg};
+use tfsim_mem::{is_aligned, PageSet, SparseMemory};
+
+/// Program-visible register and control state.
+///
+/// `R31` is maintained as zero by construction: [`ArchState::write_reg`]
+/// drops writes to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    regs: [u64; 32],
+    /// The program counter.
+    pub pc: u64,
+}
+
+impl ArchState {
+    /// Creates a state with all registers zero and the given entry PC.
+    pub fn new(entry: u64) -> ArchState {
+        ArchState { regs: [0; 32], pc: entry }
+    }
+
+    /// Reads a register (`R31` reads zero).
+    pub fn read_reg(&self, r: Reg) -> u64 {
+        self.regs[r.number() as usize]
+    }
+
+    /// Writes a register (writes to `R31` are discarded).
+    pub fn write_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.number() as usize] = v;
+        }
+    }
+
+    /// All register values in numeric order (including the zero register).
+    pub fn regs(&self) -> &[u64; 32] {
+        &self.regs
+    }
+}
+
+/// An architectural exception.
+///
+/// In the pipeline model these surface when the faulting instruction
+/// retires, and an injected fault that provokes one is a `Terminated`
+/// (`except`) trial outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exception {
+    /// The instruction word does not decode (`OPCDEC`).
+    IllegalInstruction,
+    /// A load/store address violated natural alignment.
+    Alignment {
+        /// The faulting effective address.
+        addr: u64,
+    },
+    /// A `/V` operation overflowed.
+    ArithmeticOverflow,
+    /// `CALL_PAL` with an unimplemented function code.
+    BadPalCall,
+}
+
+impl std::fmt::Display for Exception {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exception::IllegalInstruction => write!(f, "illegal instruction"),
+            Exception::Alignment { addr } => write!(f, "alignment fault at {addr:#x}"),
+            Exception::ArithmeticOverflow => write!(f, "arithmetic overflow"),
+            Exception::BadPalCall => write!(f, "unimplemented PAL call"),
+        }
+    }
+}
+
+/// A retired store, as seen by the memory image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRecord {
+    /// Effective address.
+    pub addr: u64,
+    /// Value written (low `size` bytes significant).
+    pub value: u64,
+    /// Access size in bytes.
+    pub size: u64,
+}
+
+/// One architecturally retired instruction.
+///
+/// The microarchitectural checker compares the pipeline's k-th retirement
+/// against the functional simulator's k-th record; any field mismatch is a
+/// failure with a mode determined by which field diverged (wrong
+/// destination value → `regfile`, wrong store → `mem`, wrong PC → `ctrl`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireRecord {
+    /// Zero-based dynamic instruction number.
+    pub seq: u64,
+    /// Address of the instruction.
+    pub pc: u64,
+    /// Address of the next instruction (branch outcomes included).
+    pub next_pc: u64,
+    /// The raw instruction word executed.
+    pub raw: u32,
+    /// Destination register and the value written, if any.
+    pub dst: Option<(Reg, u64)>,
+    /// Store performed, if any.
+    pub store: Option<StoreRecord>,
+}
+
+/// The observable result of one [`FuncSim::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEvent {
+    /// An instruction retired normally.
+    Retired(RetireRecord),
+    /// The program executed `CALL_PAL halt` or `exit()`.
+    Halted {
+        /// Exit code (zero for a bare `halt`).
+        code: u64,
+    },
+    /// An exception was raised; the simulator stops.
+    Exception(Exception),
+}
+
+/// Summary of a [`FuncSim::run`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Instructions retired during this call.
+    pub retired: u64,
+    /// Exit code if the program halted.
+    pub exit_code: Option<u64>,
+    /// Exception if one was raised.
+    pub exception: Option<Exception>,
+    /// Whether the instruction budget expired first.
+    pub out_of_budget: bool,
+}
+
+/// An architectural fault to apply to the next instruction executed.
+///
+/// These are the paper's six Section-5 fault models, applied to one
+/// dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchFault {
+    /// Flip bit `bit` (0–31) of the result of the next register write.
+    FlipResultBit32 {
+        /// Bit index within the low 32 bits.
+        bit: u8,
+    },
+    /// Flip bit `bit` (0–63) of the result of the next register write.
+    FlipResultBit64 {
+        /// Bit index.
+        bit: u8,
+    },
+    /// Replace the result of the next register write with `value`.
+    RandomResult {
+        /// The replacement bits.
+        value: u64,
+    },
+    /// Flip bit `bit` of the next instruction word before decoding.
+    FlipInsnBit {
+        /// Bit index (0–31).
+        bit: u8,
+    },
+    /// Execute the next instruction as a no-op.
+    MakeNop,
+    /// Force the next conditional branch to take the wrong direction.
+    FlipBranch,
+}
+
+/// The functional simulator.
+///
+/// Executes one instruction per [`step`](FuncSim::step), maintains the
+/// memory image and the output stream, and records the pages touched (used
+/// to preload the pipeline model's TLBs).
+#[derive(Debug, Clone)]
+pub struct FuncSim {
+    /// Program-visible state.
+    pub state: ArchState,
+    /// The memory image.
+    pub mem: SparseMemory,
+    output: Vec<u8>,
+    halted: Option<u64>,
+    exception: Option<Exception>,
+    retired: u64,
+    syscalls: u64,
+    code_pages: PageSet,
+    data_pages: PageSet,
+    pending_fault: Option<ArchFault>,
+}
+
+impl FuncSim {
+    /// Creates a simulator loaded with `program`, PC at its entry point.
+    pub fn new(program: &Program) -> FuncSim {
+        let mut code_pages = PageSet::new();
+        let mut data_pages = PageSet::new();
+        for s in &program.sections {
+            code_pages.insert_range(s.addr, s.bytes.len() as u64);
+            data_pages.insert_range(s.addr, s.bytes.len() as u64);
+        }
+        FuncSim {
+            state: ArchState::new(program.entry),
+            mem: SparseMemory::from_program(program),
+            output: Vec::new(),
+            halted: None,
+            exception: None,
+            retired: 0,
+            syscalls: 0,
+            code_pages,
+            data_pages,
+            pending_fault: None,
+        }
+    }
+
+    /// Bytes written by the program so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Exit code, if the program has halted.
+    pub fn exit_code(&self) -> Option<u64> {
+        self.halted
+    }
+
+    /// The exception that stopped the program, if any.
+    pub fn exception(&self) -> Option<Exception> {
+        self.exception
+    }
+
+    /// Whether the simulator can still make progress.
+    pub fn running(&self) -> bool {
+        self.halted.is_none() && self.exception.is_none()
+    }
+
+    /// Total instructions retired.
+    pub fn instret(&self) -> u64 {
+        self.retired
+    }
+
+    /// Number of system calls executed so far (syscall boundaries are the
+    /// synchronization points of the Section-5 outcome classification).
+    pub fn syscall_count(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Pages touched by instruction fetch so far.
+    pub fn code_pages(&self) -> &PageSet {
+        &self.code_pages
+    }
+
+    /// Pages touched by data accesses so far (includes the initial image).
+    pub fn data_pages(&self) -> &PageSet {
+        &self.data_pages
+    }
+
+    /// Arms a one-shot architectural fault consumed by the next `step`.
+    ///
+    /// `FlipBranch` stays armed until a conditional branch executes.
+    pub fn inject(&mut self, fault: ArchFault) {
+        self.pending_fault = Some(fault);
+    }
+
+    /// Whether an armed fault has not yet been consumed.
+    pub fn fault_pending(&self) -> bool {
+        self.pending_fault.is_some()
+    }
+
+    /// Executes one instruction.
+    ///
+    /// After a halt or exception, further calls return the same terminal
+    /// event without advancing.
+    pub fn step(&mut self) -> StepEvent {
+        if let Some(code) = self.halted {
+            return StepEvent::Halted { code };
+        }
+        if let Some(e) = self.exception {
+            return StepEvent::Exception(e);
+        }
+
+        let pc = self.state.pc;
+        self.code_pages.insert_range(pc, 4);
+        let mut raw = self.mem.read_u32(pc);
+
+        // Fault models operating on the instruction word.
+        let mut force_branch_flip = false;
+        let mut result_xor: u64 = 0;
+        let mut result_replace: Option<u64> = None;
+        if let Some(fault) = self.pending_fault {
+            match fault {
+                ArchFault::FlipInsnBit { bit } => {
+                    raw ^= 1 << (bit % 32);
+                    self.pending_fault = None;
+                }
+                ArchFault::MakeNop => {
+                    // BIS r31, r31, r31 is the canonical Alpha nop.
+                    raw = (0x11 << 26) | (31 << 21) | (31 << 16) | (0x20 << 5) | 31;
+                    self.pending_fault = None;
+                }
+                ArchFault::FlipResultBit32 { bit } => {
+                    result_xor = 1 << (bit % 32);
+                    self.pending_fault = None;
+                }
+                ArchFault::FlipResultBit64 { bit } => {
+                    result_xor = 1 << (bit % 64);
+                    self.pending_fault = None;
+                }
+                ArchFault::RandomResult { value } => {
+                    result_replace = Some(value);
+                    self.pending_fault = None;
+                }
+                ArchFault::FlipBranch => {
+                    // Consumed only when a conditional branch executes.
+                    force_branch_flip = true;
+                }
+            }
+        }
+
+        let insn = decode(raw);
+        let mut next_pc = pc.wrapping_add(4);
+        let mut dst: Option<(Reg, u64)> = None;
+        let mut store: Option<StoreRecord> = None;
+
+        macro_rules! raise {
+            ($e:expr) => {{
+                self.exception = Some($e);
+                return StepEvent::Exception($e);
+            }};
+        }
+
+        match insn.exec_class() {
+            ExecClass::SimpleAlu | ExecClass::ComplexAlu => match insn.mnemonic {
+                Mnemonic::Lda | Mnemonic::Ldah => {
+                    let vb = self.state.read_reg(insn.rb);
+                    dst = Some((insn.ra, alu::lda_value(insn.mnemonic, vb, insn.imm)));
+                }
+                m => {
+                    let va = self.state.read_reg(insn.ra);
+                    let vb = if insn.uses_literal {
+                        insn.imm as u64
+                    } else {
+                        self.state.read_reg(insn.rb)
+                    };
+                    let old_c = self.state.read_reg(insn.rc);
+                    match alu::operate(m, va, vb, old_c) {
+                        Ok(v) => dst = Some((insn.rc, v)),
+                        Err(_) => raise!(Exception::ArithmeticOverflow),
+                    }
+                }
+            },
+            ExecClass::Load => {
+                let base = self.state.read_reg(insn.rb);
+                let addr = base.wrapping_add(insn.imm as u64);
+                let size = insn.access_size();
+                if !is_aligned(addr, size) {
+                    raise!(Exception::Alignment { addr });
+                }
+                self.data_pages.insert_range(addr, size);
+                let rawv = self.mem.read_sized(addr, size);
+                dst = Some((insn.ra, alu::extend_load(insn.mnemonic, rawv)));
+            }
+            ExecClass::Store => {
+                let base = self.state.read_reg(insn.rb);
+                let addr = base.wrapping_add(insn.imm as u64);
+                let size = insn.access_size();
+                if !is_aligned(addr, size) {
+                    raise!(Exception::Alignment { addr });
+                }
+                self.data_pages.insert_range(addr, size);
+                let value = self.state.read_reg(insn.ra);
+                self.mem.write_sized(addr, value, size);
+                store = Some(StoreRecord { addr, value, size });
+            }
+            ExecClass::Branch => match insn.mnemonic {
+                Mnemonic::Br | Mnemonic::Bsr => {
+                    dst = Some((insn.ra, pc.wrapping_add(4)));
+                    next_pc = insn.branch_target(pc);
+                }
+                Mnemonic::Jmp | Mnemonic::Jsr | Mnemonic::Ret => {
+                    let target = self.state.read_reg(insn.rb) & !3;
+                    dst = Some((insn.ra, pc.wrapping_add(4)));
+                    next_pc = target;
+                }
+                m => {
+                    let va = self.state.read_reg(insn.ra);
+                    let mut taken = alu::branch_taken(m, va);
+                    if force_branch_flip {
+                        taken = !taken;
+                        self.pending_fault = None;
+                    }
+                    if taken {
+                        next_pc = insn.branch_target(pc);
+                    }
+                }
+            },
+            ExecClass::Pal => match insn.mnemonic {
+                Mnemonic::CallPal => match insn.pal {
+                    PalFunc::Halt => {
+                        self.halted = Some(0);
+                        return StepEvent::Halted { code: 0 };
+                    }
+                    PalFunc::CallSys => {
+                        self.syscalls += 1;
+                        match self.state.read_reg(Reg::V0) {
+                            syscall::EXIT => {
+                                let code = self.state.read_reg(Reg::A0);
+                                self.halted = Some(code);
+                                return StepEvent::Halted { code };
+                            }
+                            syscall::WRITE => {
+                                // No return value is architecturally
+                                // visible (keeps PAL calls free of renamed
+                                // destinations in the pipeline model).
+                                let buf = self.state.read_reg(Reg::A1);
+                                let len = self.state.read_reg(Reg::A2).min(1 << 20);
+                                for i in 0..len {
+                                    self.output.push(self.mem.read_u8(buf.wrapping_add(i)));
+                                    self.data_pages.insert_addr(buf.wrapping_add(i));
+                                }
+                            }
+                            _ => raise!(Exception::BadPalCall),
+                        }
+                    }
+                    PalFunc::Other(_) => raise!(Exception::BadPalCall),
+                },
+                _ => raise!(Exception::IllegalInstruction),
+            },
+        }
+
+        // Result-corrupting fault models.
+        if let Some((r, v)) = dst {
+            let corrupted = match result_replace {
+                Some(nv) => nv,
+                None => v ^ result_xor,
+            };
+            self.state.write_reg(r, corrupted);
+            dst = Some((r, corrupted));
+        } else if result_xor != 0 || result_replace.is_some() {
+            // The chosen instruction had no register destination; the fault
+            // model still consumes the injection (it corrupted dead state).
+        }
+
+        self.state.pc = next_pc;
+        let record = RetireRecord {
+            seq: self.retired,
+            pc,
+            next_pc,
+            raw,
+            dst: dst.filter(|(r, _)| !r.is_zero()),
+            store,
+        };
+        self.retired += 1;
+        StepEvent::Retired(record)
+    }
+
+    /// Runs until halt, exception, or `max_insns` retirements.
+    pub fn run(&mut self, max_insns: u64) -> RunResult {
+        let mut retired = 0;
+        while retired < max_insns {
+            match self.step() {
+                StepEvent::Retired(_) => retired += 1,
+                StepEvent::Halted { code } => {
+                    return RunResult {
+                        retired,
+                        exit_code: Some(code),
+                        exception: None,
+                        out_of_budget: false,
+                    }
+                }
+                StepEvent::Exception(e) => {
+                    return RunResult {
+                        retired,
+                        exit_code: None,
+                        exception: Some(e),
+                        out_of_budget: false,
+                    }
+                }
+            }
+        }
+        RunResult { retired, exit_code: None, exception: None, out_of_budget: true }
+    }
+
+    /// Runs and collects every retirement record (the golden trace used by
+    /// the microarchitectural checker).
+    pub fn run_trace(&mut self, max_insns: u64) -> (Vec<RetireRecord>, RunResult) {
+        let mut trace = Vec::new();
+        loop {
+            if trace.len() as u64 >= max_insns {
+                return (
+                    trace,
+                    RunResult {
+                        retired: max_insns,
+                        exit_code: None,
+                        exception: None,
+                        out_of_budget: true,
+                    },
+                );
+            }
+            match self.step() {
+                StepEvent::Retired(r) => trace.push(r),
+                StepEvent::Halted { code } => {
+                    let retired = trace.len() as u64;
+                    return (
+                        trace,
+                        RunResult {
+                            retired,
+                            exit_code: Some(code),
+                            exception: None,
+                            out_of_budget: false,
+                        },
+                    );
+                }
+                StepEvent::Exception(e) => {
+                    let retired = trace.len() as u64;
+                    return (
+                        trace,
+                        RunResult {
+                            retired,
+                            exit_code: None,
+                            exception: Some(e),
+                            out_of_budget: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsim_isa::Asm;
+
+    fn exit_program(code: u64) -> Program {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::V0, syscall::EXIT);
+        a.li(Reg::A0, code);
+        a.callsys();
+        Program::new("exit", a)
+    }
+
+    #[test]
+    fn exit_syscall() {
+        let mut sim = FuncSim::new(&exit_program(7));
+        let r = sim.run(100);
+        assert_eq!(r.exit_code, Some(7));
+        assert!(!sim.running());
+        assert_eq!(sim.syscall_count(), 1);
+    }
+
+    #[test]
+    fn write_syscall_produces_output() {
+        let mut a = Asm::new(0x1_0000);
+        let data = 0x2_0000u64;
+        a.li(Reg::V0, syscall::WRITE);
+        a.li(Reg::A0, 1);
+        a.li(Reg::A1, data);
+        a.li(Reg::A2, 5);
+        a.callsys();
+        a.li(Reg::V0, syscall::EXIT);
+        a.li(Reg::A0, 0);
+        a.callsys();
+        let p = Program::new("hello", a).with_data(data, b"hello".to_vec());
+        let mut sim = FuncSim::new(&p);
+        let r = sim.run(1000);
+        assert_eq!(r.exit_code, Some(0));
+        assert_eq!(sim.output(), b"hello");
+    }
+
+    #[test]
+    fn loop_and_arithmetic() {
+        // Sum 1..=10 into R3, store to memory, load back, exit with it.
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 10);
+        a.li(Reg::R3, 0);
+        let top = a.here_label();
+        a.addq(Reg::R3, Reg::R1, Reg::R3);
+        a.subq_i(Reg::R1, 1, Reg::R1);
+        a.bne(Reg::R1, top);
+        a.li(Reg::R5, 0x2_0000);
+        a.stq(Reg::R3, Reg::R5, 0);
+        a.ldq(Reg::R4, Reg::R5, 0);
+        a.li(Reg::V0, syscall::EXIT);
+        a.mov(Reg::R4, Reg::A0);
+        a.callsys();
+        let mut sim = FuncSim::new(&Program::new("sum", a));
+        let r = sim.run(10_000);
+        assert_eq!(r.exit_code, Some(55));
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut a = Asm::new(0x1_0000);
+        let func = a.label();
+        let done = a.label();
+        a.bsr(Reg::RA, func);
+        a.br(done);
+        a.bind(func);
+        a.li(Reg::R9, 99);
+        a.ret(Reg::RA);
+        a.bind(done);
+        a.li(Reg::V0, syscall::EXIT);
+        a.mov(Reg::R9, Reg::A0);
+        a.callsys();
+        let mut sim = FuncSim::new(&Program::new("call", a));
+        assert_eq!(sim.run(100).exit_code, Some(99));
+    }
+
+    #[test]
+    fn alignment_exception() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 0x2_0001);
+        a.ldq(Reg::R2, Reg::R1, 0);
+        let mut sim = FuncSim::new(&Program::new("misalign", a));
+        let r = sim.run(100);
+        assert_eq!(r.exception, Some(Exception::Alignment { addr: 0x2_0001 }));
+    }
+
+    #[test]
+    fn overflow_exception() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, i64::MAX as u64);
+        a.addqv(Reg::R1, Reg::R1, Reg::R2);
+        let mut sim = FuncSim::new(&Program::new("ovf", a));
+        assert_eq!(sim.run(100).exception, Some(Exception::ArithmeticOverflow));
+    }
+
+    #[test]
+    fn illegal_instruction_exception() {
+        let p = Program::new("illegal", Asm::new(0x1_0000))
+            .with_data(0x1_0000, (0x17u32 << 26).to_le_bytes().to_vec());
+        let mut sim = FuncSim::new(&p);
+        assert_eq!(sim.run(10).exception, Some(Exception::IllegalInstruction));
+    }
+
+    #[test]
+    fn retire_records_capture_effects() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 5); // lda r1, 5
+        a.li(Reg::R2, 0x2_0000);
+        a.stq(Reg::R1, Reg::R2, 8);
+        a.halt();
+        let mut sim = FuncSim::new(&Program::new("rec", a));
+        let (trace, result) = sim.run_trace(100);
+        assert_eq!(result.exit_code, Some(0));
+        assert_eq!(trace[0].dst, Some((Reg::R1, 5)));
+        let st = trace.iter().find_map(|r| r.store).unwrap();
+        assert_eq!(st, StoreRecord { addr: 0x2_0008, value: 5, size: 8 });
+        // Sequence numbers are dense.
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn fault_flip_result_bit() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 0);
+        a.halt();
+        let mut sim = FuncSim::new(&Program::new("f", a));
+        sim.inject(ArchFault::FlipResultBit64 { bit: 63 });
+        sim.step();
+        assert_eq!(sim.state.read_reg(Reg::R1), 1 << 63);
+        assert!(!sim.fault_pending());
+    }
+
+    #[test]
+    fn fault_branch_flip_waits_for_branch() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 1);
+        let skip = a.label();
+        a.bne(Reg::R1, skip); // would be taken; fault flips to not-taken
+        a.li(Reg::R9, 11); // executed only when flipped
+        a.bind(skip);
+        a.li(Reg::V0, syscall::EXIT);
+        a.mov(Reg::R9, Reg::A0);
+        a.callsys();
+        let mut sim = FuncSim::new(&Program::new("bf", a));
+        sim.inject(ArchFault::FlipBranch);
+        // The fault must stay pending across the non-branch li.
+        sim.step();
+        assert!(sim.fault_pending());
+        let r = sim.run(100);
+        assert_eq!(r.exit_code, Some(11));
+    }
+
+    #[test]
+    fn fault_make_nop() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 123);
+        a.halt();
+        let mut sim = FuncSim::new(&Program::new("nop", a));
+        sim.inject(ArchFault::MakeNop);
+        sim.step();
+        assert_eq!(sim.state.read_reg(Reg::R1), 0);
+        assert_eq!(sim.state.pc, 0x1_0004);
+    }
+
+    #[test]
+    fn fault_insn_bit_can_change_opcode() {
+        let mut a = Asm::new(0x1_0000);
+        a.addq(Reg::R1, Reg::R2, Reg::R3);
+        a.halt();
+        let mut sim = FuncSim::new(&Program::new("ib", a));
+        sim.state.write_reg(Reg::R1, 10);
+        sim.state.write_reg(Reg::R2, 3);
+        // Flip bits turning ADDQ (0x20) into SUBQ (0x29): bits 5+8... flip a
+        // single bit (bit 8) -> func 0x28, unassigned -> illegal.
+        sim.inject(ArchFault::FlipInsnBit { bit: 8 });
+        match sim.step() {
+            StepEvent::Exception(Exception::IllegalInstruction) => {}
+            other => panic!("expected illegal instruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn terminal_events_are_sticky() {
+        let mut sim = FuncSim::new(&exit_program(3));
+        sim.run(100);
+        assert_eq!(sim.step(), StepEvent::Halted { code: 3 });
+        assert_eq!(sim.step(), StepEvent::Halted { code: 3 });
+    }
+
+    #[test]
+    fn page_tracking() {
+        let mut sim = FuncSim::new(&exit_program(0));
+        sim.run(100);
+        assert!(sim.code_pages().covers(0x1_0000, 4));
+        assert!(!sim.code_pages().covers(0x9_0000, 4));
+    }
+}

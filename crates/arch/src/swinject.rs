@@ -1,0 +1,459 @@
+//! Section-5 architectural fault injection (the paper's Figure 11).
+//!
+//! Faults that escape the microarchitecture appear to software as corrupted
+//! architectural state. The paper models them with six fault models applied
+//! to one randomly chosen dynamic instruction in a functional simulation,
+//! then classifies each trial as *Exception*, *State OK*, *Output OK*, or
+//! *Output Bad*.
+//!
+//! A trial is *State OK* when the architectural state (registers, PC,
+//! memory) completely matches the fault-free execution just before a system
+//! call — the only form of external communication — meaning the fault was
+//! masked by the software layer before anything escaped. *Output OK* is the
+//! weaker condition that the program's user-visible output still matched.
+//!
+//! ```
+//! use tfsim_arch::swinject::{golden_ref, run_campaign, FaultModel};
+//! use tfsim_isa::{Asm, Program, Reg};
+//!
+//! let mut a = Asm::new(0x1_0000);
+//! a.li(Reg::R0, 1);
+//! a.li(Reg::R16, 0);
+//! a.callsys();
+//! let p = Program::new("t", a);
+//! let golden = golden_ref(&p, 10_000);
+//! let tally = run_campaign(&p, &golden, FaultModel::ResultBit64, 20, 42);
+//! assert_eq!(tally.total(), 20);
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tfsim_isa::{decode, Mnemonic, PalFunc, Program};
+
+use crate::sim::{ArchFault, ArchState, FuncSim, StepEvent};
+
+/// The six architectural fault models of Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Single bit flip in the lower 32 bits of a register-write result.
+    ResultBit32,
+    /// Single bit flip anywhere in the 64-bit register-write result.
+    ResultBit64,
+    /// Replace a register-write result with 64 random bits.
+    ResultRandom,
+    /// Single bit flip in a dynamic instruction word.
+    InsnBit,
+    /// Replace a dynamic instruction with a no-op.
+    Nop,
+    /// Force a conditional branch to the wrong direction.
+    BranchFlip,
+}
+
+impl FaultModel {
+    /// All six models, in the paper's presentation order.
+    pub const ALL: [FaultModel; 6] = [
+        FaultModel::ResultBit32,
+        FaultModel::ResultBit64,
+        FaultModel::ResultRandom,
+        FaultModel::InsnBit,
+        FaultModel::Nop,
+        FaultModel::BranchFlip,
+    ];
+
+    /// Short label used in reports (matches Figure 11's x-axis).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultModel::ResultBit32 => "reg-bit-32",
+            FaultModel::ResultBit64 => "reg-bit-64",
+            FaultModel::ResultRandom => "reg-random",
+            FaultModel::InsnBit => "insn-bit",
+            FaultModel::Nop => "insn-nop",
+            FaultModel::BranchFlip => "branch-flip",
+        }
+    }
+}
+
+/// Outcome of one architectural injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwOutcome {
+    /// The injected program raised an exception (a "noisy" failure).
+    Exception,
+    /// Architectural state fully reconverged with the fault-free run before
+    /// any external communication.
+    StateOk {
+        /// Whether the control-flow path temporarily diverged before the
+        /// fault was masked (the paper reports 10–20% of *State OK* trials
+        /// show this).
+        control_diverged: bool,
+    },
+    /// State never reconverged, but the user-visible output (and exit code)
+    /// matched the reference.
+    OutputOk,
+    /// The program produced wrong output, hung, or never terminated.
+    OutputBad,
+}
+
+/// Architectural state snapshot at a syscall boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Snapshot {
+    state: ArchState,
+    mem_checksum: u64,
+}
+
+/// Reference data from the fault-free execution, reused by every trial.
+#[derive(Debug, Clone)]
+pub struct GoldenRef {
+    /// PC of every dynamic instruction, in order.
+    pc_trace: Vec<u64>,
+    /// Dynamic indices of instructions that write a register.
+    dst_writers: Vec<u64>,
+    /// Dynamic indices of conditional branches.
+    cond_branches: Vec<u64>,
+    /// State snapshots taken immediately before each syscall.
+    snapshots: Vec<Snapshot>,
+    /// Complete program output.
+    output: Vec<u8>,
+    /// Exit code of the reference run.
+    exit_code: Option<u64>,
+    /// Dynamic instruction count of the reference run.
+    retired: u64,
+}
+
+impl GoldenRef {
+    /// Dynamic instruction count of the fault-free run.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The fault-free program output.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// The fault-free exit code (None if the run hit the budget).
+    pub fn exit_code(&self) -> Option<u64> {
+        self.exit_code
+    }
+}
+
+fn is_syscall_word(raw: u32) -> bool {
+    let insn = decode(raw);
+    insn.mnemonic == Mnemonic::CallPal && insn.pal == PalFunc::CallSys
+}
+
+/// Runs the fault-free execution of `program` and captures everything the
+/// trial classifier needs.
+///
+/// # Panics
+///
+/// Panics if the program does not terminate within `max_insns` (workloads
+/// used for the Section-5 experiments must run to completion).
+pub fn golden_ref(program: &Program, max_insns: u64) -> GoldenRef {
+    let mut sim = FuncSim::new(program);
+    let mut pc_trace = Vec::new();
+    let mut dst_writers = Vec::new();
+    let mut cond_branches = Vec::new();
+    let mut snapshots = Vec::new();
+    loop {
+        assert!(
+            (pc_trace.len() as u64) < max_insns,
+            "golden run of {} exceeded {} instructions",
+            program.name,
+            max_insns
+        );
+        // Snapshot before executing a syscall.
+        let next_raw = sim.mem.read_u32(sim.state.pc);
+        if is_syscall_word(next_raw) {
+            snapshots.push(Snapshot {
+                state: sim.state.clone(),
+                mem_checksum: sim.mem.checksum(),
+            });
+        }
+        match sim.step() {
+            StepEvent::Retired(r) => {
+                pc_trace.push(r.pc);
+                let insn = decode(r.raw);
+                if r.dst.is_some() {
+                    dst_writers.push(r.seq);
+                }
+                if insn.is_conditional_branch() {
+                    cond_branches.push(r.seq);
+                }
+            }
+            StepEvent::Halted { code } => {
+                return GoldenRef {
+                    retired: pc_trace.len() as u64,
+                    pc_trace,
+                    dst_writers,
+                    cond_branches,
+                    snapshots,
+                    output: sim.output().to_vec(),
+                    exit_code: Some(code),
+                };
+            }
+            StepEvent::Exception(e) => {
+                panic!("golden run of {} raised {e}", program.name);
+            }
+        }
+    }
+}
+
+/// Runs a single architectural injection trial.
+///
+/// `rng` supplies the dynamic-instruction choice and the model's random
+/// bits. The trial runs the injected program for up to twice the reference
+/// instruction count (plus slack) before declaring a hang.
+pub fn run_trial(
+    program: &Program,
+    golden: &GoldenRef,
+    model: FaultModel,
+    rng: &mut SmallRng,
+) -> SwOutcome {
+    // Choose the dynamic instruction to corrupt, uniform over the
+    // instructions the model can apply to.
+    let target_pool: &[u64] = match model {
+        FaultModel::ResultBit32 | FaultModel::ResultBit64 | FaultModel::ResultRandom => {
+            &golden.dst_writers
+        }
+        FaultModel::BranchFlip => &golden.cond_branches,
+        FaultModel::InsnBit | FaultModel::Nop => &[],
+    };
+    let k = if target_pool.is_empty() {
+        rng.gen_range(0..golden.retired.max(1))
+    } else {
+        target_pool[rng.gen_range(0..target_pool.len())]
+    };
+    let fault = match model {
+        FaultModel::ResultBit32 => ArchFault::FlipResultBit32 { bit: rng.gen_range(0..32) },
+        FaultModel::ResultBit64 => ArchFault::FlipResultBit64 { bit: rng.gen_range(0..64) },
+        FaultModel::ResultRandom => ArchFault::RandomResult { value: rng.gen() },
+        FaultModel::InsnBit => ArchFault::FlipInsnBit { bit: rng.gen_range(0..32) },
+        FaultModel::Nop => ArchFault::MakeNop,
+        FaultModel::BranchFlip => ArchFault::FlipBranch,
+    };
+
+    let mut sim = FuncSim::new(program);
+    let budget = golden.retired * 2 + 10_000;
+    let mut executed: u64 = 0;
+    let mut syscall_index = 0usize;
+    let mut control_diverged = false;
+
+    loop {
+        if executed >= budget {
+            return SwOutcome::OutputBad; // hang / runaway
+        }
+        if executed == k {
+            sim.inject(fault);
+        }
+        // Syscall boundary: check for architectural reconvergence, but only
+        // once the fault has actually been applied.
+        if executed > k && !sim.fault_pending() {
+            let next_raw = sim.mem.read_u32(sim.state.pc);
+            if is_syscall_word(next_raw) {
+                if let Some(snap) = golden.snapshots.get(syscall_index) {
+                    if snap.state == sim.state && snap.mem_checksum == sim.mem.checksum() {
+                        return SwOutcome::StateOk { control_diverged };
+                    }
+                }
+            }
+        }
+        let next_raw = sim.mem.read_u32(sim.state.pc);
+        if is_syscall_word(next_raw) {
+            syscall_index += 1;
+        }
+        match sim.step() {
+            StepEvent::Retired(r) => {
+                if executed >= k {
+                    match golden.pc_trace.get(executed as usize) {
+                        Some(&gpc) if gpc == r.pc => {}
+                        _ => control_diverged = true,
+                    }
+                }
+                executed += 1;
+            }
+            StepEvent::Halted { code } => {
+                let output_ok =
+                    sim.output() == golden.output() && Some(code) == golden.exit_code;
+                return if output_ok { SwOutcome::OutputOk } else { SwOutcome::OutputBad };
+            }
+            StepEvent::Exception(_) => return SwOutcome::Exception,
+        }
+    }
+}
+
+/// Aggregated results of an architectural injection campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwTally {
+    /// Trials ending in an exception.
+    pub exception: u64,
+    /// Trials whose architectural state fully reconverged.
+    pub state_ok: u64,
+    /// `state_ok` trials whose control flow temporarily diverged.
+    pub state_ok_diverged: u64,
+    /// Trials with matching output but divergent state.
+    pub output_ok: u64,
+    /// Trials with corrupted user-visible output.
+    pub output_bad: u64,
+}
+
+impl SwTally {
+    /// Total number of trials.
+    pub fn total(&self) -> u64 {
+        self.exception + self.state_ok + self.output_ok + self.output_bad
+    }
+
+    /// Adds one outcome to the tally.
+    pub fn record(&mut self, outcome: SwOutcome) {
+        match outcome {
+            SwOutcome::Exception => self.exception += 1,
+            SwOutcome::StateOk { control_diverged } => {
+                self.state_ok += 1;
+                if control_diverged {
+                    self.state_ok_diverged += 1;
+                }
+            }
+            SwOutcome::OutputOk => self.output_ok += 1,
+            SwOutcome::OutputBad => self.output_bad += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &SwTally) {
+        self.exception += other.exception;
+        self.state_ok += other.state_ok;
+        self.state_ok_diverged += other.state_ok_diverged;
+        self.output_ok += other.output_ok;
+        self.output_bad += other.output_bad;
+    }
+}
+
+/// Runs `trials` injection trials of `model` against `program`.
+pub fn run_campaign(
+    program: &Program,
+    golden: &GoldenRef,
+    model: FaultModel,
+    trials: u64,
+    seed: u64,
+) -> SwTally {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (model as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut tally = SwTally::default();
+    for _ in 0..trials {
+        tally.record(run_trial(program, golden, model, &mut rng));
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsim_isa::{syscall, Asm, Reg};
+
+    /// A program with dead values: computes into R9 but never uses it, then
+    /// writes a constant and exits. Register-result faults on dead writes
+    /// must be masked (State OK).
+    fn dead_value_program() -> Program {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R9, 1234); // dead
+        a.li(Reg::R9, 0); // overwritten
+        a.li(Reg::R1, 5);
+        a.li(Reg::R2, 0x2_0000);
+        a.stq(Reg::R1, Reg::R2, 0);
+        a.li(Reg::V0, syscall::EXIT);
+        a.li(Reg::A0, 0);
+        a.callsys();
+        Program::new("dead", a)
+    }
+
+    #[test]
+    fn golden_ref_captures_structure() {
+        let p = dead_value_program();
+        let g = golden_ref(&p, 1000);
+        assert!(g.retired() > 5);
+        assert_eq!(g.exit_code(), Some(0));
+        assert!(!g.dst_writers.is_empty());
+        assert_eq!(g.snapshots.len(), 1); // one syscall: exit
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let p = dead_value_program();
+        let g = golden_ref(&p, 1000);
+        let a = run_campaign(&p, &g, FaultModel::ResultBit64, 50, 7);
+        let b = run_campaign(&p, &g, FaultModel::ResultBit64, 50, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 50);
+    }
+
+    #[test]
+    fn dead_value_faults_are_often_masked() {
+        let p = dead_value_program();
+        let g = golden_ref(&p, 1000);
+        let tally = run_campaign(&p, &g, FaultModel::ResultBit64, 200, 11);
+        // The two dead `li r9` sequences absorb a sizeable share of hits.
+        assert!(tally.state_ok > 0, "expected some masked faults: {tally:?}");
+    }
+
+    #[test]
+    fn live_store_value_faults_corrupt_output() {
+        // Store R1 to memory then WRITE that memory as output: a fault on
+        // the R1-producing write that survives to the output is Output Bad.
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 0x41);
+        a.li(Reg::R2, 0x2_0000);
+        a.stq(Reg::R1, Reg::R2, 0);
+        a.li(Reg::V0, syscall::WRITE);
+        a.li(Reg::A0, 1);
+        a.li(Reg::A1, 0x2_0000);
+        a.li(Reg::A2, 1);
+        a.callsys();
+        a.li(Reg::V0, syscall::EXIT);
+        a.li(Reg::A0, 0);
+        a.callsys();
+        let p = Program::new("live", a);
+        let g = golden_ref(&p, 1000);
+        let tally = run_campaign(&p, &g, FaultModel::ResultRandom, 300, 3);
+        assert!(tally.output_bad > 0, "expected some corrupted outputs: {tally:?}");
+        assert_eq!(tally.total(), 300);
+    }
+
+    #[test]
+    fn branch_flip_diverges_control() {
+        // Loop bound 4: flipping the back-edge branch changes iteration
+        // count, normally corrupting the sum that is the exit code.
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 4);
+        a.li(Reg::R3, 0);
+        let top = a.here_label();
+        a.addq(Reg::R3, Reg::R1, Reg::R3);
+        a.subq_i(Reg::R1, 1, Reg::R1);
+        a.bne(Reg::R1, top);
+        a.li(Reg::V0, syscall::EXIT);
+        a.mov(Reg::R3, Reg::A0);
+        a.callsys();
+        let p = Program::new("loop", a);
+        let g = golden_ref(&p, 1000);
+        let tally = run_campaign(&p, &g, FaultModel::BranchFlip, 100, 5);
+        assert!(
+            tally.output_bad + tally.exception > 0,
+            "branch flips should usually damage this program: {tally:?}"
+        );
+    }
+
+    #[test]
+    fn nop_model_masks_dead_instructions() {
+        let p = dead_value_program();
+        let g = golden_ref(&p, 1000);
+        let tally = run_campaign(&p, &g, FaultModel::Nop, 200, 13);
+        assert!(tally.state_ok > 0, "{tally:?}");
+    }
+
+    #[test]
+    fn tally_merge() {
+        let mut a = SwTally { exception: 1, state_ok: 2, state_ok_diverged: 1, output_ok: 3, output_bad: 4 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.state_ok_diverged, 2);
+    }
+}

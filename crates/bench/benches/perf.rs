@@ -1,0 +1,126 @@
+//! Criterion performance benchmarks for the simulation substrate: these
+//! measure the *harness* (how fast the reproduction runs), complementing
+//! the `figures` binary (which regenerates the paper's exhibits).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use tfsim_arch::FuncSim;
+use tfsim_bitstate::{fingerprint_of, InjectionMask, VisitState};
+use tfsim_inject::StartPoint;
+use tfsim_isa::decode;
+use tfsim_protect::{regfile_code, Decoded};
+use tfsim_uarch::{Pipeline, PipelineConfig};
+
+fn warmed_pipeline(name: &str, cycles: u64) -> Pipeline {
+    let w = tfsim_workloads::by_name(name).expect("workload");
+    let p = w.build(4);
+    let mut probe = FuncSim::new(&p);
+    probe.run(50_000_000);
+    let mut cpu = Pipeline::new(&p, PipelineConfig::baseline());
+    cpu.set_tlbs(probe.code_pages().clone(), probe.data_pages().clone());
+    for _ in 0..cycles {
+        cpu.step();
+    }
+    cpu
+}
+
+fn bench_pipeline_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(1_000));
+    for name in ["gzip-like", "mcf-like", "twolf-like"] {
+        let cpu = warmed_pipeline(name, 500);
+        g.bench_function(format!("step-1k/{name}"), |b| {
+            b.iter_batched(
+                || cpu.clone(),
+                |mut cpu| {
+                    for _ in 0..1_000 {
+                        cpu.step();
+                    }
+                    cpu.cycles()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_funcsim(c: &mut Criterion) {
+    let w = tfsim_workloads::by_name("gzip-like").expect("workload");
+    let p = w.build(4);
+    let mut g = c.benchmark_group("funcsim");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("step-10k", |b| {
+        b.iter_batched(
+            || FuncSim::new(&p),
+            |mut sim| sim.run(10_000),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut cpu = warmed_pipeline("gzip-like", 500);
+    c.bench_function("fingerprint/full-machine", |b| b.iter(|| fingerprint_of(&mut cpu)));
+}
+
+fn bench_trial(c: &mut Criterion) {
+    let cpu = warmed_pipeline("gzip-like", 1_000);
+    let sp = StartPoint::prepare(&cpu, 2_000, InjectionMask::LatchesAndRams);
+    let mut target = 0u64;
+    c.bench_function("inject/one-trial-2k-window", |b| {
+        b.iter(|| {
+            target = (target + 7_919) % sp.bit_count();
+            sp.run_trial(InjectionMask::LatchesAndRams, target, 50, 1_500)
+        })
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let code = regfile_code();
+    let mut g = c.benchmark_group("protect");
+    g.bench_function("secded65/encode", |b| {
+        let mut v = 0x0123_4567_89ab_cdefu128;
+        b.iter(|| {
+            v = v.rotate_left(7) & ((1 << 65) - 1);
+            code.encode(v)
+        })
+    });
+    g.bench_function("secded65/decode-corrupted", |b| {
+        let data = 0xdead_beef_cafe_f00du128;
+        let check = code.encode(data);
+        let mut bit = 0;
+        b.iter(|| {
+            bit = (bit + 1) % 65;
+            match code.decode(data ^ (1u128 << bit), check) {
+                Decoded::CorrectedData(d) => d,
+                _ => 0,
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("decode-1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u32 {
+                let w = i.wrapping_mul(0x9e37_79b9);
+                acc = acc.wrapping_add(decode(w).exec_latency() as u64);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline_step, bench_funcsim, bench_fingerprint, bench_trial, bench_codecs, bench_decoder
+}
+criterion_main!(benches);

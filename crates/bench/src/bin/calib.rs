@@ -1,0 +1,24 @@
+use tfsim_inject::*;
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut config = CampaignConfig::quick(42);
+    if std::env::args().any(|a| a == "--protected") {
+        config.pipeline = tfsim_uarch::PipelineConfig::protected();
+    }
+    let result = run_campaign(&config);
+    let t = result.totals();
+    println!("trials {} | uarch-match {:.1}% gray {:.1}% sdc {:.1}% term {:.1}%  [{:?}]",
+        t.total(), 100.0*t.masked_fraction(), 100.0*t.gray as f64/t.total() as f64,
+        100.0*t.sdc() as f64/t.total() as f64, 100.0*t.terminated() as f64/t.total() as f64, t0.elapsed());
+    for m in FailureMode::ALL { print!("{}={} ", m.label(), t.failure(m)); }
+    println!();
+    for b in &result.benchmarks {
+        println!("{:<14} masked {:>5.1}% fail {:>4.1}%", b.name, 100.0*b.counts.masked_fraction(), 100.0*b.counts.failure_fraction());
+    }
+    println!("-- by category:");
+    for (c, o) in &result.by_category {
+        print!("{:<14} n={:<5} masked {:>5.1}% fail {:>5.1}% |", c.label(), o.total(), 100.0*o.masked_fraction(), 100.0*o.failure_fraction());
+        for m in FailureMode::ALL { if o.failure(m) > 0 { print!(" {}={}", m.label(), o.failure(m)); } }
+        println!();
+    }
+}

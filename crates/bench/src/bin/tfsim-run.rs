@@ -1,0 +1,188 @@
+//! Run an assembly file (or a named built-in workload) on the simulators.
+//!
+//! ```text
+//! tfsim-run <file.s | workload-name> [--config baseline|protected]
+//!           [--max-cycles N] [--disasm] [--trace N] [--dump N] [--arch-only]
+//! ```
+//!
+//! `--disasm` prints the program listing; `--trace N` prints a per-cycle
+//! pipeline trace for the first N cycles; otherwise the program runs to
+//! completion and a summary (exit code, output, IPC, stats) is printed.
+
+use tfsim_arch::FuncSim;
+use tfsim_isa::{text, Program};
+use tfsim_uarch::{Pipeline, PipelineConfig};
+
+fn load_program(spec: &str) -> Program {
+    if let Some(w) = tfsim_workloads::by_name(spec) {
+        return w.build(1);
+    }
+    let source = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+        eprintln!("cannot read {spec}: {e} (and {spec:?} is not a built-in workload)");
+        std::process::exit(2);
+    });
+    match text::parse_program(spec, &source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{spec}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: tfsim-run <file.s | workload> [--config baseline|protected] [--max-cycles N] [--disasm] [--trace N] [--arch-only]");
+        std::process::exit(2);
+    }
+    let spec = &args[0];
+    let mut config = PipelineConfig::baseline();
+    let mut max_cycles = 10_000_000u64;
+    let mut disasm = false;
+    let mut trace = 0u64;
+    let mut dump_at = None::<u64>;
+    let mut arch_only = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                config = match args.get(i + 1).map(String::as_str) {
+                    Some("baseline") => PipelineConfig::baseline(),
+                    Some("protected") => PipelineConfig::protected(),
+                    other => {
+                        eprintln!("unknown config {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--max-cycles" => {
+                max_cycles = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(max_cycles);
+                i += 2;
+            }
+            "--disasm" => {
+                disasm = true;
+                i += 1;
+            }
+            "--trace" => {
+                trace = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(50);
+                i += 2;
+            }
+            "--dump" => {
+                dump_at = Some(args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(100));
+                i += 2;
+            }
+            "--arch-only" => {
+                arch_only = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let program = load_program(spec);
+
+    if disasm {
+        for s in &program.sections {
+            if s.addr == program.entry {
+                let words: Vec<u32> = s
+                    .bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("chunk")))
+                    .collect();
+                print!("{}", text::disassemble(&words, s.addr));
+            } else {
+                println!(".data {:#x}  ({} bytes)", s.addr, s.bytes.len());
+            }
+        }
+        return;
+    }
+
+    // Architectural run (also supplies the pipeline's TLB preload).
+    let mut func = FuncSim::new(&program);
+    let ar = func.run(max_cycles * 8);
+    println!(
+        "architectural: {} instructions, exit {:?}, exception {:?}, {} output bytes",
+        func.instret(),
+        ar.exit_code,
+        ar.exception,
+        func.output().len()
+    );
+    if !func.output().is_empty() {
+        println!("output: {:02x?}", &func.output()[..func.output().len().min(64)]);
+    }
+    if arch_only {
+        return;
+    }
+
+    let mut cpu = Pipeline::new(&program, config);
+    cpu.set_tlbs(func.code_pages().clone(), func.data_pages().clone());
+    if let Some(cycle) = dump_at {
+        for _ in 0..cycle {
+            if !cpu.running() {
+                break;
+            }
+            cpu.step();
+        }
+        print!("
+{}", cpu.render_state());
+        return;
+    }
+    if trace > 0 {
+        println!("\n{:>7}  {:>5} {:>5} {:>4}  events", "cycle", "infl", "ret", "IPC");
+        for _ in 0..trace {
+            if !cpu.running() {
+                break;
+            }
+            let report = cpu.step();
+            let events: Vec<String> = report
+                .events
+                .iter()
+                .map(|e| match e {
+                    tfsim_uarch::RetireEvent::Retired(r) => format!("{:#x}", r.pc),
+                    tfsim_uarch::RetireEvent::Halted { code } => format!("HALT({code})"),
+                    tfsim_uarch::RetireEvent::Exception(x) => format!("EXC({x:?})"),
+                })
+                .collect();
+            println!(
+                "{:>7}  {:>5} {:>5} {:>4.2}  {}",
+                cpu.cycles(),
+                cpu.in_flight(),
+                report.retired,
+                cpu.instret() as f64 / cpu.cycles() as f64,
+                events.join(" ")
+            );
+        }
+        return;
+    }
+
+    cpu.run(max_cycles);
+    let s = cpu.stats();
+    println!(
+        "pipeline:      {} instructions in {} cycles (IPC {:.2}), exit {:?}, exception {:?}",
+        cpu.instret(),
+        cpu.cycles(),
+        cpu.instret() as f64 / cpu.cycles().max(1) as f64,
+        cpu.halted(),
+        cpu.exception()
+    );
+    println!(
+        "stats:         bpred {:.1}%  dcache hit {:.1}%  icache misses {}  replays {}  violations {}  flushes {}",
+        100.0 * s.branch_prediction_rate(),
+        100.0 * s.dcache_hit_rate(),
+        s.icache_misses,
+        s.replays,
+        s.violations,
+        s.full_flushes
+    );
+    match (func.exit_code(), cpu.halted()) {
+        (a, b) if a == b && func.output() == cpu.output() => {
+            println!("models agree: identical exit code and output")
+        }
+        _ => println!("WARNING: the two models disagree!"),
+    }
+}

@@ -1,0 +1,551 @@
+#![warn(missing_docs)]
+
+//! # tfsim-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation. Each
+//! `render_*` function produces the textual equivalent of one exhibit;
+//! the `figures` binary drives them from the command line, and
+//! `EXPERIMENTS.md` records a full run.
+//!
+//! | Exhibit | Function |
+//! |---|---|
+//! | Figure 2 (configuration) | [`render_config`] |
+//! | Table 1 (state census) | [`render_table1`] |
+//! | Figure 3 (outcomes by benchmark, l+r and l) | [`render_fig3`] |
+//! | Figure 4 (outcomes by category, latches+RAMs) | [`render_fig4`] |
+//! | Figure 5 (outcomes by category, latches) | [`render_fig5`] |
+//! | Figure 6 (benign rate vs. valid instructions) | [`render_fig6`] |
+//! | Table 2 / Figure 7 (failure modes by category) | [`render_fig7`] |
+//! | Figure 8 (failure contributions) | [`render_fig8`] |
+//! | §4.3 (protection overhead) | [`render_overhead`] |
+//! | Figure 9 (outcomes by category, protected) | [`render_fig9`] |
+//! | Figure 10 (failure contributions, protected) | [`render_fig10`] |
+//! | §4.4 (≈75% failure reduction) | [`render_reduction`] |
+//! | Figure 11 (software-level fault models) | [`render_fig11`] |
+
+use tfsim_arch::swinject::{self, FaultModel, SwTally};
+use tfsim_bitstate::{Category, Census, InjectionMask, StorageKind, VisitState};
+use tfsim_inject::{CampaignConfig, CampaignResult, OutcomeCounts};
+use tfsim_stats::{binomial_ci, linear_fit, pct, Confidence, Table};
+use tfsim_uarch::{sizes, Pipeline, PipelineConfig};
+
+/// Experiment scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale (minutes of CPU).
+    Quick,
+    /// The default documented in EXPERIMENTS.md.
+    Default,
+    /// The paper's trial counts (hours of CPU).
+    Paper,
+}
+
+impl Scale {
+    /// The campaign configuration for this scale.
+    pub fn campaign(self, seed: u64) -> CampaignConfig {
+        match self {
+            Scale::Quick => CampaignConfig::quick(seed),
+            Scale::Default => CampaignConfig::default_scale(seed),
+            Scale::Paper => CampaignConfig::paper_scale(seed),
+        }
+    }
+
+    /// Trials per (workload, fault model) for the Figure 11 experiments.
+    pub fn sw_trials(self) -> u64 {
+        match self {
+            Scale::Quick => 40,
+            Scale::Default => 150,
+            Scale::Paper => 1_200,
+        }
+    }
+
+    /// Parses `quick`/`default`/`paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// The three microarchitectural campaigns behind Figures 3–10.
+pub struct Campaigns {
+    /// Baseline pipeline, latches + RAMs eligible.
+    pub baseline_lr: CampaignResult,
+    /// Baseline pipeline, latches only.
+    pub baseline_l: CampaignResult,
+    /// Fully protected pipeline, latches + RAMs.
+    pub protected_lr: CampaignResult,
+}
+
+/// Runs the three campaigns (this is the expensive part; results feed all
+/// of Figures 3–10).
+pub fn run_campaigns(scale: Scale, seed: u64) -> Campaigns {
+    let mut base = scale.campaign(seed);
+    base.mask = InjectionMask::LatchesAndRams;
+    base.pipeline = PipelineConfig::baseline();
+    let baseline_lr = tfsim_inject::run_campaign(&base);
+
+    let mut latches = scale.campaign(seed ^ 0x10);
+    latches.mask = InjectionMask::LatchesOnly;
+    latches.pipeline = PipelineConfig::baseline();
+    let baseline_l = tfsim_inject::run_campaign(&latches);
+
+    let mut prot = scale.campaign(seed ^ 0x20);
+    prot.mask = InjectionMask::LatchesAndRams;
+    prot.pipeline = PipelineConfig::protected();
+    let protected_lr = tfsim_inject::run_campaign(&prot);
+
+    Campaigns { baseline_lr, baseline_l, protected_lr }
+}
+
+/// Figure 2: the modeled processor configuration.
+pub fn render_config() -> String {
+    let mut out = String::from("== Figure 2: processor model details ==\n");
+    out.push_str(&format!(
+        "fetch        {}-wide split-line, {} KB 2-way I-cache, 32-entry fetch queue\n",
+        sizes::FETCH_WIDTH,
+        sizes::ICACHE_BYTES / 1024
+    ));
+    out.push_str("             hybrid bimodal/local/global predictor, 1024-entry 4-way BTB\n");
+    out.push_str(&format!("             {}-entry return address stack with pointer recovery\n", sizes::RAS));
+    out.push_str(&format!("decode       {}-wide\n", sizes::DECODE_WIDTH));
+    out.push_str(&format!(
+        "rename       {}-wide from {} physical registers, spec+arch RATs and free lists\n",
+        sizes::DECODE_WIDTH,
+        sizes::PHYS_REGS
+    ));
+    out.push_str(&format!(
+        "issue        {}-entry scheduler, speculative wakeup and replay\n",
+        sizes::SCHEDULER
+    ));
+    out.push_str("execute      2 simple ALUs, 1 complex ALU (2-5 cycles), 1 branch ALU, 2 AGUs\n");
+    out.push_str(&format!(
+        "memory       {}-entry load / {}-entry store queues, store sets, {} KB 2-way dcache\n",
+        sizes::LOAD_QUEUE,
+        sizes::STORE_QUEUE,
+        sizes::DCACHE_BYTES / 1024
+    ));
+    out.push_str(&format!(
+        "             {} banks, {} MHRs, constant {}-cycle miss\n",
+        sizes::DCACHE_BANKS,
+        sizes::MHRS,
+        sizes::MISS_LATENCY
+    ));
+    out.push_str(&format!(
+        "retire       {}-entry ROB, {}-wide retire\n",
+        sizes::ROB,
+        sizes::RETIRE_WIDTH
+    ));
+    out.push_str(&format!("in flight    up to {} instructions\n", sizes::MAX_IN_FLIGHT));
+    out
+}
+
+fn census_of(config: PipelineConfig) -> Census {
+    let w = tfsim_workloads::by_name("gzip-like").expect("workload");
+    let mut cpu = Pipeline::new(&w.build(1), config);
+    let mut census = Census::new();
+    cpu.visit_state(&mut census);
+    census
+}
+
+/// Table 1: bits of latches and RAM cells per state category.
+pub fn render_table1() -> String {
+    let census = census_of(PipelineConfig::baseline());
+    let mut out = String::from("== Table 1: bits of state per category (baseline pipeline) ==\n");
+    out.push_str(&census.to_table());
+    out.push_str(&format!(
+        "(paper: ~14,000 latch bits and ~31,000 RAM bits; shadow (non-injectable) bits here: {})\n",
+        census.shadow_total()
+    ));
+    out
+}
+
+fn outcome_row(name: &str, o: &OutcomeCounts) -> Vec<String> {
+    vec![
+        name.to_string(),
+        o.total().to_string(),
+        pct(o.matched, o.total()),
+        pct(o.gray, o.total()),
+        pct(o.sdc(), o.total()),
+        pct(o.terminated(), o.total()),
+    ]
+}
+
+fn outcome_table(title: &str, rows: Vec<(String, OutcomeCounts)>) -> String {
+    let mut t = Table::new(&["", "trials", "uarch-match %", "gray %", "SDC %", "terminated %"]);
+    let mut agg = OutcomeCounts::default();
+    for (name, o) in &rows {
+        agg.merge(o);
+        t.row_owned(outcome_row(name, o));
+    }
+    t.row_owned(outcome_row("aggregate", &agg));
+    format!("== {title} ==\n{}", t.render())
+}
+
+/// Figure 3: outcome distribution per benchmark, for the latch+RAM and
+/// latch-only campaigns.
+pub fn render_fig3(c: &Campaigns) -> String {
+    let mut out = outcome_table(
+        "Figure 3a: fault injection into latches+RAMs, by benchmark",
+        c.baseline_lr.benchmarks.iter().map(|b| (format!("{}.l+r", b.name), b.counts)).collect(),
+    );
+    out.push('\n');
+    out.push_str(&outcome_table(
+        "Figure 3b: fault injection into latches only, by benchmark",
+        c.baseline_l.benchmarks.iter().map(|b| (format!("{}.l", b.name), b.counts)).collect(),
+    ));
+    let t = c.baseline_lr.totals();
+    let ci = binomial_ci(t.matched + t.gray, t.total(), Confidence::P95);
+    out.push_str(&format!(
+        "\nbenign (masked+gray) fraction l+r: {:.1}% ± {:.1}% (95% CI)\n",
+        100.0 * ci.estimate,
+        100.0 * ci.half_width
+    ));
+    out
+}
+
+fn category_table(title: &str, result: &CampaignResult) -> String {
+    let rows: Vec<(String, OutcomeCounts)> = result
+        .by_category
+        .iter()
+        .map(|(cat, o)| (cat.label().to_string(), *o))
+        .collect();
+    outcome_table(title, rows)
+}
+
+/// Figure 4: outcomes by state category, latches+RAMs, baseline pipeline.
+pub fn render_fig4(c: &Campaigns) -> String {
+    category_table("Figure 4: injections into latches+RAMs by category (baseline)", &c.baseline_lr)
+}
+
+/// Figure 5: outcomes by state category, latches only, baseline pipeline.
+pub fn render_fig5(c: &Campaigns) -> String {
+    category_table("Figure 5: injections into latches by category (baseline)", &c.baseline_l)
+}
+
+/// Figure 6: benign-fault rate versus valid instructions in flight, with
+/// the least-mean-squares trendline.
+pub fn render_fig6(c: &Campaigns) -> String {
+    let mut out = String::from(
+        "== Figure 6: benign fault rate vs. valid instructions in the pipeline ==\n",
+    );
+    let mut t = Table::new(&["benchmark", "valid insns (mean)", "benign %", "trials"]);
+    let points: Vec<(f64, f64)> = c
+        .baseline_lr
+        .scatter
+        .iter()
+        .map(|p| (p.valid_instructions, 100.0 * p.benign_fraction))
+        .collect();
+    for p in &c.baseline_lr.scatter {
+        t.row_owned(vec![
+            c.baseline_lr.benchmarks[p.benchmark].name.clone(),
+            format!("{:.1}", p.valid_instructions),
+            format!("{:.1}", 100.0 * p.benign_fraction),
+            p.trials.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    match linear_fit(&points) {
+        Some(fit) => {
+            out.push_str(&format!(
+                "trendline: benign% = {:.3} * valid + {:.1}   (r = {:.2}, n = {})\n",
+                fit.slope, fit.intercept, fit.r, fit.n
+            ));
+            out.push_str(&format!(
+                "at {} in flight (theoretical max): {:.1}% benign — the paper reports ~70%\n",
+                sizes::MAX_IN_FLIGHT,
+                fit.predict(sizes::MAX_IN_FLIGHT as f64)
+            ));
+        }
+        None => out.push_str("trendline: not enough distinct points\n"),
+    }
+    out
+}
+
+/// Table 2 + Figure 7: failure-mode breakdown per state category.
+pub fn render_fig7(c: &Campaigns) -> String {
+    let mut out =
+        String::from("== Figure 7: failure modes by category (latches+RAMs, baseline) ==\n");
+    let mut t = Table::new(&["category", "ctrl", "dtlb", "except", "itlb", "locked", "mem", "regfile"]);
+    for (cat, modes) in c.baseline_lr.failure_modes_by_category() {
+        if modes.iter().sum::<u64>() == 0 {
+            continue;
+        }
+        let mut row = vec![cat.label().to_string()];
+        row.extend(modes.iter().map(|m| m.to_string()));
+        t.row_owned(row);
+    }
+    out.push_str(&t.render());
+    out.push_str("(modes: ctrl/dtlb/itlb/mem/regfile are SDC; except/locked are Terminated)\n");
+    out
+}
+
+fn contributions(result: &CampaignResult, title: &str) -> String {
+    let total_failures: u64 = result.by_category.values().map(|o| o.failed()).sum();
+    let mut out = format!("== {title} ==\n");
+    let mut t = Table::new(&["category", "failures", "share %"]);
+    for (cat, o) in &result.by_category {
+        if o.failed() == 0 {
+            continue;
+        }
+        t.row_owned(vec![
+            cat.label().to_string(),
+            o.failed().to_string(),
+            pct(o.failed(), total_failures),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!("total failures: {total_failures}\n"));
+    out
+}
+
+/// Figure 8: relative contribution of each state category to failures.
+pub fn render_fig8(c: &Campaigns) -> String {
+    contributions(
+        &c.baseline_lr,
+        "Figure 8: contribution of each state type to SDC and Terminated (baseline)",
+    )
+}
+
+/// §4.3: state-storage overhead of the protection mechanisms.
+pub fn render_overhead() -> String {
+    let base = census_of(PipelineConfig::baseline());
+    let prot = census_of(PipelineConfig::protected());
+    let added = prot.total() - base.total();
+    let added_ram: i64 = Category::ALL
+        .iter()
+        .map(|c| {
+            prot.bits(*c, StorageKind::Ram) as i64 - base.bits(*c, StorageKind::Ram) as i64
+        })
+        .sum();
+    let mut out = String::from("== Section 4.3: protection overheads ==\n");
+    out.push_str(&format!(
+        "baseline bits: {}   protected bits: {}   added: {} ({:.1}% more state)\n",
+        base.total(),
+        prot.total(),
+        added,
+        100.0 * added as f64 / base.total() as f64
+    ));
+    out.push_str(&format!(
+        "added RAM bits: {added_ram} ({:.0}% of the overhead; paper: ~2/3 of 3,061 bits)\n",
+        100.0 * added_ram as f64 / added as f64
+    ));
+    out.push_str(&format!(
+        "ecc bits: latch {} ram {}   parity bits: latch {} ram {}\n",
+        prot.bits(Category::Ecc, StorageKind::Latch),
+        prot.bits(Category::Ecc, StorageKind::Ram),
+        prot.bits(Category::Parity, StorageKind::Latch),
+        prot.bits(Category::Parity, StorageKind::Ram),
+    ));
+    out
+}
+
+/// Figure 9: outcomes by category with all four protections enabled.
+pub fn render_fig9(c: &Campaigns) -> String {
+    category_table(
+        "Figure 9: injections into latches+RAMs by category (protected pipeline)",
+        &c.protected_lr,
+    )
+}
+
+/// Figure 10: failure contributions by category, protected pipeline.
+pub fn render_fig10(c: &Campaigns) -> String {
+    contributions(
+        &c.protected_lr,
+        "Figure 10: contribution of each state type to SDC and Terminated (protected)",
+    )
+}
+
+/// §4.4: the failure-rate reduction achieved by the protection suite,
+/// normalized for the extra vulnerable state it introduces.
+pub fn render_reduction(c: &Campaigns) -> String {
+    let base = c.baseline_lr.totals();
+    let prot = c.protected_lr.totals();
+    let base_bits = c.baseline_lr.eligible_bits as f64;
+    let prot_bits = c.protected_lr.eligible_bits as f64;
+    // Failures per unit fault rate ∝ failure fraction × amount of state.
+    let base_rate = base.failure_fraction() * base_bits;
+    let prot_rate = prot.failure_fraction() * prot_bits;
+    let reduction = 100.0 * (1.0 - prot_rate / base_rate);
+    let mut out = String::from("== Section 4.4: failure reduction from the protection suite ==\n");
+    out.push_str(&format!(
+        "baseline : {:.1}% of {} trials failed over {} eligible bits\n",
+        100.0 * base.failure_fraction(),
+        base.total(),
+        base_bits as u64
+    ));
+    out.push_str(&format!(
+        "protected: {:.1}% of {} trials failed over {} eligible bits ({:.1}% more state)\n",
+        100.0 * prot.failure_fraction(),
+        prot.total(),
+        prot_bits as u64,
+        100.0 * (prot_bits / base_bits - 1.0)
+    ));
+    out.push_str(&format!(
+        "state-normalized failure-rate reduction: {reduction:.0}%  (paper: ~75%)\n"
+    ));
+    out
+}
+
+/// Runs the Figure 11 software-level experiments: six fault models across
+/// the ten workloads.
+pub fn run_sw_experiments(scale: Scale, seed: u64) -> Vec<(FaultModel, SwTally)> {
+    let trials = scale.sw_trials();
+    let workloads = tfsim_workloads::all();
+    let goldens: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let p = w.build(1);
+            let g = swinject::golden_ref(&p, 10_000_000);
+            (p, g)
+        })
+        .collect();
+    FaultModel::ALL
+        .iter()
+        .map(|model| {
+            let mut tally = SwTally::default();
+            for (i, (p, g)) in goldens.iter().enumerate() {
+                let t = swinject::run_campaign(p, g, *model, trials, seed ^ ((i as u64) << 8));
+                tally.merge(&t);
+            }
+            (*model, tally)
+        })
+        .collect()
+}
+
+/// Figure 11: outcome distribution of the six architectural fault models.
+pub fn render_fig11(results: &[(FaultModel, SwTally)]) -> String {
+    let mut out = String::from(
+        "== Figure 11: architectural fault models on software (10 workloads) ==\n",
+    );
+    let mut t = Table::new(&[
+        "fault model",
+        "trials",
+        "exception %",
+        "state-ok %",
+        "output-ok %",
+        "output-bad %",
+        "ctrl-diverged %",
+    ]);
+    for (model, tally) in results {
+        let n = tally.total();
+        t.row_owned(vec![
+            model.label().to_string(),
+            n.to_string(),
+            pct(tally.exception, n),
+            pct(tally.state_ok, n),
+            pct(tally.output_ok, n),
+            pct(tally.output_bad, n),
+            pct(tally.state_ok_diverged, tally.state_ok.max(1)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "(paper: roughly half of all trials reconverge completely (State OK); 10-20% of\n State OK trials show temporary control-flow divergence)\n",
+    );
+    out
+}
+
+/// Combined microarchitectural masking summary (the paper's conclusion:
+/// hardware and software together mask >9 of 10 faults).
+pub fn render_summary(c: &Campaigns, sw: &[(FaultModel, SwTally)]) -> String {
+    let t = c.baseline_lr.totals();
+    let hw_visible = t.failure_fraction();
+    // Software masking of hardware-escaped faults, from the register-write
+    // models (the closest analogue of escaped corruptions).
+    let reg_models: Vec<&SwTally> = sw
+        .iter()
+        .filter(|(m, _)| {
+            matches!(m, FaultModel::ResultBit32 | FaultModel::ResultBit64 | FaultModel::ResultRandom)
+        })
+        .map(|(_, t)| t)
+        .collect();
+    let sw_masked: u64 = reg_models.iter().map(|t| t.state_ok).sum();
+    let sw_total: u64 = reg_models.iter().map(|t| t.total()).sum();
+    let sw_mask_frac = sw_masked as f64 / sw_total.max(1) as f64;
+    let combined_visible = hw_visible * (1.0 - sw_mask_frac);
+    format!(
+        "== Summary ==\n\
+         hardware-visible failure rate: {:.1}% (paper: <15%)\n\
+         software masking of escaped register corruptions: {:.1}% (paper: ~50%)\n\
+         combined masking: {:.1}% of latched faults never affect program output (paper: >90%)\n",
+        100.0 * hw_visible,
+        100.0 * sw_mask_frac,
+        100.0 * (1.0 - combined_visible)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_and_table1_render() {
+        let cfg = render_config();
+        assert!(cfg.contains("132"));
+        let t1 = render_table1();
+        assert!(t1.contains("regfile"));
+        assert!(t1.contains("5200"), "regfile RAM bits: {t1}");
+        assert!(t1.contains("224"), "RAT bits");
+    }
+
+    #[test]
+    fn overhead_renders_paper_scale_numbers() {
+        let o = render_overhead();
+        assert!(o.contains("added"), "{o}");
+        // Extract the added-bits number loosely: it must be in the
+        // 2,000-4,500 range established by the census test.
+        assert!(o.contains("ecc bits"));
+    }
+
+    #[test]
+    fn figure_pipeline_end_to_end_quick() {
+        // A very small end-to-end sweep of every renderer.
+        let mut cfg = Scale::Quick.campaign(5);
+        cfg.start_points = 1;
+        cfg.trials_per_start_point = 10;
+        cfg.monitor_cycles = 600;
+        cfg.scale = 1;
+        let one: Vec<_> = tfsim_workloads::all().into_iter().take(2).collect();
+        let r = tfsim_inject::run_campaign_on(&cfg, &one);
+        let c = Campaigns { baseline_lr: r.clone(), baseline_l: r.clone(), protected_lr: r };
+        for s in [
+            render_fig3(&c),
+            render_fig4(&c),
+            render_fig5(&c),
+            render_fig6(&c),
+            render_fig7(&c),
+            render_fig8(&c),
+            render_fig9(&c),
+            render_fig10(&c),
+            render_reduction(&c),
+        ] {
+            assert!(s.contains("=="), "{s}");
+        }
+    }
+
+    #[test]
+    fn fig11_renders() {
+        // One workload, tiny trial count, two models.
+        let w = tfsim_workloads::by_name("gzip-like").unwrap();
+        let p = w.build(1);
+        let g = swinject::golden_ref(&p, 10_000_000);
+        let results: Vec<_> = [FaultModel::ResultBit64, FaultModel::Nop]
+            .iter()
+            .map(|m| (*m, swinject::run_campaign(&p, &g, *m, 10, 3)))
+            .collect();
+        let s = render_fig11(&results);
+        assert!(s.contains("reg-bit-64"));
+        assert!(s.contains("insn-nop"));
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+}

@@ -1,0 +1,776 @@
+#![warn(missing_docs)]
+
+//! # tfsim-bitstate — the bit-level state registry
+//!
+//! The paper's experiments require a *latch-accurate* model: every state
+//! element (latch bit or RAM cell) present in the implementation must be
+//! enumerable, categorized by logical function and storage kind, and
+//! individually flippable, and the entire machine state must be comparable
+//! against a golden run.
+//!
+//! This crate provides that machinery without dictating how the pipeline
+//! stores its state: pipeline structures keep ordinary Rust fields and
+//! implement [`VisitState`], walking each field through a [`StateVisitor`]
+//! with its [`FieldMeta`] (category, storage kind, injectability). Four
+//! visitors implement the experiments:
+//!
+//! * [`Census`] — Table 1: bits of latches and RAMs per category.
+//! * [`BitCount`] — the eligible-bit total under an [`InjectionMask`].
+//! * [`FlipBit`] — flips the *k*-th eligible bit and reports what it hit.
+//! * [`Fingerprint`] — a 128-bit hash of every bit of machine state, used
+//!   for the µArch Match comparison against the golden run.
+//!
+//! Cache and predictor arrays are *fingerprinted but not injectable*
+//! (`injectable = false`), matching the paper's exclusion of easily
+//! protected or correctness-neutral RAM arrays from the campaigns.
+//!
+//! ```
+//! use tfsim_bitstate::{Category, Census, FieldMeta, StateVisitor, StorageKind, VisitState};
+//!
+//! struct Stage { pc: u64, valid: bool }
+//! impl VisitState for Stage {
+//!     fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+//!         tfsim_bitstate::visit_pc(v, StorageKind::Latch, &mut self.pc);
+//!         tfsim_bitstate::visit_bool(
+//!             v,
+//!             FieldMeta::new(Category::Valid, StorageKind::Latch),
+//!             &mut self.valid,
+//!         );
+//!     }
+//! }
+//!
+//! let mut stage = Stage { pc: 0x1000, valid: true };
+//! let mut census = Census::new();
+//! stage.visit_state(&mut census);
+//! assert_eq!(census.bits(Category::Pc, StorageKind::Latch), 62);
+//! assert_eq!(census.bits(Category::Valid, StorageKind::Latch), 1);
+//! ```
+
+use std::fmt;
+
+/// Logical function of a bit of state — the categories of the paper's
+/// Table 1, plus the two categories introduced by the protection hardware
+/// (`Ecc`, `Parity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// 64-bit address fields for memory operations.
+    Addr,
+    /// Architectural register free list.
+    ArchFreelist,
+    /// Architectural register alias table.
+    ArchRat,
+    /// Miscellaneous control state (decoded control words, state machines).
+    Ctrl,
+    /// Instruction input and output operands.
+    Data,
+    /// Parts of the instruction word carried with each instruction.
+    Insn,
+    /// Program counter fields (62 bits: byte address without the aligned
+    /// low two bits).
+    Pc,
+    /// Control state associated with queues (head/tail pointers, counts).
+    Qctrl,
+    /// Register file entries and scoreboard bits.
+    Regfile,
+    /// Physical register file pointers (7 bits for 80 registers).
+    Regptr,
+    /// Reorder buffer tags (6 bits for 64 entries).
+    Robptr,
+    /// Speculative register free list.
+    SpecFreelist,
+    /// Speculative register alias table.
+    SpecRat,
+    /// Valid bits throughout the pipeline.
+    Valid,
+    /// ECC check bits added by the protection mechanisms.
+    Ecc,
+    /// Parity bits added by the protection mechanisms.
+    Parity,
+}
+
+impl Category {
+    /// The fourteen baseline categories of Table 1 (paper order).
+    pub const BASELINE: [Category; 14] = [
+        Category::Addr,
+        Category::ArchFreelist,
+        Category::ArchRat,
+        Category::Ctrl,
+        Category::Data,
+        Category::Insn,
+        Category::Pc,
+        Category::Qctrl,
+        Category::Regfile,
+        Category::Regptr,
+        Category::Robptr,
+        Category::SpecFreelist,
+        Category::SpecRat,
+        Category::Valid,
+    ];
+
+    /// All categories including the protection-introduced ones.
+    pub const ALL: [Category; 16] = [
+        Category::Addr,
+        Category::ArchFreelist,
+        Category::ArchRat,
+        Category::Ctrl,
+        Category::Data,
+        Category::Insn,
+        Category::Pc,
+        Category::Qctrl,
+        Category::Regfile,
+        Category::Regptr,
+        Category::Robptr,
+        Category::SpecFreelist,
+        Category::SpecRat,
+        Category::Valid,
+        Category::Ecc,
+        Category::Parity,
+    ];
+
+    /// The lowercase label used in the paper's tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Addr => "addr",
+            Category::ArchFreelist => "archfreelist",
+            Category::ArchRat => "archrat",
+            Category::Ctrl => "ctrl",
+            Category::Data => "data",
+            Category::Insn => "insn",
+            Category::Pc => "pc",
+            Category::Qctrl => "qctrl",
+            Category::Regfile => "regfile",
+            Category::Regptr => "regptr",
+            Category::Robptr => "robptr",
+            Category::SpecFreelist => "specfreelist",
+            Category::SpecRat => "specrat",
+            Category::Valid => "valid",
+            Category::Ecc => "ecc",
+            Category::Parity => "parity",
+        }
+    }
+
+    fn index(self) -> usize {
+        Category::ALL.iter().position(|c| *c == self).expect("category in ALL")
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether a state element is implemented as an edge-triggered latch or as
+/// a cell in a RAM array. The paper runs separate campaigns for
+/// latches-only and latches+RAMs because the two have different raw fault
+/// rates and protection options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StorageKind {
+    /// Pipeline latch (edge-triggered flip-flop).
+    Latch,
+    /// RAM array cell.
+    Ram,
+}
+
+/// Metadata attached to every visited field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldMeta {
+    /// Logical function.
+    pub category: Category,
+    /// Storage implementation.
+    pub kind: StorageKind,
+    /// Whether fault-injection campaigns may target this field. Cache and
+    /// predictor arrays are fingerprinted but not injectable.
+    pub injectable: bool,
+}
+
+impl FieldMeta {
+    /// Injectable state with the given category and kind.
+    pub fn new(category: Category, kind: StorageKind) -> FieldMeta {
+        FieldMeta { category, kind, injectable: true }
+    }
+
+    /// Fingerprint-only state (cache/predictor arrays): never injected.
+    pub fn shadow(category: Category, kind: StorageKind) -> FieldMeta {
+        FieldMeta { category, kind, injectable: false }
+    }
+}
+
+/// A visitor over every bit of machine state.
+///
+/// Implementations receive each field exactly once per walk, in a fixed
+/// deterministic order. Fields are at most 64 bits wide; wider structures
+/// are visited as arrays.
+pub trait StateVisitor {
+    /// Visits one field of `width` bits (1 ≤ width ≤ 64) stored in the low
+    /// bits of `bits`. The visitor may mutate the value (fault injection).
+    fn field(&mut self, meta: FieldMeta, width: u32, bits: &mut u64);
+
+    /// Visits a RAM array of equally sized entries. The default forwards to
+    /// [`StateVisitor::field`] per entry; fingerprinting overrides this for
+    /// speed.
+    fn array(&mut self, meta: FieldMeta, entry_width: u32, entries: &mut [u64]) {
+        for e in entries.iter_mut() {
+            self.field(meta, entry_width, e);
+        }
+    }
+}
+
+/// A structure exposing its state bits to visitors.
+pub trait VisitState {
+    /// Walks every state bit in a fixed deterministic order.
+    fn visit_state(&mut self, v: &mut dyn StateVisitor);
+}
+
+/// Visits a `bool` as a 1-bit field.
+pub fn visit_bool(v: &mut dyn StateVisitor, meta: FieldMeta, b: &mut bool) {
+    let mut bits = *b as u64;
+    v.field(meta, 1, &mut bits);
+    *b = bits & 1 != 0;
+}
+
+/// Visits a program counter stored as a byte address whose low two bits are
+/// architecturally zero: exposes bits 63..2 as a 62-bit `pc` field, the
+/// paper's PC representation.
+pub fn visit_pc(v: &mut dyn StateVisitor, kind: StorageKind, pc: &mut u64) {
+    let mut bits = *pc >> 2;
+    v.field(FieldMeta::new(Category::Pc, kind), 62, &mut bits);
+    *pc = bits << 2;
+}
+
+fn width_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Which bits a fault-injection campaign may target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionMask {
+    /// All injectable latches and RAM cells (the paper's `l+r` campaigns).
+    LatchesAndRams,
+    /// Injectable latches only (the paper's `l` campaigns).
+    LatchesOnly,
+}
+
+impl InjectionMask {
+    /// Whether a field with `meta` is eligible under this mask.
+    pub fn eligible(self, meta: FieldMeta) -> bool {
+        meta.injectable
+            && match self {
+                InjectionMask::LatchesAndRams => true,
+                InjectionMask::LatchesOnly => meta.kind == StorageKind::Latch,
+            }
+    }
+}
+
+/// Counts state bits per `(category, kind)` — Table 1.
+#[derive(Debug, Clone, Default)]
+pub struct Census {
+    counts: [[u64; 2]; Category::ALL.len()],
+    shadow_bits: u64,
+}
+
+impl Census {
+    /// Creates an empty census.
+    pub fn new() -> Census {
+        Census::default()
+    }
+
+    /// Injectable bits recorded for a category/kind pair.
+    pub fn bits(&self, category: Category, kind: StorageKind) -> u64 {
+        self.counts[category.index()][kind as usize]
+    }
+
+    /// Total injectable latch bits.
+    pub fn latch_total(&self) -> u64 {
+        Category::ALL.iter().map(|c| self.bits(*c, StorageKind::Latch)).sum()
+    }
+
+    /// Total injectable RAM bits.
+    pub fn ram_total(&self) -> u64 {
+        Category::ALL.iter().map(|c| self.bits(*c, StorageKind::Ram)).sum()
+    }
+
+    /// All injectable bits.
+    pub fn total(&self) -> u64 {
+        self.latch_total() + self.ram_total()
+    }
+
+    /// Bits visited but excluded from injection (cache/predictor state).
+    pub fn shadow_total(&self) -> u64 {
+        self.shadow_bits
+    }
+
+    /// Renders the census as a Table 1-style fixed-width table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12}\n",
+            "category", "latch bits", "ram bits"
+        ));
+        for c in Category::ALL {
+            let l = self.bits(c, StorageKind::Latch);
+            let r = self.bits(c, StorageKind::Ram);
+            if l == 0 && r == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:<14} {:>12} {:>12}\n", c.label(), l, r));
+        }
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12}\n",
+            "total",
+            self.latch_total(),
+            self.ram_total()
+        ));
+        out
+    }
+}
+
+impl StateVisitor for Census {
+    fn field(&mut self, meta: FieldMeta, width: u32, _bits: &mut u64) {
+        debug_assert!(width >= 1 && width <= 64);
+        if meta.injectable {
+            self.counts[meta.category.index()][meta.kind as usize] += width as u64;
+        } else {
+            self.shadow_bits += width as u64;
+        }
+    }
+
+    fn array(&mut self, meta: FieldMeta, entry_width: u32, entries: &mut [u64]) {
+        let bits = entry_width as u64 * entries.len() as u64;
+        if meta.injectable {
+            self.counts[meta.category.index()][meta.kind as usize] += bits;
+        } else {
+            self.shadow_bits += bits;
+        }
+    }
+}
+
+/// Counts the eligible bits under an [`InjectionMask`]; the fault selector
+/// draws a uniform index in `[0, count)`.
+#[derive(Debug, Clone, Copy)]
+pub struct BitCount {
+    mask: InjectionMask,
+    /// Number of eligible bits visited.
+    pub count: u64,
+}
+
+impl BitCount {
+    /// Creates a counter for `mask`.
+    pub fn new(mask: InjectionMask) -> BitCount {
+        BitCount { mask, count: 0 }
+    }
+}
+
+impl StateVisitor for BitCount {
+    fn field(&mut self, meta: FieldMeta, width: u32, _bits: &mut u64) {
+        if self.mask.eligible(meta) {
+            self.count += width as u64;
+        }
+    }
+
+    fn array(&mut self, meta: FieldMeta, entry_width: u32, entries: &mut [u64]) {
+        if self.mask.eligible(meta) {
+            self.count += entry_width as u64 * entries.len() as u64;
+        }
+    }
+}
+
+/// Description of the bit a [`FlipBit`] visitor flipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlippedBit {
+    /// Category of the containing field.
+    pub category: Category,
+    /// Storage kind of the containing field.
+    pub kind: StorageKind,
+    /// Bit offset within the field.
+    pub bit: u32,
+    /// Field width.
+    pub width: u32,
+}
+
+/// Flips the `target`-th eligible bit (in visit order) under a mask.
+#[derive(Debug, Clone, Copy)]
+pub struct FlipBit {
+    mask: InjectionMask,
+    target: u64,
+    pos: u64,
+    /// Set once the target bit has been flipped.
+    pub flipped: Option<FlippedBit>,
+}
+
+impl FlipBit {
+    /// Creates a visitor that will flip eligible bit number `target`.
+    pub fn new(mask: InjectionMask, target: u64) -> FlipBit {
+        FlipBit { mask, target, pos: 0, flipped: None }
+    }
+}
+
+impl StateVisitor for FlipBit {
+    fn field(&mut self, meta: FieldMeta, width: u32, bits: &mut u64) {
+        if self.flipped.is_some() || !self.mask.eligible(meta) {
+            return;
+        }
+        let w = width as u64;
+        if self.target < self.pos + w {
+            let bit = (self.target - self.pos) as u32;
+            *bits ^= 1u64 << bit;
+            *bits &= width_mask(width);
+            self.flipped = Some(FlippedBit { category: meta.category, kind: meta.kind, bit, width });
+        }
+        self.pos += w;
+    }
+
+    fn array(&mut self, meta: FieldMeta, entry_width: u32, entries: &mut [u64]) {
+        if self.flipped.is_some() || !self.mask.eligible(meta) {
+            return;
+        }
+        let total = entry_width as u64 * entries.len() as u64;
+        if self.target < self.pos + total {
+            let offset = self.target - self.pos;
+            let entry = (offset / entry_width as u64) as usize;
+            let bit = (offset % entry_width as u64) as u32;
+            entries[entry] ^= 1u64 << bit;
+            entries[entry] &= width_mask(entry_width);
+            self.flipped = Some(FlippedBit {
+                category: meta.category,
+                kind: meta.kind,
+                bit,
+                width: entry_width,
+            });
+        }
+        self.pos += total;
+    }
+}
+
+/// 128-bit FNV-1a style fingerprint over every visited bit (including
+/// non-injectable shadow state). Two machines with equal fingerprints are
+/// treated as microarchitecturally identical.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint {
+    h: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl Fingerprint {
+    /// Creates a fresh fingerprint accumulator.
+    pub fn new() -> Fingerprint {
+        Fingerprint { h: FNV128_OFFSET }
+    }
+
+    /// The accumulated 128-bit hash.
+    pub fn value(&self) -> u128 {
+        self.h
+    }
+
+    fn mix(&mut self, word: u64) {
+        self.h ^= word as u128;
+        self.h = self.h.wrapping_mul(FNV128_PRIME);
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl StateVisitor for Fingerprint {
+    fn field(&mut self, _meta: FieldMeta, width: u32, bits: &mut u64) {
+        debug_assert_eq!(*bits & !width_mask(width), 0, "field exceeds declared width {width}");
+        self.mix(*bits);
+    }
+
+    fn array(&mut self, _meta: FieldMeta, _entry_width: u32, entries: &mut [u64]) {
+        for e in entries.iter() {
+            self.mix(*e);
+        }
+    }
+}
+
+/// Computes the fingerprint of a [`VisitState`] machine.
+pub fn fingerprint_of(machine: &mut dyn VisitState) -> u128 {
+    let mut fp = Fingerprint::new();
+    machine.visit_state(&mut fp);
+    fp.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        pc: u64,
+        data: u64,
+        valid: bool,
+        ram: Vec<u64>,
+        shadow: u64,
+    }
+
+    impl VisitState for Toy {
+        fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+            visit_pc(v, StorageKind::Latch, &mut self.pc);
+            v.field(FieldMeta::new(Category::Data, StorageKind::Latch), 64, &mut self.data);
+            visit_bool(v, FieldMeta::new(Category::Valid, StorageKind::Latch), &mut self.valid);
+            v.array(FieldMeta::new(Category::Regfile, StorageKind::Ram), 7, &mut self.ram);
+            v.field(FieldMeta::shadow(Category::Ctrl, StorageKind::Ram), 20, &mut self.shadow);
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy { pc: 0x1000, data: 0xdead, valid: true, ram: vec![1, 2, 3, 4], shadow: 7 }
+    }
+
+    #[test]
+    fn census_counts_by_category_and_kind() {
+        let mut t = toy();
+        let mut c = Census::new();
+        t.visit_state(&mut c);
+        assert_eq!(c.bits(Category::Pc, StorageKind::Latch), 62);
+        assert_eq!(c.bits(Category::Data, StorageKind::Latch), 64);
+        assert_eq!(c.bits(Category::Valid, StorageKind::Latch), 1);
+        assert_eq!(c.bits(Category::Regfile, StorageKind::Ram), 28);
+        assert_eq!(c.latch_total(), 127);
+        assert_eq!(c.ram_total(), 28);
+        assert_eq!(c.total(), 155);
+        assert_eq!(c.shadow_total(), 20);
+        assert!(c.to_table().contains("regfile"));
+    }
+
+    #[test]
+    fn bit_count_respects_mask() {
+        let mut t = toy();
+        let mut all = BitCount::new(InjectionMask::LatchesAndRams);
+        t.visit_state(&mut all);
+        assert_eq!(all.count, 155);
+        let mut latches = BitCount::new(InjectionMask::LatchesOnly);
+        t.visit_state(&mut latches);
+        assert_eq!(latches.count, 127);
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        for target in [0u64, 61, 62, 125, 126, 127, 130, 154] {
+            let mut a = toy();
+            let before = fingerprint_of(&mut a);
+            let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, target);
+            a.visit_state(&mut flip);
+            let hit = flip.flipped.expect("target in range");
+            assert!(hit.bit < hit.width);
+            let after = fingerprint_of(&mut a);
+            assert_ne!(before, after, "target {target} must change the fingerprint");
+            // Flip again: must restore the original state exactly.
+            let mut flip2 = FlipBit::new(InjectionMask::LatchesAndRams, target);
+            a.visit_state(&mut flip2);
+            assert_eq!(fingerprint_of(&mut a), before);
+        }
+    }
+
+    #[test]
+    fn flip_bit_categories() {
+        let mut t = toy();
+        let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 0);
+        t.visit_state(&mut flip);
+        assert_eq!(flip.flipped.unwrap().category, Category::Pc);
+        let mut t = toy();
+        let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 127 + 10);
+        t.visit_state(&mut flip);
+        let hit = flip.flipped.unwrap();
+        assert_eq!(hit.category, Category::Regfile);
+        assert_eq!(hit.kind, StorageKind::Ram);
+    }
+
+    #[test]
+    fn flip_bit_never_touches_shadow_state() {
+        let mut t = toy();
+        // Target past the end of eligible bits: nothing flips.
+        let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 155);
+        t.visit_state(&mut flip);
+        assert!(flip.flipped.is_none());
+        assert_eq!(t.shadow, 7);
+    }
+
+    #[test]
+    fn latch_only_mask_skips_ram() {
+        let mut t = toy();
+        // Bit 127 in latch-only order is the first RAM bit in l+r order and
+        // must not exist under the latch mask.
+        let mut flip = FlipBit::new(InjectionMask::LatchesOnly, 127);
+        t.visit_state(&mut flip);
+        assert!(flip.flipped.is_none());
+        assert_eq!(t.ram, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fingerprint_covers_shadow_state() {
+        let mut a = toy();
+        let mut b = toy();
+        assert_eq!(fingerprint_of(&mut a), fingerprint_of(&mut b));
+        b.shadow ^= 1;
+        assert_ne!(fingerprint_of(&mut a), fingerprint_of(&mut b));
+    }
+
+    #[test]
+    fn pc_visit_preserves_alignment() {
+        let mut t = toy();
+        t.pc = 0xabcd0;
+        let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 3);
+        t.visit_state(&mut flip);
+        assert_eq!(t.pc % 4, 0, "pc must stay 4-byte aligned (62-bit field)");
+        assert_eq!(t.pc, 0xabcd0 ^ (1 << 5));
+    }
+
+    #[test]
+    fn eligibility_rules() {
+        let latch = FieldMeta::new(Category::Data, StorageKind::Latch);
+        let ram = FieldMeta::new(Category::Data, StorageKind::Ram);
+        let shadow = FieldMeta::shadow(Category::Ctrl, StorageKind::Ram);
+        assert!(InjectionMask::LatchesAndRams.eligible(latch));
+        assert!(InjectionMask::LatchesAndRams.eligible(ram));
+        assert!(!InjectionMask::LatchesAndRams.eligible(shadow));
+        assert!(InjectionMask::LatchesOnly.eligible(latch));
+        assert!(!InjectionMask::LatchesOnly.eligible(ram));
+    }
+}
+
+/// A captured copy of every visited field's bits, in visit order.
+///
+/// Two snapshots of machines with identical structure can be
+/// [diffed](Snapshot::diff) to locate exactly which fields differ — the
+/// debugging companion to the pass/fail answer a [`Fingerprint`] gives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    fields: Vec<(FieldMeta, u32, u64)>,
+}
+
+impl Snapshot {
+    /// Captures a snapshot of `machine`.
+    pub fn capture(machine: &mut dyn VisitState) -> Snapshot {
+        struct Collector {
+            fields: Vec<(FieldMeta, u32, u64)>,
+        }
+        impl StateVisitor for Collector {
+            fn field(&mut self, meta: FieldMeta, width: u32, bits: &mut u64) {
+                self.fields.push((meta, width, *bits));
+            }
+        }
+        let mut c = Collector { fields: Vec::new() };
+        machine.visit_state(&mut c);
+        Snapshot { fields: c.fields }
+    }
+
+    /// Number of fields captured.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Compares two snapshots field by field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots have different structure (they must come
+    /// from machines with identical configuration).
+    pub fn diff(&self, other: &Snapshot) -> Vec<FieldDiff> {
+        assert_eq!(self.fields.len(), other.fields.len(), "snapshot structure mismatch");
+        let mut out = Vec::new();
+        for (i, ((meta, width, a), (_, _, b))) in
+            self.fields.iter().zip(other.fields.iter()).enumerate()
+        {
+            if a != b {
+                out.push(FieldDiff {
+                    index: i,
+                    category: meta.category,
+                    kind: meta.kind,
+                    width: *width,
+                    left: *a,
+                    right: *b,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One differing field reported by [`Snapshot::diff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldDiff {
+    /// Position in visit order.
+    pub index: usize,
+    /// Category of the field.
+    pub category: Category,
+    /// Storage kind.
+    pub kind: StorageKind,
+    /// Field width in bits.
+    pub width: u32,
+    /// Bits in the first snapshot.
+    pub left: u64,
+    /// Bits in the second snapshot.
+    pub right: u64,
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    struct Pair {
+        a: u64,
+        b: Vec<u64>,
+    }
+    impl VisitState for Pair {
+        fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+            v.field(FieldMeta::new(Category::Data, StorageKind::Latch), 16, &mut self.a);
+            v.array(FieldMeta::new(Category::Regfile, StorageKind::Ram), 8, &mut self.b);
+        }
+    }
+
+    #[test]
+    fn identical_machines_have_empty_diff() {
+        let mut x = Pair { a: 5, b: vec![1, 2, 3] };
+        let mut y = Pair { a: 5, b: vec![1, 2, 3] };
+        let sx = Snapshot::capture(&mut x);
+        let sy = Snapshot::capture(&mut y);
+        assert!(sx.diff(&sy).is_empty());
+        assert_eq!(sx.len(), 4);
+        assert!(!sx.is_empty());
+    }
+
+    #[test]
+    fn diff_locates_the_changed_field() {
+        let mut x = Pair { a: 5, b: vec![1, 2, 3] };
+        let mut y = Pair { a: 5, b: vec![1, 9, 3] };
+        let d = Snapshot::capture(&mut x).diff(&Snapshot::capture(&mut y));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Regfile);
+        assert_eq!(d[0].kind, StorageKind::Ram);
+        assert_eq!((d[0].left, d[0].right), (2, 9));
+        assert_eq!(d[0].index, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "structure mismatch")]
+    fn structural_mismatch_panics() {
+        let mut x = Pair { a: 5, b: vec![1, 2, 3] };
+        let mut y = Pair { a: 5, b: vec![1, 2] };
+        let _ = Snapshot::capture(&mut x).diff(&Snapshot::capture(&mut y));
+    }
+
+    #[test]
+    fn snapshot_agrees_with_fingerprint() {
+        let mut x = Pair { a: 7, b: vec![4, 5, 6] };
+        let mut y = Pair { a: 7, b: vec![4, 5, 6] };
+        assert_eq!(fingerprint_of(&mut x), fingerprint_of(&mut y));
+        y.b[0] ^= 1;
+        assert_ne!(fingerprint_of(&mut x), fingerprint_of(&mut y));
+        assert_eq!(Snapshot::capture(&mut x).diff(&Snapshot::capture(&mut y)).len(), 1);
+    }
+}

@@ -1,0 +1,432 @@
+//! Campaign orchestration: many trials across benchmarks and start
+//! points, executed on a thread pool, aggregated per benchmark and per
+//! state category.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tfsim_bitstate::{Category, InjectionMask, StorageKind};
+use tfsim_isa::Program;
+use tfsim_uarch::PipelineConfig;
+use tfsim_workloads::Workload;
+
+use crate::trial::{warm_pipeline, FailureMode, Outcome, StartPoint, TrialRecord};
+
+/// Campaign parameters. The defaults mirror the paper's methodology at a
+/// reduced scale; [`CampaignConfig::paper_scale`] approaches the paper's
+/// 25–30k trials per campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Which bits are eligible (latches+RAMs, or latches only).
+    pub mask: InjectionMask,
+    /// Pipeline configuration (baseline or protected).
+    pub pipeline: PipelineConfig,
+    /// Workload scale factor passed to the generators.
+    pub scale: u32,
+    /// Start points per benchmark.
+    pub start_points: u32,
+    /// Trials per start point.
+    pub trials_per_start_point: u32,
+    /// Cycles of warm-up before the first start point (cache/predictor
+    /// warm-up, per the paper).
+    pub warmup_cycles: u64,
+    /// Cycles between consecutive start points of one benchmark.
+    pub spacing_cycles: u64,
+    /// Injection cycle is drawn uniformly from `[0, inject_window)`.
+    pub inject_window: u64,
+    /// Monitoring limit after injection (the paper uses 10,000).
+    pub monitor_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// A fast configuration for tests and smoke runs (~800 trials).
+    pub fn quick(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            mask: InjectionMask::LatchesAndRams,
+            pipeline: PipelineConfig::baseline(),
+            scale: 2,
+            start_points: 2,
+            trials_per_start_point: 40,
+            warmup_cycles: 1_500,
+            spacing_cycles: 600,
+            inject_window: 200,
+            monitor_cycles: 3_000,
+            seed,
+            threads: 0,
+        }
+    }
+
+    /// The default experiment scale used by the figure harness
+    /// (~6,000 trials per campaign; tighter than `quick`, far faster than
+    /// the paper's full 25–30k).
+    pub fn default_scale(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            mask: InjectionMask::LatchesAndRams,
+            pipeline: PipelineConfig::baseline(),
+            scale: 2,
+            start_points: 6,
+            trials_per_start_point: 100,
+            warmup_cycles: 2_000,
+            spacing_cycles: 500,
+            inject_window: 250,
+            monitor_cycles: 10_000,
+            seed,
+            threads: 0,
+        }
+    }
+
+    /// The paper's scale: ~25,000–30,000 trials, 10,000-cycle monitoring.
+    pub fn paper_scale(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            mask: InjectionMask::LatchesAndRams,
+            pipeline: PipelineConfig::baseline(),
+            scale: 4,
+            start_points: 27,
+            trials_per_start_point: 100,
+            warmup_cycles: 2_000,
+            spacing_cycles: 700,
+            inject_window: 250,
+            monitor_cycles: 10_000,
+            seed,
+            threads: 0,
+        }
+    }
+
+    /// Monitoring horizon needed from the latest start point.
+    fn horizon(&self) -> u64 {
+        self.inject_window + self.monitor_cycles
+    }
+}
+
+/// Outcome counters for a slice of trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// µArch Match trials.
+    pub matched: u64,
+    /// Gray Area trials.
+    pub gray: u64,
+    /// Failures indexed by [`FailureMode::ALL`] order.
+    pub failures: [u64; 7],
+}
+
+impl OutcomeCounts {
+    /// Records one outcome.
+    pub fn add(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::MicroArchMatch => self.matched += 1,
+            Outcome::GrayArea => self.gray += 1,
+            Outcome::Failure(mode) => {
+                let idx = FailureMode::ALL.iter().position(|m| *m == mode).expect("mode");
+                self.failures[idx] += 1;
+            }
+        }
+    }
+
+    /// Merges another counter.
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.matched += other.matched;
+        self.gray += other.gray;
+        for i in 0..7 {
+            self.failures[i] += other.failures[i];
+        }
+    }
+
+    /// Count for a specific failure mode.
+    pub fn failure(&self, mode: FailureMode) -> u64 {
+        let idx = FailureMode::ALL.iter().position(|m| *m == mode).expect("mode");
+        self.failures[idx]
+    }
+
+    /// All failures (SDC + Terminated).
+    pub fn failed(&self) -> u64 {
+        self.failures.iter().sum()
+    }
+
+    /// Failures classified as SDC.
+    pub fn sdc(&self) -> u64 {
+        FailureMode::ALL
+            .iter()
+            .filter(|m| !m.is_termination())
+            .map(|m| self.failure(*m))
+            .sum()
+    }
+
+    /// Failures classified as Terminated.
+    pub fn terminated(&self) -> u64 {
+        FailureMode::ALL
+            .iter()
+            .filter(|m| m.is_termination())
+            .map(|m| self.failure(*m))
+            .sum()
+    }
+
+    /// All trials.
+    pub fn total(&self) -> u64 {
+        self.matched + self.gray + self.failed()
+    }
+
+    /// Fraction of trials conclusively masked (µArch Match).
+    pub fn masked_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.matched as f64 / self.total() as f64
+    }
+
+    /// Fraction of trials that are not known failures (µArch Match + Gray).
+    pub fn benign_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.matched + self.gray) as f64 / self.total() as f64
+    }
+
+    /// Fraction of known failures.
+    pub fn failure_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.failed() as f64 / self.total() as f64
+    }
+}
+
+/// One Figure 6 scatter point: trials of one start point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    /// Benchmark index within the campaign.
+    pub benchmark: usize,
+    /// Mean golden valid-instruction count at the injection cycles.
+    pub valid_instructions: f64,
+    /// Fraction of trials that did not fail.
+    pub benign_fraction: f64,
+    /// Trials behind this point.
+    pub trials: u64,
+}
+
+/// Aggregated results for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    /// Workload name.
+    pub name: String,
+    /// Outcome totals.
+    pub counts: OutcomeCounts,
+}
+
+/// Full campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Per-benchmark outcome totals (paper Figure 3).
+    pub benchmarks: Vec<BenchmarkResult>,
+    /// Outcomes grouped by the flipped bit's category (Figures 4/5/9).
+    pub by_category: BTreeMap<Category, OutcomeCounts>,
+    /// Outcomes grouped by (category, storage kind).
+    pub by_category_kind: BTreeMap<(Category, StorageKind), OutcomeCounts>,
+    /// Figure 6 scatter points (one per start point).
+    pub scatter: Vec<ScatterPoint>,
+    /// Eligible bits per model instance (constant across a campaign).
+    pub eligible_bits: u64,
+}
+
+impl CampaignResult {
+    /// Aggregate outcome counts over every benchmark.
+    pub fn totals(&self) -> OutcomeCounts {
+        let mut t = OutcomeCounts::default();
+        for b in &self.benchmarks {
+            t.merge(&b.counts);
+        }
+        t
+    }
+
+    /// Failure-mode breakdown by category: for each category, the count of
+    /// trials ending in each of the seven modes (Figure 7).
+    pub fn failure_modes_by_category(&self) -> BTreeMap<Category, [u64; 7]> {
+        self.by_category.iter().map(|(c, o)| (*c, o.failures)).collect()
+    }
+}
+
+/// Runs a campaign over the ten standard workloads.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    let workloads = tfsim_workloads::all();
+    run_campaign_on(config, &workloads)
+}
+
+/// Runs a campaign over an explicit workload list.
+pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> CampaignResult {
+    struct Task {
+        bench: usize,
+        start_point: u32,
+    }
+    let tasks: Vec<Task> = (0..workloads.len())
+        .flat_map(|b| (0..config.start_points).map(move |s| Task { bench: b, start_point: s }))
+        .collect();
+    let work = Mutex::new(tasks);
+
+    struct TaskOutput {
+        bench: usize,
+        records: Vec<TrialRecord>,
+        scatter: ScatterPoint,
+        eligible_bits: u64,
+    }
+    let outputs: Mutex<Vec<TaskOutput>> = Mutex::new(Vec::new());
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        config.threads
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let task = {
+                    let mut q = work.lock().expect("worklist");
+                    match q.pop() {
+                        Some(t) => t,
+                        None => return,
+                    }
+                };
+                let w = &workloads[task.bench];
+                let program: Program = w.build(config.scale);
+                let warm = config.warmup_cycles + config.spacing_cycles * task.start_point as u64;
+                let pipeline = warm_pipeline(&program, config.pipeline, warm);
+                let sp = StartPoint::prepare(&pipeline, config.horizon(), config.mask);
+
+                let mut rng = SmallRng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((task.bench as u64) << 32)
+                        .wrapping_add(task.start_point as u64),
+                );
+                let mut records = Vec::with_capacity(config.trials_per_start_point as usize);
+                let mut benign = 0u64;
+                let mut valid_sum = 0u64;
+                for _ in 0..config.trials_per_start_point {
+                    let target = rng.gen_range(0..sp.bit_count());
+                    let cycle = rng.gen_range(0..config.inject_window);
+                    let rec = sp.run_trial(config.mask, target, cycle, config.monitor_cycles);
+                    if !rec.outcome.is_failure() {
+                        benign += 1;
+                    }
+                    valid_sum += rec.valid_instructions as u64;
+                    records.push(rec);
+                }
+                let n = records.len().max(1) as f64;
+                let scatter = ScatterPoint {
+                    benchmark: task.bench,
+                    valid_instructions: valid_sum as f64 / n,
+                    benign_fraction: benign as f64 / n,
+                    trials: records.len() as u64,
+                };
+                outputs.lock().expect("outputs").push(TaskOutput {
+                    bench: task.bench,
+                    records,
+                    scatter,
+                    eligible_bits: sp.bit_count(),
+                });
+            });
+        }
+    });
+
+    // Aggregate.
+    let mut benchmarks: Vec<BenchmarkResult> = workloads
+        .iter()
+        .map(|w| BenchmarkResult { name: w.name.to_string(), counts: OutcomeCounts::default() })
+        .collect();
+    let mut by_category: BTreeMap<Category, OutcomeCounts> = BTreeMap::new();
+    let mut by_category_kind: BTreeMap<(Category, StorageKind), OutcomeCounts> = BTreeMap::new();
+    let mut scatter = Vec::new();
+    let mut eligible_bits = 0;
+    for out in outputs.into_inner().expect("outputs") {
+        for rec in &out.records {
+            benchmarks[out.bench].counts.add(rec.outcome);
+            by_category.entry(rec.category).or_default().add(rec.outcome);
+            by_category_kind.entry((rec.category, rec.kind)).or_default().add(rec.outcome);
+        }
+        scatter.push(out.scatter);
+        eligible_bits = out.eligible_bits;
+    }
+    scatter.sort_by(|a, b| {
+        a.benchmark
+            .cmp(&b.benchmark)
+            .then(a.valid_instructions.total_cmp(&b.valid_instructions))
+    });
+
+    CampaignResult { benchmarks, by_category, by_category_kind, scatter, eligible_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_counts_bookkeeping() {
+        let mut c = OutcomeCounts::default();
+        c.add(Outcome::MicroArchMatch);
+        c.add(Outcome::GrayArea);
+        c.add(Outcome::Failure(FailureMode::Regfile));
+        c.add(Outcome::Failure(FailureMode::Locked));
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.failed(), 2);
+        assert_eq!(c.sdc(), 1);
+        assert_eq!(c.terminated(), 1);
+        assert_eq!(c.failure(FailureMode::Regfile), 1);
+        assert!((c.masked_fraction() - 0.25).abs() < 1e-12);
+        assert!((c.benign_fraction() - 0.5).abs() < 1e-12);
+        let mut d = OutcomeCounts::default();
+        d.merge(&c);
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn tiny_campaign_runs_end_to_end() {
+        // One small benchmark, few trials: checks threading, aggregation,
+        // and that masking dominates.
+        let mut config = CampaignConfig::quick(3);
+        config.start_points = 1;
+        config.trials_per_start_point = 30;
+        config.monitor_cycles = 1_500;
+        config.scale = 1;
+        let workloads: Vec<_> = tfsim_workloads::all()
+            .into_iter()
+            .filter(|w| w.name == "gzip-like" || w.name == "twolf-like")
+            .collect();
+        let result = run_campaign_on(&config, &workloads);
+        let totals = result.totals();
+        assert_eq!(totals.total(), 60);
+        assert_eq!(result.benchmarks.len(), 2);
+        assert_eq!(result.scatter.len(), 2);
+        assert!(result.eligible_bits > 40_000);
+        assert!(
+            totals.benign_fraction() > 0.5,
+            "most faults must be benign: {totals:?}"
+        );
+        // Category attribution covered every trial.
+        let cat_total: u64 = result.by_category.values().map(|c| c.total()).sum();
+        assert_eq!(cat_total, 60);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let mut config = CampaignConfig::quick(11);
+        config.start_points = 1;
+        config.trials_per_start_point = 15;
+        config.monitor_cycles = 800;
+        config.scale = 1;
+        config.threads = 2;
+        let workloads: Vec<_> = tfsim_workloads::all()
+            .into_iter()
+            .filter(|w| w.name == "vpr-like")
+            .collect();
+        let a = run_campaign_on(&config, &workloads);
+        let b = run_campaign_on(&config, &workloads);
+        assert_eq!(a.totals(), b.totals());
+    }
+}

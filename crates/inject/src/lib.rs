@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # tfsim-inject — the fault-injection framework
+//!
+//! Implements the paper's experimental methodology (Section 2):
+//!
+//! 1. **Warm-up and checkpoints.** A workload runs on the pipeline model;
+//!    checkpoints (clones of the warmed machine) become *start points*.
+//! 2. **Golden precomputation.** From each start point the fault-free
+//!    machine runs for the monitoring horizon, recording a per-cycle
+//!    128-bit fingerprint of *every* state bit, the retirement trace, and
+//!    the per-cycle count of in-flight instructions that eventually commit
+//!    (for the Figure 6 utilization analysis).
+//! 3. **Trials.** Each trial clones the checkpoint, flips one uniformly
+//!    chosen eligible state bit at a uniformly chosen cycle, and monitors
+//!    up to 10,000 cycles, classifying the outcome as:
+//!    * [`Outcome::MicroArchMatch`] — entire machine state re-converged
+//!      with the golden run (fault conclusively masked);
+//!    * [`Outcome::Failure`] — architectural state diverged, subdivided
+//!      into the paper's seven failure modes ([`FailureMode`]);
+//!    * [`Outcome::GrayArea`] — neither, within the monitoring window.
+//!
+//! Architectural checking happens at *retirement granularity*: the
+//! injected machine's k-th retired instruction must match the golden k-th
+//! record (PC, next PC, instruction word, destination value, store).
+//! This makes the check timing-tolerant, so protection-induced pipeline
+//! flushes land in the Gray Area rather than being counted as failures —
+//! matching the paper's semantics.
+//!
+//! ```no_run
+//! use tfsim_inject::{CampaignConfig, run_campaign};
+//! use tfsim_bitstate::InjectionMask;
+//!
+//! let mut config = CampaignConfig::quick(7);
+//! config.mask = InjectionMask::LatchesOnly;
+//! let result = run_campaign(&config);
+//! println!("masked: {:.1}%", 100.0 * result.totals().masked_fraction());
+//! ```
+
+mod campaign;
+mod trial;
+
+pub use campaign::{
+    run_campaign, run_campaign_on, BenchmarkResult, CampaignConfig, CampaignResult, OutcomeCounts,
+    ScatterPoint,
+};
+pub use trial::{FailureMode, Outcome, StartPoint, TrialRecord};

@@ -1,0 +1,353 @@
+//! Pure integer semantics of the implemented Alpha subset.
+//!
+//! Both the architectural simulator and the pipeline's functional units
+//! call into this module, so the two models cannot diverge on arithmetic.
+//! All operations are defined for every input (wrapping where hardware
+//! wraps); `/V` variants report signed overflow through [`ArithTrap`].
+
+use crate::Mnemonic;
+
+/// An arithmetic trap raised by a `/V` (overflow-checking) operation.
+///
+/// In the pipeline model the trap is taken when the instruction retires,
+/// producing the paper's `except` failure mode when caused by a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArithTrap;
+
+impl std::fmt::Display for ArithTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "integer arithmetic overflow trap")
+    }
+}
+
+impl std::error::Error for ArithTrap {}
+
+fn sext32(v: u64) -> u64 {
+    v as u32 as i32 as i64 as u64
+}
+
+fn add32v(a: u64, b: u64) -> Result<u64, ArithTrap> {
+    match (a as u32 as i32).checked_add(b as u32 as i32) {
+        Some(r) => Ok(r as i64 as u64),
+        None => Err(ArithTrap),
+    }
+}
+
+fn sub32v(a: u64, b: u64) -> Result<u64, ArithTrap> {
+    match (a as u32 as i32).checked_sub(b as u32 as i32) {
+        Some(r) => Ok(r as i64 as u64),
+        None => Err(ArithTrap),
+    }
+}
+
+fn mul32v(a: u64, b: u64) -> Result<u64, ArithTrap> {
+    match (a as u32 as i32).checked_mul(b as u32 as i32) {
+        Some(r) => Ok(r as i64 as u64),
+        None => Err(ArithTrap),
+    }
+}
+
+fn add64v(a: u64, b: u64) -> Result<u64, ArithTrap> {
+    (a as i64).checked_add(b as i64).map(|r| r as u64).ok_or(ArithTrap)
+}
+
+fn sub64v(a: u64, b: u64) -> Result<u64, ArithTrap> {
+    (a as i64).checked_sub(b as i64).map(|r| r as u64).ok_or(ArithTrap)
+}
+
+fn mul64v(a: u64, b: u64) -> Result<u64, ArithTrap> {
+    (a as i64).checked_mul(b as i64).map(|r| r as u64).ok_or(ArithTrap)
+}
+
+/// Byte mask with `width` one-bytes starting at byte `pos` (bits beyond
+/// bit 63 fall off, per the Alpha byte-manipulation semantics).
+fn byte_field_mask(pos: u64, width: u64) -> u64 {
+    let mut m = 0u64;
+    for i in 0..width {
+        let byte = pos + i;
+        if byte < 8 {
+            m |= 0xffu64 << (byte * 8);
+        }
+    }
+    m
+}
+
+/// Applies a ZAP-style byte mask: clears each byte of `v` whose bit is set
+/// in the low 8 bits of `mask`.
+fn byte_zap(v: u64, mask: u64) -> u64 {
+    let mut out = v;
+    for i in 0..8 {
+        if mask & (1 << i) != 0 {
+            out &= !(0xffu64 << (i * 8));
+        }
+    }
+    out
+}
+
+fn cmpbge(a: u64, b: u64) -> u64 {
+    let mut mask = 0u64;
+    for i in 0..8 {
+        let ab = (a >> (i * 8)) as u8;
+        let bb = (b >> (i * 8)) as u8;
+        if ab >= bb {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Evaluates an operate-format instruction.
+///
+/// * `va`, `vb` — the `Ra` and `Rb` (or literal) operand values.
+/// * `old_c` — the previous value of `Rc`, consumed only by conditional
+///   moves.
+///
+/// # Errors
+///
+/// Returns [`ArithTrap`] when a `/V` operation overflows.
+///
+/// ```
+/// use tfsim_isa::{alu, Mnemonic};
+/// assert_eq!(alu::operate(Mnemonic::Addq, 2, 3, 0), Ok(5));
+/// assert_eq!(alu::operate(Mnemonic::Cmoveq, 0, 7, 9), Ok(7));
+/// assert_eq!(alu::operate(Mnemonic::Cmoveq, 1, 7, 9), Ok(9));
+/// assert!(alu::operate(Mnemonic::Addqv, u64::MAX / 2, u64::MAX / 2, 0).is_err());
+/// ```
+pub fn operate(m: Mnemonic, va: u64, vb: u64, old_c: u64) -> Result<u64, ArithTrap> {
+    use Mnemonic::*;
+    Ok(match m {
+        Addl => sext32(va.wrapping_add(vb)),
+        S4addl => sext32((va.wrapping_mul(4)).wrapping_add(vb)),
+        Subl => sext32(va.wrapping_sub(vb)),
+        S4subl => sext32((va.wrapping_mul(4)).wrapping_sub(vb)),
+        Addq => va.wrapping_add(vb),
+        S4addq => va.wrapping_mul(4).wrapping_add(vb),
+        S8addq => va.wrapping_mul(8).wrapping_add(vb),
+        Subq => va.wrapping_sub(vb),
+        S8subq => va.wrapping_mul(8).wrapping_sub(vb),
+        Addlv => add32v(va, vb)?,
+        Sublv => sub32v(va, vb)?,
+        Addqv => add64v(va, vb)?,
+        Subqv => sub64v(va, vb)?,
+        Cmpeq => (va == vb) as u64,
+        Cmplt => ((va as i64) < (vb as i64)) as u64,
+        Cmple => ((va as i64) <= (vb as i64)) as u64,
+        Cmpult => (va < vb) as u64,
+        Cmpule => (va <= vb) as u64,
+        Cmpbge => cmpbge(va, vb),
+        And => va & vb,
+        Bic => va & !vb,
+        Bis => va | vb,
+        Ornot => va | !vb,
+        Xor => va ^ vb,
+        Eqv => va ^ !vb,
+        Cmoveq => cmov(va == 0, vb, old_c),
+        Cmovne => cmov(va != 0, vb, old_c),
+        Cmovlbs => cmov(va & 1 == 1, vb, old_c),
+        Cmovlbc => cmov(va & 1 == 0, vb, old_c),
+        Cmovlt => cmov((va as i64) < 0, vb, old_c),
+        Cmovge => cmov((va as i64) >= 0, vb, old_c),
+        Cmovle => cmov((va as i64) <= 0, vb, old_c),
+        Cmovgt => cmov((va as i64) > 0, vb, old_c),
+        Sll => va << (vb & 63),
+        Srl => va >> (vb & 63),
+        Sra => ((va as i64) >> (vb & 63)) as u64,
+        Zap => byte_zap(va, vb),
+        Zapnot => byte_zap(va, !vb & 0xff),
+        Extbl => (va >> ((vb & 7) * 8)) & 0xff,
+        Extwl => (va >> ((vb & 7) * 8)) & 0xffff,
+        Extll => (va >> ((vb & 7) * 8)) & 0xffff_ffff,
+        Extql => va >> ((vb & 7) * 8),
+        Insbl => (va & 0xff) << ((vb & 7) * 8),
+        Inswl => ((va & 0xffff) << ((vb & 7) * 8)) & u64::MAX,
+        Insll => (va & 0xffff_ffff).wrapping_shl(((vb & 7) * 8) as u32),
+        Insql => va.wrapping_shl(((vb & 7) * 8) as u32),
+        Mskbl => va & !byte_field_mask(vb & 7, 1),
+        Mskwl => va & !byte_field_mask(vb & 7, 2),
+        Mskll => va & !byte_field_mask(vb & 7, 4),
+        Mskql => va & !byte_field_mask(vb & 7, 8),
+        Mull => sext32((va as u32 as u64).wrapping_mul(vb as u32 as u64)),
+        Mulq => va.wrapping_mul(vb),
+        Umulh => (((va as u128) * (vb as u128)) >> 64) as u64,
+        Mullv => mul32v(va, vb)?,
+        Mulqv => mul64v(va, vb)?,
+        other => panic!("operate() called on non-operate mnemonic {other:?}"),
+    })
+}
+
+fn cmov(cond: bool, vb: u64, old_c: u64) -> u64 {
+    if cond {
+        vb
+    } else {
+        old_c
+    }
+}
+
+/// Evaluates a conditional branch's condition against the `Ra` value.
+///
+/// # Panics
+///
+/// Panics if `m` is not a conditional branch.
+///
+/// ```
+/// use tfsim_isa::{alu, Mnemonic};
+/// assert!(alu::branch_taken(Mnemonic::Beq, 0));
+/// assert!(alu::branch_taken(Mnemonic::Blt, (-1i64) as u64));
+/// assert!(!alu::branch_taken(Mnemonic::Bgt, 0));
+/// ```
+pub fn branch_taken(m: Mnemonic, va: u64) -> bool {
+    use Mnemonic::*;
+    match m {
+        Beq => va == 0,
+        Bne => va != 0,
+        Blt => (va as i64) < 0,
+        Ble => (va as i64) <= 0,
+        Bgt => (va as i64) > 0,
+        Bge => (va as i64) >= 0,
+        Blbc => va & 1 == 0,
+        Blbs => va & 1 == 1,
+        other => panic!("branch_taken() called on non-branch mnemonic {other:?}"),
+    }
+}
+
+/// Extends a loaded value to 64 bits per the load width: `LDL` sign-extends,
+/// `LDBU`/`LDWU` zero-extend, `LDQ` is full-width.
+pub fn extend_load(m: Mnemonic, raw: u64) -> u64 {
+    use Mnemonic::*;
+    match m {
+        Ldbu => raw as u8 as u64,
+        Ldwu => raw as u16 as u64,
+        Ldl => raw as u32 as i32 as i64 as u64,
+        Ldq => raw,
+        other => panic!("extend_load() called on non-load mnemonic {other:?}"),
+    }
+}
+
+/// Computes the effective value of `LDA`/`LDAH`.
+pub fn lda_value(m: Mnemonic, vb: u64, disp: i64) -> u64 {
+    match m {
+        Mnemonic::Lda => vb.wrapping_add(disp as u64),
+        Mnemonic::Ldah => vb.wrapping_add((disp as u64).wrapping_mul(65536)),
+        other => panic!("lda_value() called on {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Mnemonic::*;
+
+    #[test]
+    fn longword_ops_sign_extend() {
+        assert_eq!(operate(Addl, 0x7fff_ffff, 1, 0), Ok(0xffff_ffff_8000_0000));
+        assert_eq!(operate(Subl, 0, 1, 0), Ok(u64::MAX));
+        assert_eq!(operate(Mull, 0x10000, 0x10000, 0), Ok(0)); // low 32 bits are 0
+    }
+
+    #[test]
+    fn scaled_adds() {
+        assert_eq!(operate(S4addq, 3, 5, 0), Ok(17));
+        assert_eq!(operate(S8addq, 3, 5, 0), Ok(29));
+        assert_eq!(operate(S8subq, 3, 5, 0), Ok(19));
+        assert_eq!(operate(S4addl, 3, 5, 0), Ok(17));
+        assert_eq!(operate(S4subl, 3, 5, 0), Ok(7));
+    }
+
+    #[test]
+    fn overflow_traps() {
+        assert_eq!(operate(Addlv, 1, 2, 0), Ok(3));
+        assert!(operate(Addlv, 0x7fff_ffff, 1, 0).is_err());
+        assert!(operate(Sublv, 0x8000_0000, 1, 0).is_err());
+        assert!(operate(Addqv, i64::MAX as u64, 1, 0).is_err());
+        assert!(operate(Subqv, i64::MIN as u64, 1, 0).is_err());
+        assert!(operate(Mullv, 0x10000, 0x10000, 0).is_err());
+        assert!(operate(Mulqv, 1 << 40, 1 << 40, 0).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(operate(Cmpeq, 5, 5, 0), Ok(1));
+        assert_eq!(operate(Cmplt, u64::MAX, 0, 0), Ok(1)); // -1 < 0 signed
+        assert_eq!(operate(Cmpult, u64::MAX, 0, 0), Ok(0));
+        assert_eq!(operate(Cmpule, 3, 3, 0), Ok(1));
+        assert_eq!(operate(Cmple, (-7i64) as u64, 0, 0), Ok(1));
+    }
+
+    #[test]
+    fn cmpbge_per_byte_mask() {
+        // Every byte of a equals every byte of b -> all 8 bits set.
+        assert_eq!(operate(Cmpbge, 0x0101010101010101, 0x0101010101010101, 0), Ok(0xff));
+        // Low byte smaller -> bit 0 clear.
+        assert_eq!(operate(Cmpbge, 0x0100, 0x0101, 0), Ok(0xfe));
+    }
+
+    #[test]
+    fn logicals() {
+        assert_eq!(operate(Bic, 0b1111, 0b0101, 0), Ok(0b1010));
+        assert_eq!(operate(Ornot, 0, 0, 0), Ok(u64::MAX));
+        assert_eq!(operate(Eqv, 0xffff, 0xffff, 0), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn shifts_mask_count_to_six_bits() {
+        assert_eq!(operate(Sll, 1, 65, 0), Ok(2));
+        assert_eq!(operate(Srl, 0x8000_0000_0000_0000, 63, 0), Ok(1));
+        assert_eq!(operate(Sra, (-8i64) as u64, 1, 0), Ok((-4i64) as u64));
+    }
+
+    #[test]
+    fn byte_manipulation() {
+        // ZAP clears masked bytes; ZAPNOT keeps them.
+        assert_eq!(operate(Zap, 0x1122334455667788, 0x01, 0), Ok(0x1122334455667700));
+        assert_eq!(operate(Zapnot, 0x1122334455667788, 0x01, 0), Ok(0x88));
+        assert_eq!(operate(Zapnot, u64::MAX, 0x0f, 0), Ok(0xffff_ffff));
+        // EXTxL pull a field from byte position vb&7.
+        assert_eq!(operate(Extbl, 0x1122334455667788, 1, 0), Ok(0x77));
+        assert_eq!(operate(Extwl, 0x1122334455667788, 2, 0), Ok(0x5566));
+        assert_eq!(operate(Extll, 0x1122334455667788, 0, 0), Ok(0x55667788));
+        assert_eq!(operate(Extql, 0x1122334455667788, 4, 0), Ok(0x11223344));
+        // INSxL place a field at byte position vb&7.
+        assert_eq!(operate(Insbl, 0xab, 2, 0), Ok(0xab0000));
+        assert_eq!(operate(Inswl, 0x1234, 6, 0), Ok(0x1234u64 << 48));
+        assert_eq!(operate(Insql, 0xff, 7, 0), Ok(0xffu64 << 56));
+        // MSKxL clear a field at byte position vb&7.
+        assert_eq!(operate(Mskbl, u64::MAX, 0, 0), Ok(0xffff_ffff_ffff_ff00));
+        assert_eq!(operate(Mskwl, u64::MAX, 7, 0), Ok(0x00ff_ffff_ffff_ffff));
+        assert_eq!(operate(Mskql, u64::MAX, 0, 0), Ok(0));
+        assert_eq!(operate(Mskll, u64::MAX, 6, 0), Ok(0x0000_ffff_ffff_ffff));
+    }
+
+    #[test]
+    fn multiplies() {
+        assert_eq!(operate(Mulq, 1 << 32, 1 << 32, 0), Ok(0));
+        assert_eq!(operate(Umulh, 1 << 32, 1 << 32, 0), Ok(1));
+        assert_eq!(operate(Mull, 7, 6, 0), Ok(42));
+    }
+
+    #[test]
+    fn all_branch_conditions() {
+        assert!(branch_taken(Beq, 0) && !branch_taken(Beq, 1));
+        assert!(branch_taken(Bne, 1) && !branch_taken(Bne, 0));
+        assert!(branch_taken(Blt, u64::MAX) && !branch_taken(Blt, 0));
+        assert!(branch_taken(Ble, 0) && !branch_taken(Ble, 1));
+        assert!(branch_taken(Bgt, 1) && !branch_taken(Bgt, 0));
+        assert!(branch_taken(Bge, 0) && !branch_taken(Bge, u64::MAX));
+        assert!(branch_taken(Blbc, 2) && !branch_taken(Blbc, 3));
+        assert!(branch_taken(Blbs, 3) && !branch_taken(Blbs, 2));
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(extend_load(Ldbu, 0xfff0), 0xf0);
+        assert_eq!(extend_load(Ldwu, 0xa_ffff), 0xffff);
+        assert_eq!(extend_load(Ldl, 0x8000_0000), 0xffff_ffff_8000_0000);
+        assert_eq!(extend_load(Ldq, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn lda_values() {
+        assert_eq!(lda_value(Lda, 0x1000, -16), 0xff0);
+        assert_eq!(lda_value(Ldah, 0, 2), 0x20000);
+        assert_eq!(lda_value(Ldah, 0x10, -1), 0x10u64.wrapping_sub(0x10000));
+    }
+}

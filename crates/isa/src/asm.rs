@@ -1,0 +1,527 @@
+//! A builder-style assembler with label support.
+//!
+//! Workloads are written against this API rather than a textual assembler:
+//! it is type-checked, supports forward references through [`Label`], and
+//! produces raw instruction words directly.
+//!
+//! ```
+//! use tfsim_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new(0x1_0000);
+//! a.li(Reg::R1, 10);          // loop counter
+//! let top = a.label();
+//! a.bind(top);
+//! a.subq_i(Reg::R1, 1, Reg::R1);
+//! a.bne(Reg::R1, top);
+//! a.halt();
+//! assert!(a.finish_words().len() >= 4);
+//! ```
+
+use crate::{Insn, Mnemonic, PalFunc, Reg};
+
+/// A forward-referencable code location. Create with [`Asm::label`], place
+/// with [`Asm::bind`], and reference from branch-emitting methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    /// Index of the instruction word to patch.
+    word_index: usize,
+    label: Label,
+}
+
+/// The assembler. See the crate-level example for typical use.
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u64,
+    words: Vec<u32>,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Creates an assembler emitting code at `base` (must be 4-byte aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    pub fn new(base: u64) -> Asm {
+        assert_eq!(base % 4, 0, "code base must be 4-byte aligned");
+        Asm { base, words: Vec::new(), labels: Vec::new(), fixups: Vec::new() }
+    }
+
+    /// The address the next emitted instruction will occupy.
+    pub fn here(&self) -> u64 {
+        self.base + 4 * self.words.len() as u64
+    }
+
+    /// The base address passed to [`Asm::new`].
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Creates a label already bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    fn emit(&mut self, insn: Insn) {
+        self.words.push(insn.encode());
+    }
+
+    fn emit_branch(&mut self, m: Mnemonic, ra: Reg, label: Label) {
+        self.fixups.push(Fixup { word_index: self.words.len(), label });
+        self.emit(Insn {
+            mnemonic: m,
+            ra,
+            rb: Reg::R31,
+            rc: Reg::R31,
+            imm: 0,
+            uses_literal: false,
+            pal: PalFunc::Halt,
+            raw: 0,
+        });
+    }
+
+    /// Emits a register-form operate instruction.
+    pub fn op(&mut self, m: Mnemonic, ra: Reg, rb: Reg, rc: Reg) {
+        debug_assert_eq!(
+            crate::Format::Operate,
+            Insn { mnemonic: m, ra, rb, rc, imm: 0, uses_literal: false, pal: PalFunc::Halt, raw: 0 }
+                .format()
+        );
+        self.emit(Insn {
+            mnemonic: m,
+            ra,
+            rb,
+            rc,
+            imm: 0,
+            uses_literal: false,
+            pal: PalFunc::Halt,
+            raw: 0,
+        });
+    }
+
+    /// Emits a literal-form operate instruction (`0 <= lit < 256`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit` does not fit in 8 bits.
+    pub fn op_i(&mut self, m: Mnemonic, ra: Reg, lit: u8, rc: Reg) {
+        self.emit(Insn {
+            mnemonic: m,
+            ra,
+            rb: Reg::R31,
+            rc,
+            imm: lit as i64,
+            uses_literal: true,
+            pal: PalFunc::Halt,
+            raw: 0,
+        });
+    }
+
+    /// Emits a memory-format instruction (`disp` must fit in 16 signed bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disp` is out of range.
+    pub fn mem(&mut self, m: Mnemonic, ra: Reg, rb: Reg, disp: i64) {
+        assert!((-32768..=32767).contains(&disp), "displacement out of range: {disp}");
+        self.emit(Insn {
+            mnemonic: m,
+            ra,
+            rb,
+            rc: Reg::R31,
+            imm: disp,
+            uses_literal: false,
+            pal: PalFunc::Halt,
+            raw: 0,
+        });
+    }
+
+    /// Materializes an arbitrary 64-bit constant into `r` (1–6 instructions).
+    pub fn li(&mut self, r: Reg, v: u64) {
+        let sv = v as i64;
+        if (-32768..=32767).contains(&sv) {
+            self.mem(Mnemonic::Lda, r, Reg::R31, sv);
+            return;
+        }
+        if sv == sv as i32 as i64 {
+            self.add_lo32(r, Reg::R31, v as u32);
+            // The LDA/LDAH pair contributes `v mod 2^32` but may land in the
+            // wrong 2^32 residue (positive values just below 2^31 pick up a
+            // borrow). Zero-extend to fix; only positive values can mismatch.
+            if lo32_addend(v as u32) != sv {
+                self.op_i(Mnemonic::Sll, r, 32, r);
+                self.op_i(Mnemonic::Srl, r, 32, r);
+            }
+            return;
+        }
+        // Materialize the high half (compensated for the signed residue the
+        // low half will contribute), shift up, then add the low half.
+        let lo = v as u32;
+        let addend = lo32_addend(lo);
+        let k = ((lo as i64 - addend) >> 32) as u32; // 0 or 1
+        let hi = ((v >> 32) as u32).wrapping_add(k);
+        self.add_lo32(r, Reg::R31, hi);
+        self.op_i(Mnemonic::Sll, r, 32, r);
+        if addend != 0 {
+            self.add_lo32(r, r, lo);
+        }
+    }
+
+    /// Emits an LDA/LDAH pair adding [`lo32_addend`]`(v)` to base `b`,
+    /// leaving the result in `r`.
+    fn add_lo32(&mut self, r: Reg, b: Reg, v: u32) {
+        let (lo_signed, hi_signed) = lo32_parts(v);
+        if hi_signed != 0 {
+            self.mem(Mnemonic::Ldah, r, b, hi_signed);
+            if lo_signed != 0 {
+                self.mem(Mnemonic::Lda, r, r, lo_signed);
+            }
+        } else {
+            self.mem(Mnemonic::Lda, r, b, lo_signed);
+        }
+    }
+
+    /// Copies `src` to `dst` (`BIS src, src, dst`).
+    pub fn mov(&mut self, src: Reg, dst: Reg) {
+        self.op(Mnemonic::Bis, src, src, dst);
+    }
+
+    /// Emits `CALL_PAL halt`.
+    pub fn halt(&mut self) {
+        self.emit(Insn {
+            mnemonic: Mnemonic::CallPal,
+            ra: Reg::R31,
+            rb: Reg::R31,
+            rc: Reg::R31,
+            imm: 0,
+            uses_literal: false,
+            pal: PalFunc::Halt,
+            raw: 0,
+        });
+    }
+
+    /// Emits `CALL_PAL callsys` (syscall number in `R0`, args in `R16..`).
+    pub fn callsys(&mut self) {
+        self.emit(Insn {
+            mnemonic: Mnemonic::CallPal,
+            ra: Reg::R31,
+            rb: Reg::R31,
+            rc: Reg::R31,
+            imm: 0,
+            uses_literal: false,
+            pal: PalFunc::CallSys,
+            raw: 0,
+        });
+    }
+
+    /// Emits `JMP ra, (rb)`.
+    pub fn jmp(&mut self, ra: Reg, rb: Reg) {
+        self.emit_jump(Mnemonic::Jmp, ra, rb);
+    }
+
+    /// Emits `JSR ra, (rb)`.
+    pub fn jsr(&mut self, ra: Reg, rb: Reg) {
+        self.emit_jump(Mnemonic::Jsr, ra, rb);
+    }
+
+    /// Emits `RET zero, (rb)` — conventionally `rb` is `$ra` (`R26`).
+    pub fn ret(&mut self, rb: Reg) {
+        self.emit_jump(Mnemonic::Ret, Reg::R31, rb);
+    }
+
+    fn emit_jump(&mut self, m: Mnemonic, ra: Reg, rb: Reg) {
+        self.emit(Insn {
+            mnemonic: m,
+            ra,
+            rb,
+            rc: Reg::R31,
+            imm: 0,
+            uses_literal: false,
+            pal: PalFunc::Halt,
+            raw: 0,
+        });
+    }
+
+    /// Emits `BR zero, label` (unconditional, no link).
+    pub fn br(&mut self, label: Label) {
+        self.emit_branch(Mnemonic::Br, Reg::R31, label);
+    }
+
+    /// Emits `BSR ra, label` (call with link in `ra`).
+    pub fn bsr(&mut self, ra: Reg, label: Label) {
+        self.emit_branch(Mnemonic::Bsr, ra, label);
+    }
+
+    /// Resolves all labels and returns the instruction words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound or a branch displacement
+    /// does not fit in 21 bits.
+    pub fn finish_words(mut self) -> Vec<u32> {
+        for fixup in std::mem::take(&mut self.fixups) {
+            let target = self.labels[fixup.label.0].expect("branch to unbound label");
+            let pc = self.base + 4 * fixup.word_index as u64;
+            let disp = (target as i64 - (pc as i64 + 4)) / 4;
+            assert!(
+                (-(1 << 20)..(1 << 20)).contains(&disp),
+                "branch displacement out of range: {disp}"
+            );
+            self.words[fixup.word_index] =
+                (self.words[fixup.word_index] & !0x1f_ffff) | ((disp as u32) & 0x1f_ffff);
+        }
+        self.words
+    }
+
+    /// Like [`Asm::finish_words`] but returns `(base, words)`.
+    pub fn finish(self) -> (u64, Vec<u32>) {
+        let base = self.base;
+        (base, self.finish_words())
+    }
+}
+
+/// Splits a 32-bit value into the signed LDA/LDAH displacements that
+/// reconstruct it (with the standard carry when the low half is negative).
+fn lo32_parts(v: u32) -> (i64, i64) {
+    let lo = (v & 0xffff) as i64;
+    let lo_signed = if lo >= 0x8000 { lo - 0x10000 } else { lo };
+    let hi = (v >> 16).wrapping_add((lo >= 0x8000) as u32) & 0xffff;
+    let hi_signed = if hi >= 0x8000 { hi as i64 - 0x10000 } else { hi as i64 };
+    (lo_signed, hi_signed)
+}
+
+/// The exact 64-bit value the LDA/LDAH pair for `v` adds to its base:
+/// congruent to `v` modulo 2^32, but possibly in a neighbouring residue.
+fn lo32_addend(v: u32) -> i64 {
+    let (lo_signed, hi_signed) = lo32_parts(v);
+    (hi_signed << 16) + lo_signed
+}
+
+macro_rules! operate_methods {
+    ($( $name:ident / $name_i:ident => $m:ident ),* $(,)?) => {
+        impl Asm {
+            $(
+                #[doc = concat!("Emits `", stringify!($m), " ra, rb, rc`.")]
+                pub fn $name(&mut self, ra: Reg, rb: Reg, rc: Reg) {
+                    self.op(Mnemonic::$m, ra, rb, rc);
+                }
+                #[doc = concat!("Emits `", stringify!($m), " ra, #lit, rc`.")]
+                pub fn $name_i(&mut self, ra: Reg, lit: u8, rc: Reg) {
+                    self.op_i(Mnemonic::$m, ra, lit, rc);
+                }
+            )*
+        }
+    };
+}
+
+operate_methods! {
+    addl/addl_i => Addl, subl/subl_i => Subl,
+    addq/addq_i => Addq, subq/subq_i => Subq,
+    s4addq/s4addq_i => S4addq, s8addq/s8addq_i => S8addq,
+    addqv/addqv_i => Addqv, subqv/subqv_i => Subqv,
+    cmpeq/cmpeq_i => Cmpeq, cmplt/cmplt_i => Cmplt, cmple/cmple_i => Cmple,
+    cmpult/cmpult_i => Cmpult, cmpule/cmpule_i => Cmpule,
+    and/and_i => And, bic/bic_i => Bic, bis/bis_i => Bis,
+    ornot/ornot_i => Ornot, xor/xor_i => Xor, eqv/eqv_i => Eqv,
+    cmoveq/cmoveq_i => Cmoveq, cmovne/cmovne_i => Cmovne,
+    cmovlt/cmovlt_i => Cmovlt, cmovge/cmovge_i => Cmovge,
+    cmovgt/cmovgt_i => Cmovgt, cmovle/cmovle_i => Cmovle,
+    sll/sll_i => Sll, srl/srl_i => Srl, sra/sra_i => Sra,
+    zap/zap_i => Zap, zapnot/zapnot_i => Zapnot,
+    extbl/extbl_i => Extbl, extwl/extwl_i => Extwl,
+    extll/extll_i => Extll, extql/extql_i => Extql,
+    insbl/insbl_i => Insbl, inswl/inswl_i => Inswl,
+    insll/insll_i => Insll, insql/insql_i => Insql,
+    mskbl/mskbl_i => Mskbl, mskwl/mskwl_i => Mskwl,
+    mskll/mskll_i => Mskll, mskql/mskql_i => Mskql,
+    mull/mull_i => Mull, mulq/mulq_i => Mulq, umulh/umulh_i => Umulh,
+}
+
+macro_rules! memory_methods {
+    ($( $name:ident => $m:ident ),* $(,)?) => {
+        impl Asm {
+            $(
+                #[doc = concat!("Emits `", stringify!($m), " ra, disp(rb)`.")]
+                pub fn $name(&mut self, ra: Reg, rb: Reg, disp: i64) {
+                    self.mem(Mnemonic::$m, ra, rb, disp);
+                }
+            )*
+        }
+    };
+}
+
+memory_methods! {
+    lda => Lda, ldah => Ldah,
+    ldbu => Ldbu, ldwu => Ldwu, ldl => Ldl, ldq => Ldq,
+    stb => Stb, stw => Stw, stl => Stl, stq => Stq,
+}
+
+macro_rules! branch_methods {
+    ($( $name:ident => $m:ident ),* $(,)?) => {
+        impl Asm {
+            $(
+                #[doc = concat!("Emits `", stringify!($m), " ra, label`.")]
+                pub fn $name(&mut self, ra: Reg, label: Label) {
+                    self.emit_branch(Mnemonic::$m, ra, label);
+                }
+            )*
+        }
+    };
+}
+
+branch_methods! {
+    beq => Beq, bne => Bne, blt => Blt, ble => Ble,
+    bgt => Bgt, bge => Bge, blbc => Blbc, blbs => Blbs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, Mnemonic};
+
+    /// Emulates the `li` instruction sequences (LDA/LDAH/SLL/BIS) to verify
+    /// constant materialization.
+    fn eval_li(words: &[u32]) -> u64 {
+        let mut regs = [0u64; 32];
+        for &w in words {
+            let i = decode(w);
+            match i.mnemonic {
+                Mnemonic::Lda | Mnemonic::Ldah => {
+                    let vb = regs[i.rb.number() as usize];
+                    regs[i.ra.number() as usize] = crate::alu::lda_value(i.mnemonic, vb, i.imm);
+                }
+                Mnemonic::Sll | Mnemonic::Srl => {
+                    let va = regs[i.ra.number() as usize];
+                    let r = crate::alu::operate(i.mnemonic, va, i.imm as u64, 0).unwrap();
+                    regs[i.rc.number() as usize] = r;
+                }
+                other => panic!("unexpected instruction in li sequence: {other:?}"),
+            }
+            regs[31] = 0;
+        }
+        regs[1]
+    }
+
+    #[test]
+    fn li_materializes_constants_exactly() {
+        let cases = [
+            0u64,
+            1,
+            0x7fff,
+            0x8000,
+            0xffff,
+            0x1_0000,
+            0x7fff_ffff,
+            0x8000_0000,
+            0xffff_ffff,
+            0x1_0000_0000,
+            0xdead_beef_cafe_f00d,
+            u64::MAX,
+            i64::MIN as u64,
+            0x8000_0000_0000_0000,
+            0x0000_8000_0000_8000,
+            0xffff_7fff_ffff_7fff,
+        ];
+        for v in cases {
+            let mut a = Asm::new(0);
+            a.li(Reg::R1, v);
+            let words = a.finish_words();
+            assert_eq!(eval_li(&words), v, "li({v:#x}) produced wrong value");
+            assert!(words.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn li_pseudorandom_sweep() {
+        let mut x = 0x12345678_9abcdef0u64;
+        for _ in 0..2000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let mut a = Asm::new(0);
+            a.li(Reg::R1, x);
+            assert_eq!(eval_li(&a.finish_words()), x, "li({x:#x})");
+        }
+    }
+
+    #[test]
+    fn backward_and_forward_branches() {
+        let mut a = Asm::new(0x1000);
+        let fwd = a.label();
+        a.br(fwd); // word 0 at 0x1000, targets 0x100c
+        let back = a.here_label(); // 0x1004
+        a.bne(Reg::R1, back); // word 1 at 0x1004, targets 0x1004 -> disp -1
+        a.bind(fwd); // 0x100c? no: two words so far -> 0x1008
+        a.halt();
+        let words = a.finish_words();
+        let br = decode(words[0]);
+        assert_eq!(br.branch_target(0x1000), 0x1008);
+        let bne = decode(words[1]);
+        assert_eq!(bne.branch_target(0x1004), 0x1004);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.br(l);
+        let _ = a.finish_words();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn mov_is_bis() {
+        let mut a = Asm::new(0);
+        a.mov(Reg::R5, Reg::R7);
+        let i = decode(a.finish_words()[0]);
+        assert_eq!(i.mnemonic, Mnemonic::Bis);
+        assert_eq!((i.ra, i.rb, i.rc), (Reg::R5, Reg::R5, Reg::R7));
+    }
+
+    #[test]
+    fn here_advances_by_four() {
+        let mut a = Asm::new(0x2000);
+        assert_eq!(a.here(), 0x2000);
+        a.halt();
+        assert_eq!(a.here(), 0x2004);
+    }
+
+    #[test]
+    #[should_panic(expected = "displacement out of range")]
+    fn displacement_range_checked() {
+        let mut a = Asm::new(0);
+        a.ldq(Reg::R1, Reg::R2, 40000);
+    }
+}

@@ -1,0 +1,453 @@
+//! Instruction word decoding and encoding.
+//!
+//! Real Alpha AXP opcode and function-code assignments are used. Any word
+//! outside the implemented subset decodes to [`Mnemonic::Illegal`], which
+//! raises an exception when it retires — exactly how bit-flipped
+//! instruction words produce the paper's `except` failure mode.
+
+use crate::{Insn, Mnemonic, PalFunc, Reg};
+
+/// Opcode field (bits 31..26).
+fn opcode(w: u32) -> u32 {
+    w >> 26
+}
+
+/// Sign-extends the low `bits` bits of `v`.
+fn sext(v: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    (((v as u64) << shift) as i64) >> shift
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// Never fails: unimplemented or malformed words decode to
+/// [`Mnemonic::Illegal`] with the raw word preserved, mirroring hardware
+/// behaviour where any latched value flows down the pipe and traps at
+/// retirement.
+///
+/// ```
+/// use tfsim_isa::{decode, Mnemonic};
+/// // ADDQ r1, r2, r3 == opcode 0x10, func 0x20.
+/// let word = (0x10 << 26) | (1 << 21) | (2 << 16) | (0x20 << 5) | 3;
+/// assert_eq!(decode(word).mnemonic, Mnemonic::Addq);
+/// ```
+pub fn decode(w: u32) -> Insn {
+    let ra = Reg::from_number(((w >> 21) & 31) as u8);
+    let rb = Reg::from_number(((w >> 16) & 31) as u8);
+    let rc = Reg::from_number((w & 31) as u8);
+    let disp16 = sext(w & 0xffff, 16);
+    let disp21 = sext(w & 0x1f_ffff, 21);
+
+    let mut insn = Insn {
+        mnemonic: Mnemonic::Illegal,
+        ra,
+        rb,
+        rc,
+        imm: 0,
+        uses_literal: false,
+        pal: PalFunc::Halt,
+        raw: w,
+    };
+
+    match opcode(w) {
+        0x00 => {
+            insn.mnemonic = Mnemonic::CallPal;
+            insn.pal = PalFunc::from_bits(w);
+        }
+        0x08 => mem(&mut insn, Mnemonic::Lda, disp16),
+        0x09 => mem(&mut insn, Mnemonic::Ldah, disp16),
+        0x0A => mem(&mut insn, Mnemonic::Ldbu, disp16),
+        0x0C => mem(&mut insn, Mnemonic::Ldwu, disp16),
+        0x0D => mem(&mut insn, Mnemonic::Stw, disp16),
+        0x0E => mem(&mut insn, Mnemonic::Stb, disp16),
+        0x28 => mem(&mut insn, Mnemonic::Ldl, disp16),
+        0x29 => mem(&mut insn, Mnemonic::Ldq, disp16),
+        0x2C => mem(&mut insn, Mnemonic::Stl, disp16),
+        0x2D => mem(&mut insn, Mnemonic::Stq, disp16),
+        0x10 | 0x11 | 0x12 | 0x13 => {
+            let func = (w >> 5) & 0x7f;
+            if let Some(m) = operate_mnemonic(opcode(w), func) {
+                insn.mnemonic = m;
+                if w & (1 << 12) != 0 {
+                    insn.uses_literal = true;
+                    insn.imm = ((w >> 13) & 0xff) as i64;
+                }
+            }
+        }
+        0x1A => {
+            // JMP group; bits 15..14 select the flavour.
+            insn.mnemonic = match (w >> 14) & 3 {
+                0 => Mnemonic::Jmp,
+                1 => Mnemonic::Jsr,
+                2 => Mnemonic::Ret,
+                _ => Mnemonic::Jmp, // JSR_COROUTINE treated as JMP
+            };
+        }
+        0x30 => br(&mut insn, Mnemonic::Br, disp21),
+        0x34 => br(&mut insn, Mnemonic::Bsr, disp21),
+        0x38 => br(&mut insn, Mnemonic::Blbc, disp21),
+        0x39 => br(&mut insn, Mnemonic::Beq, disp21),
+        0x3A => br(&mut insn, Mnemonic::Blt, disp21),
+        0x3B => br(&mut insn, Mnemonic::Ble, disp21),
+        0x3C => br(&mut insn, Mnemonic::Blbs, disp21),
+        0x3D => br(&mut insn, Mnemonic::Bne, disp21),
+        0x3E => br(&mut insn, Mnemonic::Bge, disp21),
+        0x3F => br(&mut insn, Mnemonic::Bgt, disp21),
+        _ => {}
+    }
+    insn
+}
+
+fn mem(insn: &mut Insn, m: Mnemonic, disp: i64) {
+    insn.mnemonic = m;
+    insn.imm = disp;
+}
+
+fn br(insn: &mut Insn, m: Mnemonic, disp: i64) {
+    insn.mnemonic = m;
+    insn.imm = disp;
+}
+
+fn operate_mnemonic(op: u32, func: u32) -> Option<Mnemonic> {
+    use Mnemonic::*;
+    Some(match (op, func) {
+        (0x10, 0x00) => Addl,
+        (0x10, 0x02) => S4addl,
+        (0x10, 0x09) => Subl,
+        (0x10, 0x0B) => S4subl,
+        (0x10, 0x0F) => Cmpbge,
+        (0x10, 0x1D) => Cmpult,
+        (0x10, 0x20) => Addq,
+        (0x10, 0x22) => S4addq,
+        (0x10, 0x29) => Subq,
+        (0x10, 0x2D) => Cmpeq,
+        (0x10, 0x32) => S8addq,
+        (0x10, 0x3B) => S8subq,
+        (0x10, 0x3D) => Cmpule,
+        (0x10, 0x40) => Addlv,
+        (0x10, 0x49) => Sublv,
+        (0x10, 0x4D) => Cmplt,
+        (0x10, 0x60) => Addqv,
+        (0x10, 0x69) => Subqv,
+        (0x10, 0x6D) => Cmple,
+        (0x11, 0x00) => And,
+        (0x11, 0x08) => Bic,
+        (0x11, 0x14) => Cmovlbs,
+        (0x11, 0x16) => Cmovlbc,
+        (0x11, 0x20) => Bis,
+        (0x11, 0x24) => Cmoveq,
+        (0x11, 0x26) => Cmovne,
+        (0x11, 0x28) => Ornot,
+        (0x11, 0x40) => Xor,
+        (0x11, 0x44) => Cmovlt,
+        (0x11, 0x46) => Cmovge,
+        (0x11, 0x48) => Eqv,
+        (0x11, 0x64) => Cmovle,
+        (0x11, 0x66) => Cmovgt,
+        (0x12, 0x02) => Mskbl,
+        (0x12, 0x06) => Extbl,
+        (0x12, 0x0B) => Insbl,
+        (0x12, 0x12) => Mskwl,
+        (0x12, 0x16) => Extwl,
+        (0x12, 0x1B) => Inswl,
+        (0x12, 0x22) => Mskll,
+        (0x12, 0x26) => Extll,
+        (0x12, 0x2B) => Insll,
+        (0x12, 0x30) => Zap,
+        (0x12, 0x31) => Zapnot,
+        (0x12, 0x32) => Mskql,
+        (0x12, 0x34) => Srl,
+        (0x12, 0x36) => Extql,
+        (0x12, 0x39) => Sll,
+        (0x12, 0x3B) => Insql,
+        (0x12, 0x3C) => Sra,
+        (0x13, 0x00) => Mull,
+        (0x13, 0x20) => Mulq,
+        (0x13, 0x30) => Umulh,
+        (0x13, 0x40) => Mullv,
+        (0x13, 0x60) => Mulqv,
+        _ => return None,
+    })
+}
+
+fn operate_codes(m: Mnemonic) -> Option<(u32, u32)> {
+    use Mnemonic::*;
+    Some(match m {
+        Addl => (0x10, 0x00),
+        S4addl => (0x10, 0x02),
+        Subl => (0x10, 0x09),
+        S4subl => (0x10, 0x0B),
+        Cmpbge => (0x10, 0x0F),
+        Cmpult => (0x10, 0x1D),
+        Addq => (0x10, 0x20),
+        S4addq => (0x10, 0x22),
+        Subq => (0x10, 0x29),
+        Cmpeq => (0x10, 0x2D),
+        S8addq => (0x10, 0x32),
+        S8subq => (0x10, 0x3B),
+        Cmpule => (0x10, 0x3D),
+        Addlv => (0x10, 0x40),
+        Sublv => (0x10, 0x49),
+        Cmplt => (0x10, 0x4D),
+        Addqv => (0x10, 0x60),
+        Subqv => (0x10, 0x69),
+        Cmple => (0x10, 0x6D),
+        And => (0x11, 0x00),
+        Bic => (0x11, 0x08),
+        Cmovlbs => (0x11, 0x14),
+        Cmovlbc => (0x11, 0x16),
+        Bis => (0x11, 0x20),
+        Cmoveq => (0x11, 0x24),
+        Cmovne => (0x11, 0x26),
+        Ornot => (0x11, 0x28),
+        Xor => (0x11, 0x40),
+        Cmovlt => (0x11, 0x44),
+        Cmovge => (0x11, 0x46),
+        Eqv => (0x11, 0x48),
+        Cmovle => (0x11, 0x64),
+        Cmovgt => (0x11, 0x66),
+        Mskbl => (0x12, 0x02),
+        Extbl => (0x12, 0x06),
+        Insbl => (0x12, 0x0B),
+        Mskwl => (0x12, 0x12),
+        Extwl => (0x12, 0x16),
+        Inswl => (0x12, 0x1B),
+        Mskll => (0x12, 0x22),
+        Extll => (0x12, 0x26),
+        Insll => (0x12, 0x2B),
+        Zap => (0x12, 0x30),
+        Zapnot => (0x12, 0x31),
+        Mskql => (0x12, 0x32),
+        Srl => (0x12, 0x34),
+        Extql => (0x12, 0x36),
+        Sll => (0x12, 0x39),
+        Insql => (0x12, 0x3B),
+        Sra => (0x12, 0x3C),
+        Mull => (0x13, 0x00),
+        Mulq => (0x13, 0x20),
+        Umulh => (0x13, 0x30),
+        Mullv => (0x13, 0x40),
+        Mulqv => (0x13, 0x60),
+        _ => return None,
+    })
+}
+
+fn memory_opcode(m: Mnemonic) -> Option<u32> {
+    use Mnemonic::*;
+    Some(match m {
+        Lda => 0x08,
+        Ldah => 0x09,
+        Ldbu => 0x0A,
+        Ldwu => 0x0C,
+        Stw => 0x0D,
+        Stb => 0x0E,
+        Ldl => 0x28,
+        Ldq => 0x29,
+        Stl => 0x2C,
+        Stq => 0x2D,
+        _ => return None,
+    })
+}
+
+fn branch_opcode(m: Mnemonic) -> Option<u32> {
+    use Mnemonic::*;
+    Some(match m {
+        Br => 0x30,
+        Bsr => 0x34,
+        Blbc => 0x38,
+        Beq => 0x39,
+        Blt => 0x3A,
+        Ble => 0x3B,
+        Blbs => 0x3C,
+        Bne => 0x3D,
+        Bge => 0x3E,
+        Bgt => 0x3F,
+        _ => return None,
+    })
+}
+
+/// Encodes a decoded instruction back into a 32-bit word. Inverse of
+/// [`decode`] for all decodable instructions; `Illegal` re-emits the
+/// preserved raw word.
+pub(crate) fn encode(insn: &Insn) -> u32 {
+    let ra = (insn.ra.number() as u32) << 21;
+    let rb = (insn.rb.number() as u32) << 16;
+    let rc = insn.rc.number() as u32;
+
+    if let Some(op) = memory_opcode(insn.mnemonic) {
+        return (op << 26) | ra | rb | ((insn.imm as u32) & 0xffff);
+    }
+    if let Some(op) = branch_opcode(insn.mnemonic) {
+        return (op << 26) | ra | ((insn.imm as u32) & 0x1f_ffff);
+    }
+    if let Some((op, func)) = operate_codes(insn.mnemonic) {
+        let mut w = (op << 26) | ra | (func << 5) | rc;
+        if insn.uses_literal {
+            w |= 1 << 12;
+            w |= ((insn.imm as u32) & 0xff) << 13;
+        } else {
+            w |= rb;
+        }
+        return w;
+    }
+    match insn.mnemonic {
+        Mnemonic::Jmp => (0x1A << 26) | ra | rb,
+        Mnemonic::Jsr => (0x1A << 26) | ra | rb | (1 << 14),
+        Mnemonic::Ret => (0x1A << 26) | ra | rb | (2 << 14),
+        Mnemonic::CallPal => insn.pal.to_bits(),
+        _ => insn.raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every implemented operate/memory/branch/jump mnemonic, constructed
+    /// with distinctive fields.
+    fn samples() -> Vec<Insn> {
+        use Mnemonic::*;
+        let mut v = Vec::new();
+        let ops = [
+            Addl, S4addl, Subl, S4subl, Addq, S4addq, S8addq, Subq, S8subq, Addlv, Sublv, Addqv,
+            Subqv, Cmpeq, Cmplt, Cmple, Cmpult, Cmpule, Cmpbge, And, Bic, Bis, Ornot, Xor, Eqv,
+            Cmoveq, Cmovne, Cmovlbs, Cmovlbc, Cmovlt, Cmovge, Cmovle, Cmovgt, Sll, Srl, Sra, Mull,
+            Mulq, Umulh, Mullv, Mulqv, Zap, Zapnot, Extbl, Extwl, Extll, Extql, Insbl,
+            Inswl, Insll, Insql, Mskbl, Mskwl, Mskll, Mskql,
+        ];
+        for (i, m) in ops.into_iter().enumerate() {
+            let lit = i % 2 == 0;
+            v.push(Insn {
+                mnemonic: m,
+                ra: Reg::from_number((i % 31) as u8),
+                rb: if lit { Reg::R31 } else { Reg::from_number(((i + 7) % 31) as u8) },
+                rc: Reg::from_number(((i + 13) % 31) as u8),
+                imm: if lit { (i as i64 * 11) % 256 } else { 0 },
+                uses_literal: lit,
+                pal: PalFunc::Halt,
+                raw: 0,
+            });
+        }
+        for (i, m) in [Lda, Ldah, Ldbu, Ldwu, Ldl, Ldq, Stb, Stw, Stl, Stq]
+            .into_iter()
+            .enumerate()
+        {
+            v.push(Insn {
+                mnemonic: m,
+                ra: Reg::from_number((i % 31) as u8),
+                rb: Reg::from_number(((i + 3) % 31) as u8),
+                rc: Reg::R31,
+                imm: (i as i64 * 257) - 1000,
+                uses_literal: false,
+                pal: PalFunc::Halt,
+                raw: 0,
+            });
+        }
+        for (i, m) in [Br, Bsr, Blbc, Beq, Blt, Ble, Blbs, Bne, Bge, Bgt]
+            .into_iter()
+            .enumerate()
+        {
+            v.push(Insn {
+                mnemonic: m,
+                ra: Reg::from_number((i % 31) as u8),
+                rb: Reg::R31,
+                rc: Reg::R31,
+                imm: (i as i64 * 1023) - 5000,
+                uses_literal: false,
+                pal: PalFunc::Halt,
+                raw: 0,
+            });
+        }
+        for m in [Jmp, Jsr, Ret] {
+            v.push(Insn {
+                mnemonic: m,
+                ra: Reg::R26,
+                rb: Reg::R27,
+                rc: Reg::R31,
+                imm: 0,
+                uses_literal: false,
+                pal: PalFunc::Halt,
+                raw: 0,
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for insn in samples() {
+            let w = insn.encode();
+            let d = decode(w);
+            assert_eq!(d.mnemonic, insn.mnemonic, "word {w:#010x}");
+            assert_eq!(d.ra, insn.ra);
+            assert_eq!(d.uses_literal, insn.uses_literal);
+            if insn.uses_literal || insn.format() != crate::Format::Operate {
+                assert_eq!(d.imm, insn.imm, "{insn:?}");
+            } else {
+                assert_eq!(d.rb, insn.rb);
+            }
+            if insn.format() == crate::Format::Operate {
+                assert_eq!(d.rc, insn.rc);
+            }
+            // Re-encoding the decode must reproduce the word exactly.
+            assert_eq!(d.encode(), w);
+        }
+    }
+
+    #[test]
+    fn unknown_words_decode_as_illegal() {
+        // Opcode 0x17 is a floating-point opcode — not implemented.
+        let w = 0x17u32 << 26;
+        let d = decode(w);
+        assert_eq!(d.mnemonic, Mnemonic::Illegal);
+        assert_eq!(d.raw, w);
+        assert_eq!(d.encode(), w);
+    }
+
+    #[test]
+    fn unknown_operate_function_is_illegal() {
+        // Opcode 0x10 with function 0x7F is unassigned.
+        let w = (0x10u32 << 26) | (0x7F << 5);
+        assert_eq!(decode(w).mnemonic, Mnemonic::Illegal);
+    }
+
+    #[test]
+    fn call_pal_functions() {
+        let halt = decode(0x0000_0000);
+        assert_eq!(halt.mnemonic, Mnemonic::CallPal);
+        assert_eq!(halt.pal, PalFunc::Halt);
+        let sys = decode(0x0000_0083);
+        assert_eq!(sys.pal, PalFunc::CallSys);
+        let other = decode(0x0000_1234);
+        assert_eq!(other.pal, PalFunc::Other(0x1234));
+        assert_eq!(other.encode(), 0x0000_1234);
+    }
+
+    #[test]
+    fn literal_operand_decoding() {
+        // ADDQ r1, #200, r3.
+        let w = (0x10u32 << 26) | (1 << 21) | (200 << 13) | (1 << 12) | (0x20 << 5) | 3;
+        let d = decode(w);
+        assert!(d.uses_literal);
+        assert_eq!(d.imm, 200);
+        assert_eq!(d.srcs(), [Some(Reg::R1), None, None]);
+    }
+
+    #[test]
+    fn displacement_sign_extension() {
+        let mut a = crate::Asm::new(0);
+        a.ldq(Reg::R1, Reg::R2, -8);
+        let d = decode(a.finish_words()[0]);
+        assert_eq!(d.imm, -8);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_decode_meaningfully() {
+        // ADDQ r1, r2, r3; flipping func bit 3 (bit 8 of the word: 0x20->0x29)
+        // turns it into SUBQ.
+        let addq = (0x10u32 << 26) | (1 << 21) | (2 << 16) | (0x20 << 5) | 3;
+        assert_eq!(decode(addq).mnemonic, Mnemonic::Addq);
+        let flipped = addq ^ (1 << 5) ^ (1 << 8);
+        assert_eq!(decode(flipped).mnemonic, Mnemonic::Subq);
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # tfsim-isa — the Alpha AXP integer subset
+//!
+//! This crate implements the instruction set executed by both the
+//! architectural simulator (`tfsim-arch`) and the microarchitectural
+//! pipeline model (`tfsim-uarch`): the integer subset of the Alpha AXP
+//! architecture used by the DSN 2004 paper *Characterizing the Effects of
+//! Transient Faults on a High-Performance Processor Pipeline* (no floating
+//! point, no synchronizing memory operations).
+//!
+//! Real Alpha encodings are used so that fault injection into stored
+//! instruction words (the `insn` state category) exercises realistic decode
+//! behaviour: a single bit flip can turn `ADDQ` into `SUBQ`, a branch into a
+//! different branch, or any word into an illegal instruction.
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — architectural register names (`R31` reads as zero).
+//! * [`Insn`] and [`Mnemonic`] — the decoded instruction form.
+//! * [`decode`](fn@decode) / [`Insn::encode`] — bidirectional translation
+//!   between 32-bit instruction words and decoded form.
+//! * [`alu`] — pure integer semantics shared by both simulators, so they
+//!   cannot disagree on arithmetic.
+//! * [`Asm`] — a builder-style assembler with labels, used by the synthetic
+//!   workloads.
+//! * [`Program`] — an assembled program image (sections + entry point).
+//!
+//! ```
+//! use tfsim_isa::{Asm, Reg, decode, Mnemonic};
+//!
+//! let mut a = Asm::new(0x1000);
+//! a.addq(Reg::R1, Reg::R2, Reg::R3);
+//! let words = a.finish_words();
+//! let insn = decode(words[0]);
+//! assert_eq!(insn.mnemonic, Mnemonic::Addq);
+//! ```
+
+pub mod alu;
+mod asm;
+mod decode;
+mod insn;
+mod program;
+mod reg;
+pub mod text;
+
+pub use asm::{Asm, Label};
+pub use decode::decode;
+pub use insn::{ExecClass, Format, Insn, Mnemonic, PalFunc};
+pub use program::{Program, Section};
+pub use reg::Reg;
+
+/// Syscall numbers recognized by the `CALL_PAL callsys` convention.
+///
+/// The syscall number is read from `R0` (`v0`); arguments from `R16..R18`
+/// (`a0..a2`). This mirrors the OSF/1 PALcode calling convention closely
+/// enough for the self-contained workloads used in the reproduction.
+pub mod syscall {
+    /// `exit(code)` — halts the program with an exit code in `a0`.
+    pub const EXIT: u64 = 1;
+    /// `write(fd, buf, len)` — appends `len` bytes at `buf` to the output
+    /// stream. `fd` is ignored (there is only one stream).
+    pub const WRITE: u64 = 4;
+}

@@ -1,0 +1,114 @@
+//! Assembled program images.
+
+use crate::Asm;
+
+/// A contiguous range of initialized memory in a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Starting virtual address.
+    pub addr: u64,
+    /// Raw contents.
+    pub bytes: Vec<u8>,
+}
+
+impl Section {
+    /// The first address past the end of the section.
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes.len() as u64
+    }
+}
+
+/// A loadable program: an entry point plus initialized sections.
+///
+/// Programs are produced by the workload generators and loaded by both the
+/// architectural simulator and the pipeline model, which place each section
+/// into memory and start fetching at [`Program::entry`].
+///
+/// ```
+/// use tfsim_isa::{Asm, Program, Reg};
+///
+/// let mut a = Asm::new(0x1_0000);
+/// a.li(Reg::R0, 1); // exit
+/// a.li(Reg::R16, 0);
+/// a.callsys();
+/// let prog = Program::new("tiny", a).with_data(0x2_0000, vec![1, 2, 3]);
+/// assert_eq!(prog.entry, 0x1_0000);
+/// assert_eq!(prog.sections.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Human-readable workload name (e.g. `"gzip-like"`).
+    pub name: String,
+    /// Address of the first instruction to execute.
+    pub entry: u64,
+    /// Initialized memory contents; code and data alike.
+    pub sections: Vec<Section>,
+}
+
+impl Program {
+    /// Builds a program whose code section comes from `asm`, entering at the
+    /// assembler's base address.
+    pub fn new(name: impl Into<String>, asm: Asm) -> Program {
+        let (base, words) = asm.finish();
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        Program {
+            name: name.into(),
+            entry: base,
+            sections: vec![Section { addr: base, bytes }],
+        }
+    }
+
+    /// Adds an initialized data section.
+    pub fn with_data(mut self, addr: u64, bytes: Vec<u8>) -> Program {
+        self.sections.push(Section { addr, bytes });
+        self
+    }
+
+    /// Adds a data section of little-endian 64-bit words.
+    pub fn with_data_words(self, addr: u64, words: &[u64]) -> Program {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.with_data(addr, bytes)
+    }
+
+    /// Total bytes of initialized memory.
+    pub fn image_size(&self) -> usize {
+        self.sections.iter().map(|s| s.bytes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn code_section_is_little_endian_words() {
+        let mut a = Asm::new(0x4000);
+        a.addq(Reg::R1, Reg::R2, Reg::R3);
+        let expected = {
+            let mut a2 = Asm::new(0x4000);
+            a2.addq(Reg::R1, Reg::R2, Reg::R3);
+            a2.finish_words()[0]
+        };
+        let p = Program::new("t", a);
+        assert_eq!(p.entry, 0x4000);
+        assert_eq!(p.sections[0].bytes, expected.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn data_words_round_trip() {
+        let a = Asm::new(0);
+        let p = Program::new("t", a).with_data_words(0x8000, &[0x1122334455667788, 42]);
+        let s = &p.sections[1];
+        assert_eq!(s.addr, 0x8000);
+        assert_eq!(s.bytes[..8], 0x1122334455667788u64.to_le_bytes());
+        assert_eq!(s.end(), 0x8010);
+        assert_eq!(p.image_size(), 16);
+    }
+}

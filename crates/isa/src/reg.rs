@@ -1,0 +1,141 @@
+use std::fmt;
+
+/// An Alpha architectural integer register, `R0` through `R31`.
+///
+/// `R31` is hardwired to zero: reads return zero and writes are discarded.
+/// The standard OSF/1 software names are available through
+/// [`Reg::software_name`].
+///
+/// ```
+/// use tfsim_isa::Reg;
+/// assert_eq!(Reg::R31.number(), 31);
+/// assert!(Reg::R31.is_zero());
+/// assert_eq!(Reg::from_number(16), Reg::R16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23,
+    R24, R25, R26, R27, R28, R29, R30, R31,
+}
+
+impl Reg {
+    /// Number of architectural integer registers.
+    pub const COUNT: usize = 32;
+
+    /// The stack pointer by software convention (`$sp` = `R30`).
+    pub const SP: Reg = Reg::R30;
+    /// The return-address register by software convention (`$ra` = `R26`).
+    pub const RA: Reg = Reg::R26;
+    /// The syscall-number / return-value register (`$v0` = `R0`).
+    pub const V0: Reg = Reg::R0;
+    /// First argument register (`$a0` = `R16`).
+    pub const A0: Reg = Reg::R16;
+    /// Second argument register (`$a1` = `R17`).
+    pub const A1: Reg = Reg::R17;
+    /// Third argument register (`$a2` = `R18`).
+    pub const A2: Reg = Reg::R18;
+    /// The always-zero register (`R31`).
+    pub const ZERO: Reg = Reg::R31;
+
+    /// Returns the register for an encoded 5-bit register number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn from_number(n: u8) -> Reg {
+        assert!(n < 32, "register number out of range: {n}");
+        // SAFETY-free: match generated below keeps this fully safe.
+        ALL_REGS[n as usize]
+    }
+
+    /// The 5-bit register number used in instruction encodings.
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this is the hardwired-zero register `R31`.
+    pub fn is_zero(self) -> bool {
+        self == Reg::R31
+    }
+
+    /// The OSF/1 software name (`v0`, `t0`..`t7`, `s0`..`s5`, `fp`, `a0`..,
+    /// `ra`, `sp`, `zero`, ...).
+    pub fn software_name(self) -> &'static str {
+        SOFTWARE_NAMES[self.number() as usize]
+    }
+
+    /// Iterator over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        ALL_REGS.iter().copied()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.number())
+    }
+}
+
+const ALL_REGS: [Reg; 32] = [
+    Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
+    Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
+    Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23,
+    Reg::R24, Reg::R25, Reg::R26, Reg::R27, Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+];
+
+const SOFTWARE_NAMES: [&str; 32] = [
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "fp",
+    "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9",
+    "t10", "t11", "ra", "pv", "at", "gp", "sp", "zero",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_numbers() {
+        for n in 0..32u8 {
+            assert_eq!(Reg::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::R0.is_zero());
+        assert_eq!(Reg::ZERO, Reg::R31);
+    }
+
+    #[test]
+    #[should_panic(expected = "register number out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::from_number(32);
+    }
+
+    #[test]
+    fn software_names() {
+        assert_eq!(Reg::R0.software_name(), "v0");
+        assert_eq!(Reg::R30.software_name(), "sp");
+        assert_eq!(Reg::R31.software_name(), "zero");
+    }
+
+    #[test]
+    fn display_uses_numeric_name() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.number() as usize, i);
+        }
+    }
+}

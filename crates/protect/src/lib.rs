@@ -1,0 +1,473 @@
+#![warn(missing_docs)]
+
+//! # tfsim-protect — lightweight protection mechanisms
+//!
+//! The four Section-4 protection mechanisms and their supporting codecs:
+//!
+//! * **Register file ECC** — SECDED Hamming over each 65-bit register file
+//!   entry, 8 check bits per entry ([`regfile_code`]). Single-bit errors in
+//!   an entry are corrected in place; the paper reports the same 8-bit
+//!   overhead.
+//! * **Register pointer ECC** — SEC Hamming over each 7-bit physical
+//!   register pointer, 4 check bits ([`pointer_code`]). Pointers are
+//!   encoded once at pipeline initialization and checked/repaired at use.
+//! * **Instruction word parity** — even parity over each 32-bit instruction
+//!   word, generated at fetch and checked before retirement; a mismatch
+//!   forces a pipeline flush before the instruction can write architectural
+//!   state ([`parity32`]).
+//! * **Timeout counter** — detects 100 cycles without retirement and forces
+//!   a pipeline flush to clear potential deadlocks ([`TimeoutCounter`]).
+//!
+//! ```
+//! use tfsim_protect::{pointer_code, Decoded};
+//!
+//! let code = pointer_code();
+//! let check = code.encode(0b1011001);
+//! // A fault flips pointer bit 3; the decoder repairs it.
+//! let corrupted = 0b1011001 ^ (1 << 3);
+//! assert_eq!(code.decode(corrupted, check), Decoded::CorrectedData(0b1011001));
+//! ```
+
+/// Outcome of decoding a protected word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decoded {
+    /// No error detected.
+    Clean,
+    /// A single data-bit error was corrected; the repaired data is given.
+    CorrectedData(u128),
+    /// A single check-bit error was detected (data is intact).
+    CorrectedCheck,
+    /// An uncorrectable (multi-bit) error was detected (SECDED only).
+    Uncorrectable,
+}
+
+/// A Hamming code over up to 120 data bits, optionally extended with an
+/// overall parity bit for SECDED.
+///
+/// The layout follows the textbook construction: codeword positions are
+/// numbered from 1; power-of-two positions hold check bits; the remaining
+/// positions hold data bits in ascending order. With `secded`, one extra
+/// overall-parity bit distinguishes single (correctable) from double
+/// (detectable) errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hamming {
+    data_width: u32,
+    hamming_checks: u32,
+    secded: bool,
+    /// Per-check-bit parity masks over the data bits (precomputed so
+    /// encoding is a handful of popcounts on the pipeline's hot paths).
+    masks: [u128; 8],
+}
+
+impl Hamming {
+    /// Creates a code for `data_width` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_width` is 0 or exceeds 120.
+    pub fn new(data_width: u32, secded: bool) -> Hamming {
+        assert!(data_width >= 1 && data_width <= 120, "unsupported data width {data_width}");
+        let mut checks = 0u32;
+        while (1u32 << checks) < data_width + checks + 1 {
+            checks += 1;
+        }
+        assert!(checks <= 8);
+        let mut code = Hamming { data_width, hamming_checks: checks, secded, masks: [0; 8] };
+        for c in 0..checks {
+            let mut mask = 0u128;
+            for i in 0..data_width {
+                if code.data_position(i) & (1 << c) != 0 {
+                    mask |= 1 << i;
+                }
+            }
+            code.masks[c as usize] = mask;
+        }
+        code
+    }
+
+    /// Number of data bits covered.
+    pub fn data_width(&self) -> u32 {
+        self.data_width
+    }
+
+    /// Number of check bits (including the SECDED overall parity bit).
+    pub fn check_width(&self) -> u32 {
+        self.hamming_checks + self.secded as u32
+    }
+
+    /// Codeword position (1-based) of data bit `i`.
+    fn data_position(&self, i: u32) -> u32 {
+        // Skip power-of-two positions.
+        let mut pos = 1;
+        let mut seen = 0;
+        loop {
+            if !pos_is_check(pos) {
+                if seen == i {
+                    return pos;
+                }
+                seen += 1;
+            }
+            pos += 1;
+        }
+    }
+
+    /// Computes the check bits for `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has bits set beyond the data width.
+    pub fn encode(&self, data: u128) -> u32 {
+        assert_eq!(data >> self.data_width, 0, "data exceeds code width");
+        let mut checks = 0u32;
+        for c in 0..self.hamming_checks {
+            if (data & self.masks[c as usize]).count_ones() % 2 == 1 {
+                checks |= 1 << c;
+            }
+        }
+        if self.secded {
+            // The overall parity bit makes the total codeword parity even.
+            if (data.count_ones() + checks.count_ones()) % 2 == 1 {
+                checks |= 1 << self.hamming_checks;
+            }
+        }
+        checks
+    }
+
+    /// Checks `data` against `check` and classifies/corrects the error.
+    pub fn decode(&self, data: u128, check: u32) -> Decoded {
+        let check_mask = (1u32 << self.check_width()) - 1;
+        let check = check & check_mask;
+        let expected = self.encode(data);
+        let syndrome = (check ^ expected) & ((1u32 << self.hamming_checks) - 1);
+        let overall_mismatch = if self.secded {
+            ((data.count_ones() + check.count_ones()) % 2) == 1
+        } else {
+            false
+        };
+
+        if syndrome == 0 {
+            if !self.secded || !overall_mismatch {
+                return Decoded::Clean;
+            }
+            // Syndrome clean but overall parity wrong: the overall parity
+            // bit itself flipped.
+            return Decoded::CorrectedCheck;
+        }
+
+        if self.secded && !overall_mismatch {
+            // Non-zero syndrome with even overall parity: double error.
+            return Decoded::Uncorrectable;
+        }
+
+        // Single error at codeword position `syndrome`.
+        if pos_is_check(syndrome) {
+            return Decoded::CorrectedCheck;
+        }
+        // Find which data bit sits at that position.
+        for i in 0..self.data_width {
+            if self.data_position(i) == syndrome {
+                return Decoded::CorrectedData(data ^ (1u128 << i));
+            }
+        }
+        // Syndrome points past the codeword: corrupted beyond repair.
+        Decoded::Uncorrectable
+    }
+}
+
+fn pos_is_check(pos: u32) -> bool {
+    pos.is_power_of_two()
+}
+
+/// The register-file entry code: 65 data bits, 8 check bits (SECDED), as in
+/// the paper ("an overhead of eight bits for each of the 80 register file
+/// entries").
+pub fn regfile_code() -> Hamming {
+    static CODE: OnceLock<Hamming> = OnceLock::new();
+    *CODE.get_or_init(|| {
+        let code = Hamming::new(65, true);
+        debug_assert_eq!(code.check_width(), 8);
+        code
+    })
+}
+
+/// The register-pointer code: 7 data bits, 4 check bits (SEC), as in the
+/// paper ("4 bits of overhead to each 7 bit register file pointer").
+pub fn pointer_code() -> Hamming {
+    static CODE: OnceLock<Hamming> = OnceLock::new();
+    *CODE.get_or_init(|| {
+        let code = Hamming::new(7, false);
+        debug_assert_eq!(code.check_width(), 4);
+        code
+    })
+}
+
+use std::sync::OnceLock;
+
+static PTR7_CHECKS: OnceLock<[u8; 128]> = OnceLock::new();
+static PTR7_FIXES: OnceLock<Box<[u8; 2048]>> = OnceLock::new();
+
+/// Fast table-driven check-bit computation for 7-bit pointers
+/// (equivalent to `pointer_code().encode`, used on the pipeline's hot
+/// paths where pointers travel with their check bits).
+pub fn ptr7_check(data: u64) -> u64 {
+    let table = PTR7_CHECKS.get_or_init(|| {
+        let code = pointer_code();
+        let mut t = [0u8; 128];
+        for (v, slot) in t.iter_mut().enumerate() {
+            *slot = code.encode(v as u128) as u8;
+        }
+        t
+    });
+    table[(data & 0x7f) as usize] as u64
+}
+
+/// Fast table-driven repair for 7-bit pointers: returns the corrected
+/// pointer for a (data, check) pair (equivalent to running
+/// `pointer_code().decode` and applying any single-bit data correction;
+/// uncorrectable or check-bit errors return the data unchanged).
+pub fn ptr7_fix(data: u64, check: u64) -> u64 {
+    let table = PTR7_FIXES.get_or_init(|| {
+        let code = pointer_code();
+        let mut t = Box::new([0u8; 2048]);
+        for d in 0..128u64 {
+            for c in 0..16u64 {
+                let fixed = match code.decode(d as u128, c as u32) {
+                    Decoded::CorrectedData(f) => f as u8,
+                    _ => d as u8,
+                };
+                t[(d * 16 + c) as usize] = fixed;
+            }
+        }
+        t
+    });
+    table[((data & 0x7f) * 16 + (check & 0xf)) as usize] as u64
+}
+
+/// Even parity of a 32-bit instruction word: the stored parity bit makes
+/// the total number of ones even.
+pub fn parity32(word: u32) -> bool {
+    word.count_ones() % 2 == 1
+}
+
+/// Even parity of a 64-bit word.
+pub fn parity64(word: u64) -> bool {
+    word.count_ones() % 2 == 1
+}
+
+/// Action requested by the [`TimeoutCounter`] after a cycle tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// Keep running.
+    None,
+    /// Force a pipeline flush to clear a potential deadlock.
+    Flush,
+}
+
+/// The watchdog of Section 4.2: counts cycles without retirement and
+/// requests a pipeline flush at the threshold (100 cycles in the paper).
+///
+/// The counter holds ~10 bits of state; the pipeline registers them as
+/// injectable `ctrl` latches when the mechanism is enabled (the paper also
+/// subjects protection state to injection). After requesting a flush the
+/// counter restarts, so a hard deadlock produces a flush every `threshold`
+/// cycles rather than livelocking the watchdog itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutCounter {
+    threshold: u32,
+    /// Current count of consecutive cycles without retirement (10 bits).
+    pub count: u64,
+}
+
+impl TimeoutCounter {
+    /// Creates a watchdog with the paper's 100-cycle threshold.
+    pub fn new() -> TimeoutCounter {
+        TimeoutCounter::with_threshold(100)
+    }
+
+    /// Creates a watchdog with a custom threshold (must fit in 10 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero or does not fit in 10 bits.
+    pub fn with_threshold(threshold: u32) -> TimeoutCounter {
+        assert!(threshold > 0 && threshold < 1024);
+        TimeoutCounter { threshold, count: 0 }
+    }
+
+    /// Advances one cycle. `retired_any` is whether the retire stage
+    /// committed at least one instruction this cycle.
+    pub fn tick(&mut self, retired_any: bool) -> TimeoutAction {
+        if retired_any {
+            self.count = 0;
+            return TimeoutAction::None;
+        }
+        // Compare before wrapping so a fault-corrupted high count still
+        // trips the watchdog rather than silently wrapping past it.
+        if self.count + 1 >= self.threshold as u64 {
+            self.count = 0;
+            TimeoutAction::Flush
+        } else {
+            self.count = (self.count + 1) & 0x3ff;
+            TimeoutAction::None
+        }
+    }
+}
+
+impl Default for TimeoutCounter {
+    fn default() -> Self {
+        TimeoutCounter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_dimensions_match_paper() {
+        assert_eq!(regfile_code().check_width(), 8);
+        assert_eq!(regfile_code().data_width(), 65);
+        assert_eq!(pointer_code().check_width(), 4);
+        assert_eq!(pointer_code().data_width(), 7);
+    }
+
+    #[test]
+    fn clean_words_decode_clean() {
+        let code = pointer_code();
+        for data in 0..128u128 {
+            assert_eq!(code.decode(data, code.encode(data)), Decoded::Clean);
+        }
+    }
+
+    #[test]
+    fn pointer_code_corrects_every_single_data_bit() {
+        let code = pointer_code();
+        for data in 0..128u128 {
+            let check = code.encode(data);
+            for bit in 0..7 {
+                let corrupted = data ^ (1 << bit);
+                assert_eq!(
+                    code.decode(corrupted, check),
+                    Decoded::CorrectedData(data),
+                    "data {data:#x} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_code_detects_check_bit_errors() {
+        let code = pointer_code();
+        for data in [0u128, 0x55, 0x7f] {
+            let check = code.encode(data);
+            for bit in 0..4 {
+                let d = code.decode(data, check ^ (1 << bit));
+                assert_eq!(d, Decoded::CorrectedCheck, "data {data:#x} check bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn regfile_code_corrects_single_data_bits() {
+        let code = regfile_code();
+        let samples = [0u128, 1, (1 << 65) - 1, 0xdead_beef_cafe_f00d, 1 << 64];
+        for &data in &samples {
+            let check = code.encode(data);
+            for bit in [0u32, 1, 31, 32, 63, 64] {
+                let corrupted = data ^ (1u128 << bit);
+                assert_eq!(
+                    code.decode(corrupted, check),
+                    Decoded::CorrectedData(data),
+                    "data {data:#x} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regfile_code_detects_double_errors() {
+        let code = regfile_code();
+        let data = 0x0123_4567_89ab_cdefu128;
+        let check = code.encode(data);
+        for (a, b) in [(0u32, 1u32), (5, 40), (63, 64), (10, 20)] {
+            let corrupted = data ^ (1u128 << a) ^ (1u128 << b);
+            assert_eq!(
+                code.decode(corrupted, check),
+                Decoded::Uncorrectable,
+                "bits {a},{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn regfile_code_detects_overall_parity_flip() {
+        let code = regfile_code();
+        let data = 42u128;
+        let check = code.encode(data);
+        // Flip the overall parity bit (top check bit).
+        let d = code.decode(data, check ^ (1 << 7));
+        assert_eq!(d, Decoded::CorrectedCheck);
+    }
+
+    #[test]
+    fn parity_functions() {
+        assert!(!parity32(0));
+        assert!(parity32(1));
+        assert!(!parity32(3));
+        assert!(parity64(1 << 63));
+        assert!(!parity64(0x3));
+        // Parity over a dropped-bits update: parity(w) = parity(hi) ^ parity(lo).
+        let w: u32 = 0xdead_beef;
+        let hi = w & 0xffff_0000;
+        let lo = w & 0x0000_ffff;
+        assert_eq!(parity32(w), parity32(hi) ^ parity32(lo));
+    }
+
+    #[test]
+    fn ptr7_tables_match_the_codec() {
+        let code = pointer_code();
+        for d in 0..128u64 {
+            assert_eq!(ptr7_check(d), code.encode(d as u128) as u64, "check of {d}");
+            let check = ptr7_check(d);
+            assert_eq!(ptr7_fix(d, check), d, "clean {d}");
+            for bit in 0..7 {
+                assert_eq!(ptr7_fix(d ^ (1 << bit), check), d, "repair {d} bit {bit}");
+            }
+            for bit in 0..4 {
+                assert_eq!(ptr7_fix(d, check ^ (1 << bit)), d, "check-bit flip {d} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_counter_fires_at_threshold() {
+        let mut t = TimeoutCounter::with_threshold(3);
+        assert_eq!(t.tick(false), TimeoutAction::None);
+        assert_eq!(t.tick(false), TimeoutAction::None);
+        assert_eq!(t.tick(false), TimeoutAction::Flush);
+        // Restarts after firing.
+        assert_eq!(t.tick(false), TimeoutAction::None);
+        assert_eq!(t.tick(false), TimeoutAction::None);
+        assert_eq!(t.tick(false), TimeoutAction::Flush);
+    }
+
+    #[test]
+    fn timeout_counter_resets_on_retirement() {
+        let mut t = TimeoutCounter::with_threshold(3);
+        t.tick(false);
+        t.tick(false);
+        assert_eq!(t.tick(true), TimeoutAction::None);
+        assert_eq!(t.count, 0);
+        assert_eq!(t.tick(false), TimeoutAction::None);
+    }
+
+    #[test]
+    fn corrupted_counter_state_recovers() {
+        // A fault can set the count to any 10-bit value; the counter must
+        // still behave sanely (fire and reset, no livelock).
+        let mut t = TimeoutCounter::new();
+        t.count = 0x3ff;
+        assert_eq!(t.tick(false), TimeoutAction::Flush);
+        assert_eq!(t.count, 0);
+    }
+}

@@ -1,0 +1,350 @@
+#![warn(missing_docs)]
+
+//! # tfsim-stats — statistics for injection campaigns
+//!
+//! The paper reports binomial confidence intervals for campaign outcome
+//! fractions (±0.7% at 95% confidence for 25–30k trials; ±10% for the
+//! ~100-trial `qctrl` slice) and fits a least-mean-squares trendline to the
+//! Figure 6 scatter. This crate implements both, plus small table-rendering
+//! helpers used by the figure harness.
+//!
+//! ```
+//! use tfsim_stats::{binomial_ci, Confidence};
+//!
+//! // 25,000 trials at 85% masking: the paper's "<0.7%" claim.
+//! let ci = binomial_ci(21_250, 25_000, Confidence::P95);
+//! assert!(ci.half_width < 0.007);
+//! ```
+
+/// Supported confidence levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Confidence {
+    /// 90% two-sided confidence (z ≈ 1.645).
+    P90,
+    /// 95% two-sided confidence (z ≈ 1.960).
+    P95,
+    /// 99% two-sided confidence (z ≈ 2.576).
+    P99,
+}
+
+impl Confidence {
+    /// The z-score of the two-sided normal quantile.
+    pub fn z(self) -> f64 {
+        match self {
+            Confidence::P90 => 1.6449,
+            Confidence::P95 => 1.9600,
+            Confidence::P99 => 2.5758,
+        }
+    }
+}
+
+/// A binomial proportion with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionCi {
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Half-width of the normal-approximation interval.
+    pub half_width: f64,
+    /// Lower bound (clamped to 0).
+    pub lo: f64,
+    /// Upper bound (clamped to 1).
+    pub hi: f64,
+}
+
+/// Normal-approximation (Wald) confidence interval for a binomial
+/// proportion — the formula behind the paper's "confidence interval of
+/// less than 0.7% at a 95% confidence level".
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or `successes > trials`.
+pub fn binomial_ci(successes: u64, trials: u64, confidence: Confidence) -> ProportionCi {
+    assert!(trials > 0, "confidence interval of zero trials");
+    assert!(successes <= trials);
+    let p = successes as f64 / trials as f64;
+    let half = confidence.z() * (p * (1.0 - p) / trials as f64).sqrt();
+    ProportionCi {
+        estimate: p,
+        half_width: half,
+        lo: (p - half).max(0.0),
+        hi: (p + half).min(1.0),
+    }
+}
+
+/// Wilson score interval — better behaved at extreme proportions and small
+/// counts (used for the per-category slices, some of which have only ~100
+/// trials).
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or `successes > trials`.
+pub fn wilson_ci(successes: u64, trials: u64, confidence: Confidence) -> ProportionCi {
+    assert!(trials > 0, "confidence interval of zero trials");
+    assert!(successes <= trials);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = confidence.z();
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt();
+    ProportionCi {
+        estimate: p,
+        half_width: half,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// Result of a simple linear least-squares fit `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Pearson correlation coefficient.
+    pub r: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a least-mean-squares line through `(x, y)` points (the Figure 6
+/// trendline).
+///
+/// Returns `None` with fewer than two distinct x values.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let syy: f64 = points.iter().map(|(_, y)| y * y).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let var_x = sxx - sx * sx / nf;
+    if var_x.abs() < 1e-12 {
+        return None;
+    }
+    let cov = sxy - sx * sy / nf;
+    let var_y = syy - sy * sy / nf;
+    let slope = cov / var_x;
+    let intercept = (sy - slope * sx) / nf;
+    let r = if var_y.abs() < 1e-12 { 0.0 } else { cov / (var_x * var_y).sqrt() };
+    Some(LinearFit { slope, intercept, r, n })
+}
+
+/// Mean of a sample (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (0 for fewer than two points).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// A minimal fixed-width text table builder used by the figure harness.
+///
+/// ```
+/// use tfsim_stats::Table;
+/// let mut t = Table::new(&["benchmark", "masked %"]);
+/// t.row(&["gzip-like", "84.2"]);
+/// assert!(t.render().contains("gzip-like"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align text.
+                let numeric =
+                    cell.chars().next().map_or(false, |ch| ch.is_ascii_digit() || ch == '-' || ch == '+');
+                if numeric && c > 0 {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[c]));
+                } else {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        return "-".to_string();
+    }
+    format!("{:.1}", 100.0 * num as f64 / den as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_ci_is_under_point_seven_percent() {
+        for p in [0.5f64, 0.85, 0.12] {
+            let successes = (25_000.0 * p) as u64;
+            let ci = binomial_ci(successes, 25_000, Confidence::P95);
+            assert!(ci.half_width < 0.007, "p={p}: {ci:?}");
+        }
+    }
+
+    #[test]
+    fn hundred_trial_ci_is_about_ten_percent() {
+        // The paper's qctrl extreme: ~100 trials -> ~10% interval.
+        let ci = binomial_ci(50, 100, Confidence::P95);
+        assert!(ci.half_width > 0.08 && ci.half_width < 0.11, "{ci:?}");
+    }
+
+    #[test]
+    fn wald_bounds_are_clamped() {
+        let ci = binomial_ci(0, 10, Confidence::P95);
+        assert_eq!(ci.lo, 0.0);
+        let ci = binomial_ci(10, 10, Confidence::P95);
+        assert_eq!(ci.hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_handles_extremes_sanely() {
+        let ci = wilson_ci(0, 10, Confidence::P95);
+        assert!(ci.lo >= 0.0 && ci.hi > 0.0 && ci.hi < 0.5);
+        let ci = wilson_ci(10, 10, Confidence::P95);
+        assert!(ci.lo > 0.5 && ci.hi <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn ci_zero_trials_panics() {
+        let _ = binomial_ci(0, 0, Confidence::P95);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 3.0 * i as f64 - 7.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept + 7.0).abs() < 1e-9);
+        assert!((fit.r - 1.0).abs() < 1e-9);
+        assert!((fit.predict(100.0) - 293.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_negative_correlation() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 100.0 - 0.25 * i as f64)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!(fit.slope < 0.0);
+        assert!((fit.r + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none(), "vertical line");
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "count"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "12345"]);
+        let s = t.render();
+        assert!(s.contains("longer-name"));
+        assert!(s.lines().count() >= 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].split_whitespace().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(1, 8), "12.5");
+        assert_eq!(pct(0, 0), "-");
+        assert_eq!(pct(3, 3), "100.0");
+    }
+}

@@ -1,0 +1,359 @@
+//! The dynamic scheduler (issue window) and functional-unit latches.
+//!
+//! The scheduler holds 32 entries with speculative wakeup and replay: a
+//! load's consumers may issue during the cache-access shadow assuming a
+//! hit; if the load misses (or the data is simply not there yet when the
+//! consumer finishes executing), the consumer is *replayed* — returned to
+//! the waiting state — rather than completing with garbage.
+//!
+//! Entries are freed only at successful completion, matching the paper's
+//! observation that "our scheduler does not free an instruction's entry
+//! until it is known that the instruction will complete" (a source of
+//! dead-but-vulnerable state).
+
+use tfsim_bitstate::{visit_bool, visit_pc, Category, FieldMeta, StateVisitor, StorageKind};
+
+use crate::config::sizes;
+
+/// Execution class routed to functional units (3-bit `ctrl` encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum FuClass {
+    /// Single-cycle integer ALU.
+    #[default]
+    Simple = 0,
+    /// Multi-cycle complex ALU (multiplies).
+    Complex = 1,
+    /// Branch unit.
+    Branch = 2,
+    /// Address generation for a load.
+    Load = 3,
+    /// Address generation for a store.
+    Store = 4,
+}
+
+impl FuClass {
+    /// Decodes a 3-bit field; corrupted encodings map to `Simple`.
+    pub fn from_bits(bits: u64) -> FuClass {
+        match bits & 7 {
+            0 => FuClass::Simple,
+            1 => FuClass::Complex,
+            2 => FuClass::Branch,
+            3 => FuClass::Load,
+            4 => FuClass::Store,
+            _ => FuClass::Simple,
+        }
+    }
+}
+
+/// One scheduler (issue window) entry.
+#[derive(Debug, Clone, Default)]
+pub struct SchedEntry {
+    /// Entry allocated.
+    pub valid: bool,
+    /// Entry has been issued (awaiting completion; may be replayed).
+    pub issued: bool,
+    /// Raw instruction word.
+    pub raw: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// Source physical registers (slot 2 used by CMOV's old destination).
+    pub srcs: [u64; 3],
+    /// Which source slots carry a real dependence.
+    pub src_needed: [bool; 3],
+    /// Destination physical register.
+    pub dst_preg: u64,
+    /// Whether the instruction writes a register.
+    pub has_dst: bool,
+    /// ROB tag.
+    pub rob: u64,
+    /// Load/store queue slot (loads/stores only).
+    pub lsq: u64,
+    /// Functional-unit class (3-bit).
+    pub class: u64,
+    /// Predicted direction (branches).
+    pub pred_taken: bool,
+    /// Predicted target (branches).
+    pub pred_target: u64,
+    /// Memory-dependence wait: SQ slot whose address must resolve first.
+    pub wait_sq: u64,
+    /// Whether `wait_sq` is active.
+    pub wait_sq_valid: bool,
+    /// Pointer-ECC check bits for `srcs` (4 bits each; protection suite).
+    pub src_ecc: [u64; 3],
+    /// Pointer-ECC check bits for `dst_preg`.
+    pub dst_ecc: u64,
+}
+
+impl SchedEntry {
+    fn visit(&mut self, v: &mut dyn StateVisitor, ptr_ecc: bool) {
+        let ram = StorageKind::Ram;
+        visit_bool(v, FieldMeta::new(Category::Valid, ram), &mut self.valid);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.issued);
+        v.field(FieldMeta::new(Category::Insn, ram), 32, &mut self.raw);
+        visit_pc(v, ram, &mut self.pc);
+        for s in self.srcs.iter_mut() {
+            v.field(FieldMeta::new(Category::Regptr, ram), 7, s);
+        }
+        for n in self.src_needed.iter_mut() {
+            visit_bool(v, FieldMeta::new(Category::Ctrl, ram), n);
+        }
+        v.field(FieldMeta::new(Category::Regptr, ram), 7, &mut self.dst_preg);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.has_dst);
+        v.field(FieldMeta::new(Category::Robptr, ram), 6, &mut self.rob);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 4, &mut self.lsq);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 3, &mut self.class);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.pred_taken);
+        visit_pc(v, ram, &mut self.pred_target);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 4, &mut self.wait_sq);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.wait_sq_valid);
+        if ptr_ecc {
+            for e in self.src_ecc.iter_mut() {
+                v.field(FieldMeta::new(Category::Ecc, ram), 4, e);
+            }
+            v.field(FieldMeta::new(Category::Ecc, ram), 4, &mut self.dst_ecc);
+        }
+    }
+}
+
+/// The 32-entry scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// Entries (no ring: free slots are reused; age comes from ROB tags).
+    pub slots: Vec<SchedEntry>,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Scheduler {
+        Scheduler { slots: (0..sizes::SCHEDULER).map(|_| SchedEntry::default()).collect() }
+    }
+
+    /// Index of a free slot, if any.
+    pub fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|e| !e.valid)
+    }
+
+    /// Number of free slots.
+    pub fn free_count(&self) -> usize {
+        self.slots.iter().filter(|e| !e.valid).count()
+    }
+
+    /// Clears every entry (full flush).
+    pub fn clear(&mut self) {
+        for e in self.slots.iter_mut() {
+            *e = SchedEntry::default();
+        }
+    }
+
+    /// Visits all entries (`ptr_ecc` adds the pointer check bits).
+    pub fn visit(&mut self, v: &mut dyn StateVisitor, ptr_ecc: bool) {
+        for e in self.slots.iter_mut() {
+            e.visit(v, ptr_ecc);
+        }
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+/// An operation in flight in a functional unit (pipeline latches: the
+/// operand latches are the paper's dominant `data` latch population).
+#[derive(Debug, Clone, Default)]
+pub struct FuOp {
+    /// Slot busy.
+    pub valid: bool,
+    /// Scheduler entry this op came from (5-bit).
+    pub sched: u64,
+    /// ROB tag.
+    pub rob: u64,
+    /// Destination physical register.
+    pub dst_preg: u64,
+    /// Whether a register is written.
+    pub has_dst: bool,
+    /// Operand latches (a = Ra/store-data, b = Rb, c = CMOV old value).
+    pub a: u64,
+    /// Second operand latch.
+    pub b: u64,
+    /// Third operand latch (CMOV old destination).
+    pub c: u64,
+    /// Source pregs (for replay re-reads).
+    pub srcs: [u64; 3],
+    /// Needed source slots.
+    pub src_needed: [bool; 3],
+    /// Source was speculative (not real-ready) at issue: its latched value
+    /// is stale and must be re-read (bypass) at completion.
+    pub src_spec: [bool; 3],
+    /// Raw instruction word.
+    pub raw: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// Cycles until completion (1 = completing this cycle).
+    pub remaining: u64,
+    /// Predicted direction (branch unit).
+    pub pred_taken: bool,
+    /// Predicted target (branch unit).
+    pub pred_target: u64,
+    /// Load/store queue slot (AGU ops).
+    pub lsq: u64,
+    /// Functional-unit class.
+    pub class: u64,
+    /// Pointer-ECC check bits for `srcs`.
+    pub src_ecc: [u64; 3],
+    /// Pointer-ECC check bits for `dst_preg`.
+    pub dst_ecc: u64,
+}
+
+impl FuOp {
+    fn visit(&mut self, v: &mut dyn StateVisitor, ptr_ecc: bool) {
+        let l = StorageKind::Latch;
+        visit_bool(v, FieldMeta::new(Category::Valid, l), &mut self.valid);
+        v.field(FieldMeta::new(Category::Ctrl, l), 5, &mut self.sched);
+        v.field(FieldMeta::new(Category::Robptr, l), 6, &mut self.rob);
+        v.field(FieldMeta::new(Category::Regptr, l), 7, &mut self.dst_preg);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, l), &mut self.has_dst);
+        v.field(FieldMeta::new(Category::Data, l), 64, &mut self.a);
+        v.field(FieldMeta::new(Category::Data, l), 64, &mut self.b);
+        v.field(FieldMeta::new(Category::Data, l), 64, &mut self.c);
+        for s in self.srcs.iter_mut() {
+            v.field(FieldMeta::new(Category::Regptr, l), 7, s);
+        }
+        for n in self.src_needed.iter_mut() {
+            visit_bool(v, FieldMeta::new(Category::Ctrl, l), n);
+        }
+        for s in self.src_spec.iter_mut() {
+            visit_bool(v, FieldMeta::new(Category::Ctrl, l), s);
+        }
+        v.field(FieldMeta::new(Category::Insn, l), 32, &mut self.raw);
+        visit_pc(v, l, &mut self.pc);
+        v.field(FieldMeta::new(Category::Ctrl, l), 3, &mut self.remaining);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, l), &mut self.pred_taken);
+        visit_pc(v, l, &mut self.pred_target);
+        v.field(FieldMeta::new(Category::Ctrl, l), 4, &mut self.lsq);
+        v.field(FieldMeta::new(Category::Ctrl, l), 3, &mut self.class);
+        if ptr_ecc {
+            for e in self.src_ecc.iter_mut() {
+                v.field(FieldMeta::new(Category::Ecc, l), 4, e);
+            }
+            v.field(FieldMeta::new(Category::Ecc, l), 4, &mut self.dst_ecc);
+        }
+    }
+}
+
+/// The functional-unit complement of Figure 2: two simple ALUs, one
+/// complex ALU, one branch ALU, two address generation units.
+#[derive(Debug, Clone)]
+pub struct FuBank {
+    /// Simple ALU slots.
+    pub simple: Vec<FuOp>,
+    /// Complex ALU slot (non-pipelined, 2–5 cycles).
+    pub complex: Vec<FuOp>,
+    /// Branch ALU slot.
+    pub branch: Vec<FuOp>,
+    /// AGU slots.
+    pub agu: Vec<FuOp>,
+}
+
+impl FuBank {
+    /// Creates idle functional units.
+    pub fn new() -> FuBank {
+        FuBank {
+            simple: vec![FuOp::default(), FuOp::default()],
+            complex: vec![FuOp::default()],
+            branch: vec![FuOp::default()],
+            agu: vec![FuOp::default(), FuOp::default()],
+        }
+    }
+
+    /// All slots, in a fixed deterministic order.
+    pub fn all_mut(&mut self) -> impl Iterator<Item = &mut FuOp> {
+        self.simple
+            .iter_mut()
+            .chain(self.complex.iter_mut())
+            .chain(self.branch.iter_mut())
+            .chain(self.agu.iter_mut())
+    }
+
+    /// Clears every slot (full flush).
+    pub fn clear(&mut self) {
+        for op in self.all_mut() {
+            *op = FuOp::default();
+        }
+    }
+
+    /// Visits all slots (`ptr_ecc` adds the pointer check bits).
+    pub fn visit(&mut self, v: &mut dyn StateVisitor, ptr_ecc: bool) {
+        for op in self.all_mut() {
+            op.visit(v, ptr_ecc);
+        }
+    }
+}
+
+impl Default for FuBank {
+    fn default() -> Self {
+        FuBank::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsim_bitstate::{BitCount, Census, InjectionMask};
+
+    #[test]
+    fn scheduler_slot_management() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.free_count(), 32);
+        let i = s.free_slot().unwrap();
+        s.slots[i].valid = true;
+        assert_eq!(s.free_count(), 31);
+        assert_ne!(s.free_slot().unwrap(), i);
+        s.clear();
+        assert_eq!(s.free_count(), 32);
+    }
+
+    #[test]
+    fn fu_class_decoding_is_total() {
+        for bits in 0..8u64 {
+            let _ = FuClass::from_bits(bits); // must not panic
+        }
+        assert_eq!(FuClass::from_bits(3), FuClass::Load);
+        assert_eq!(FuClass::from_bits(7), FuClass::Simple);
+    }
+
+    #[test]
+    fn fu_bank_has_figure2_complement() {
+        let mut b = FuBank::new();
+        assert_eq!(b.simple.len(), 2);
+        assert_eq!(b.complex.len(), 1);
+        assert_eq!(b.branch.len(), 1);
+        assert_eq!(b.agu.len(), 2);
+        assert_eq!(b.all_mut().count(), 6);
+    }
+
+    #[test]
+    fn scheduler_census_is_ram() {
+        let mut s = Scheduler::new();
+        let mut census = Census::new();
+        s.visit(&mut census, false);
+        assert_eq!(census.bits(Category::Insn, StorageKind::Ram), 32 * 32);
+        assert_eq!(census.bits(Category::Regptr, StorageKind::Ram), 32 * 28);
+        assert_eq!(census.bits(Category::Pc, StorageKind::Ram), 32 * 124);
+        let mut latch_only = BitCount::new(InjectionMask::LatchesOnly);
+        s.visit(&mut latch_only, false);
+        assert_eq!(latch_only.count, 0, "scheduler payloads are RAM");
+    }
+
+    #[test]
+    fn fu_operand_latches_dominate_data_category() {
+        let mut b = FuBank::new();
+        let mut census = Census::new();
+        b.visit(&mut census, false);
+        // 6 units x 3 x 64-bit operand latches.
+        assert_eq!(census.bits(Category::Data, StorageKind::Latch), 6 * 192);
+        assert_eq!(census.bits(Category::Data, StorageKind::Ram), 0);
+    }
+}

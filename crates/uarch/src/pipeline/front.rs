@@ -1,0 +1,326 @@
+//! Front-end phases: rename/dispatch, the decode pipe, and fetch with
+//! branch prediction and the instruction cache.
+
+use tfsim_isa::{decode, ExecClass, Mnemonic};
+use tfsim_protect::parity32;
+
+use crate::config::sizes;
+use crate::exec::{FuClass, SchedEntry};
+use crate::queues::{size_to_log2, ExcCode, LqEntry, RobEntry, SlotPayload, SqEntry};
+
+use super::{FlowEvent, Pipeline};
+
+impl Pipeline {
+    /// Rename/dispatch: up to 4 instructions from the rename latch get
+    /// physical registers, ROB entries, scheduler slots, and LSQ slots.
+    /// Stalls in order at the first resource shortage.
+    pub(crate) fn rename_phase(&mut self) {
+        for i in 0..sizes::DECODE_WIDTH {
+            if !self.ren[i].valid {
+                continue;
+            }
+            let p = self.ren[i].clone();
+            let insn = decode(p.raw as u32);
+            let class = insn.exec_class();
+            let effectful = !p.fetch_fault;
+            let needs_sched = effectful && class != ExecClass::Pal;
+            let dst = if effectful { insn.dst() } else { None };
+
+            // Resource checks (in-order stall).
+            if self.rob.is_full() {
+                break;
+            }
+            if needs_sched && self.sched.free_slot().is_none() {
+                break;
+            }
+            if effectful && insn.is_load() && self.lsq.lq_free() == 0 {
+                break;
+            }
+            if effectful && insn.is_store() && self.lsq.sq_free() == 0 {
+                break;
+            }
+            if dst.is_some() && self.spec_fl.is_empty() {
+                break;
+            }
+
+            // Source renaming (CMOV's third source is its old destination,
+            // already expressed by Insn::srcs).
+            let mut src_pregs = [0u64; 3];
+            let mut src_needed = [false; 3];
+            if effectful {
+                for (s, src) in insn.srcs().iter().enumerate() {
+                    if let Some(r) = src {
+                        src_pregs[s] = self.spec_rat.read(r.number() as u64);
+                        src_needed[s] = true;
+                    }
+                }
+            }
+
+            // Destination renaming.
+            let (has_dst, dst_areg, dst_preg, old_preg) = match dst {
+                Some(r) => {
+                    let newp = self.spec_fl.pop().unwrap_or(0x7f);
+                    let old = self.spec_rat.read(r.number() as u64);
+                    self.spec_rat.write(r.number() as u64, newp);
+                    self.regfile.set_ready(newp, false);
+                    if let Some(b) = self.spec_ready.get_mut(newp as usize) {
+                        *b = false;
+                    }
+                    (true, r.number() as u64, newp, old)
+                }
+                None => (false, 0, 0, 0),
+            };
+
+            // The instruction completes at dispatch when it never executes
+            // in a functional unit: PAL calls (handled at retire), illegal
+            // words (trap at retire), and fetch faults (ITLB trap).
+            let exc = if p.fetch_fault {
+                ExcCode::Itlb
+            } else if insn.mnemonic == Mnemonic::Illegal {
+                ExcCode::Illegal
+            } else {
+                ExcCode::None
+            };
+            let completed = !needs_sched || exc != ExcCode::None;
+
+            let src_ecc = [
+                self.ptr_check(src_pregs[0]),
+                self.ptr_check(src_pregs[1]),
+                self.ptr_check(src_pregs[2]),
+            ];
+            let dst_ecc = self.ptr_check(dst_preg);
+            let old_ecc = self.ptr_check(old_preg);
+
+            let rob_tag = self.rob.alloc(RobEntry {
+                pc: p.pc,
+                next_pc: p.pc.wrapping_add(4),
+                raw: p.raw,
+                dst_areg,
+                has_dst,
+                dst_preg,
+                old_preg,
+                completed,
+                exc: exc as u64,
+                is_store: effectful && exc == ExcCode::None && insn.is_store(),
+                is_load: effectful && exc == ExcCode::None && insn.is_load(),
+                lsq: 0,
+                is_branch: effectful && insn.is_control(),
+                parity: p.parity,
+                pred_taken: p.pred_taken,
+                ghr_snapshot: p.ghr_snapshot,
+                ras_snapshot: p.ras_snapshot,
+                dst_ecc,
+                old_ecc,
+                seq: p.seq,
+            });
+
+            // LSQ allocation.
+            let mut lsq_idx = 0u64;
+            let mut wait_sq = (0u64, false);
+            if self.rob.entry(rob_tag).is_load {
+                let lq_dst = if has_dst { dst_preg } else { 0x7f };
+                lsq_idx = self.lsq.alloc_load(LqEntry {
+                    rob: rob_tag,
+                    dst_preg: lq_dst,
+                    dst_ecc: self.ptr_check(lq_dst),
+                    pc: p.pc,
+                    raw: p.raw,
+                    size_log2: size_to_log2(insn.access_size()),
+                    ..Default::default()
+                });
+                if let Some(sq) = self.storesets.load_dispatched(p.pc) {
+                    wait_sq = (sq, true);
+                }
+            } else if self.rob.entry(rob_tag).is_store {
+                lsq_idx = self.lsq.alloc_store(SqEntry {
+                    rob: rob_tag,
+                    pc: p.pc,
+                    size_log2: size_to_log2(insn.access_size()),
+                    ..Default::default()
+                });
+                self.storesets.store_dispatched(p.pc, lsq_idx);
+            }
+            self.rob.entry_mut(rob_tag).lsq = lsq_idx;
+
+            // Scheduler dispatch.
+            if !completed {
+                let fu_class = match class {
+                    ExecClass::SimpleAlu => FuClass::Simple,
+                    ExecClass::ComplexAlu => FuClass::Complex,
+                    ExecClass::Branch => FuClass::Branch,
+                    ExecClass::Load => FuClass::Load,
+                    ExecClass::Store => FuClass::Store,
+                    ExecClass::Pal => FuClass::Simple,
+                };
+                let slot = self.sched.free_slot().expect("checked above");
+                self.sched.slots[slot] = SchedEntry {
+                    valid: true,
+                    issued: false,
+                    raw: p.raw,
+                    pc: p.pc,
+                    srcs: src_pregs,
+                    src_needed,
+                    dst_preg,
+                    has_dst,
+                    rob: rob_tag,
+                    lsq: lsq_idx,
+                    class: fu_class as u64,
+                    pred_taken: p.pred_taken,
+                    pred_target: p.pred_target,
+                    wait_sq: wait_sq.0,
+                    wait_sq_valid: wait_sq.1,
+                    src_ecc,
+                    dst_ecc,
+                };
+            }
+
+            self.ren[i].valid = false;
+        }
+    }
+
+    /// Advances the decode pipe: FQ → dec1 → dec2 → ren, each 4-wide,
+    /// moving a group only when the next latch is empty.
+    pub(crate) fn decode_phase(&mut self) {
+        if self.ren.iter().all(|s| !s.valid) {
+            std::mem::swap(&mut self.ren, &mut self.dec2);
+        }
+        if self.dec2.iter().all(|s| !s.valid) {
+            std::mem::swap(&mut self.dec2, &mut self.dec1);
+        }
+        if self.dec1.iter().all(|s| !s.valid) {
+            for i in 0..sizes::DECODE_WIDTH {
+                match self.fq.pop() {
+                    Some(p) => self.dec1[i] = p,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Fetch: redirect handling, fetch-buffer shifting, instruction-cache
+    /// access, branch prediction, and split-line group formation.
+    pub(crate) fn fetch_phase(&mut self) {
+        if self.redirect_valid {
+            self.fetch_pc = self.redirect_pc & !3;
+            self.redirect_valid = false;
+        }
+
+        // Oldest fetch buffer drains into the fetch queue when it fits.
+        let oldest_count = self.fstages[2].iter().filter(|s| s.valid).count() as u64;
+        if oldest_count > 0 && self.fq.free() >= oldest_count {
+            let mut stage = std::mem::take(&mut self.fstages[2]);
+            for slot in stage.iter_mut() {
+                if slot.valid {
+                    self.fq.push(std::mem::take(slot));
+                }
+                *slot = SlotPayload::default();
+            }
+            self.fstages[2] = stage;
+        }
+        if self.fstages[2].iter().all(|s| !s.valid) {
+            self.fstages.swap(1, 2);
+        }
+        if self.fstages[1].iter().all(|s| !s.valid) {
+            self.fstages.swap(0, 1);
+        }
+        if self.fstages[0].iter().any(|s| s.valid) {
+            return; // back-pressure: no room for a new group
+        }
+        if self.ifill_valid {
+            return; // waiting on an instruction-cache fill
+        }
+
+        let mut pc = self.fetch_pc & !3;
+        let line0 = pc & !(sizes::LINE_BYTES - 1);
+        if !self.icache.access(pc) {
+            self.stats.icache_misses += 1;
+            self.ifill_valid = true;
+            self.ifill_addr = line0;
+            self.ifill_timer = sizes::MISS_LATENCY as u64;
+            return;
+        }
+
+        let mut group: Vec<SlotPayload> = Vec::with_capacity(sizes::FETCH_WIDTH);
+        let mut second_line_checked = false;
+        for _ in 0..sizes::FETCH_WIDTH {
+            let line = pc & !(sizes::LINE_BYTES - 1);
+            if line != line0 {
+                // Split-line fetch may cross into exactly one more line.
+                if line != line0 + sizes::LINE_BYTES {
+                    break;
+                }
+                if !second_line_checked {
+                    second_line_checked = true;
+                    if !self.icache.access(pc) {
+                        self.ifill_valid = true;
+                        self.ifill_addr = line;
+                        self.ifill_timer = sizes::MISS_LATENCY as u64;
+                        break;
+                    }
+                }
+            }
+
+            let fault = !self.itlb.covers(pc, 4);
+            let raw = if fault { 0 } else { self.mem.read_u32(pc) };
+            let insn = decode(raw);
+            let ghr_snapshot = self.bpred.ghr();
+
+            let mut taken = false;
+            let mut target = 0u64;
+            if !fault && insn.is_control() {
+                match insn.mnemonic {
+                    Mnemonic::Br | Mnemonic::Bsr => {
+                        taken = true;
+                        target = insn.branch_target(pc);
+                    }
+                    Mnemonic::Jmp | Mnemonic::Jsr => {
+                        if let Some(t) = self.btb.lookup(pc) {
+                            taken = true;
+                            target = t;
+                        }
+                    }
+                    Mnemonic::Ret => {
+                        taken = true;
+                        target = self.ras.pop();
+                    }
+                    _ => {
+                        taken = self.bpred.predict(pc);
+                        target = insn.branch_target(pc);
+                        self.bpred.speculate(taken);
+                    }
+                }
+                if insn.is_call() {
+                    self.ras.push(pc.wrapping_add(4));
+                }
+            }
+
+            let seq = self.fetch_seq;
+            self.fetch_seq += 1;
+            let cycle = self.cycles;
+            self.log_flow(FlowEvent::Fetch { seq, cycle });
+            group.push(SlotPayload {
+                valid: true,
+                raw: raw as u64,
+                pc,
+                pred_taken: taken,
+                pred_target: target & !3,
+                fetch_fault: fault,
+                parity: self.config.insn_parity && parity32(raw),
+                ghr_snapshot,
+                ras_snapshot: self.ras.pointer(),
+                seq,
+            });
+
+            if taken {
+                pc = target & !3;
+                break;
+            }
+            pc = pc.wrapping_add(4);
+        }
+
+        for (i, slot) in group.into_iter().enumerate() {
+            self.fstages[0][i] = slot;
+        }
+        self.fetch_pc = pc;
+    }
+}

@@ -1,0 +1,346 @@
+//! The memory phase: senior-store drain, MHR fills, instruction-cache
+//! fills, address generation, store-to-load forwarding, bank-arbitrated
+//! data-cache access, memory-order violation detection, and load data
+//! delivery.
+
+use tfsim_isa::{alu, decode};
+use tfsim_mem::is_aligned;
+
+use crate::config::sizes;
+use crate::exec::{FuClass, FuOp};
+use crate::queues::{range_contains, ranges_overlap, ExcCode, LoadState};
+
+use super::Pipeline;
+
+impl Pipeline {
+    /// Load data delivery. Runs *before* writeback each cycle so a
+    /// consumer completing this cycle sees the data (bypass); hit/miss is
+    /// determined here, at the end of the cache-access shadow, which is
+    /// what gives speculatively woken consumers something to replay on.
+    pub(crate) fn memory_deliver_phase(&mut self) {
+        for i in 0..sizes::LOAD_QUEUE {
+            let e = &mut self.lsq.lq[i];
+            if !(e.valid && e.inflight) {
+                continue;
+            }
+            if e.data_timer > 1 {
+                e.data_timer -= 1;
+                continue;
+            }
+            e.inflight = false;
+            e.data_timer = 0;
+            if e.forwarded {
+                self.deliver_load(i);
+                continue;
+            }
+            // End of the access shadow: resolve hit or miss now.
+            let (addr, dst) = (e.addr, e.dst_preg);
+            if self.mhrs.pending(addr) {
+                let e = &mut self.lsq.lq[i];
+                e.fill_wait = true;
+                if let Some(b) = self.spec_ready.get_mut(dst as usize) {
+                    *b = false;
+                }
+            } else if self.dcache.access(addr) {
+                self.deliver_load(i);
+            } else if {
+                self.stats.dcache_misses += 1;
+                self.mhrs.allocate(addr)
+            } {
+                let e = &mut self.lsq.lq[i];
+                e.fill_wait = true;
+                // The hit speculation failed: consumers must replay.
+                if let Some(b) = self.spec_ready.get_mut(dst as usize) {
+                    *b = false;
+                }
+            }
+            // MHRs exhausted: the entry returns to Access state and the
+            // retry pass re-initiates the probe next cycle.
+        }
+    }
+
+    pub(crate) fn memory_phase(&mut self) {
+        self.drain_senior_store();
+
+        // Completed line fills install tags and release waiting loads.
+        for line in self.mhrs.tick() {
+            self.dcache.fill(line);
+            for i in 0..sizes::LOAD_QUEUE {
+                let e = &mut self.lsq.lq[i];
+                if e.valid
+                    && e.fill_wait
+                    && (e.addr & !(sizes::LINE_BYTES - 1)) == line
+                {
+                    e.fill_wait = false;
+                    e.inflight = true;
+                    e.data_timer = 1;
+                }
+            }
+        }
+
+        // Instruction-cache fill in progress.
+        if self.ifill_valid {
+            if self.ifill_timer <= 1 {
+                let addr = self.ifill_addr;
+                self.icache.fill(addr);
+                self.ifill_valid = false;
+                self.ifill_addr = 0;
+                self.ifill_timer = 0;
+            } else {
+                self.ifill_timer -= 1;
+            }
+        }
+
+        // Address generation, oldest first.
+        for r in self.completing_ops(&[3]) {
+            if !self.fu(r).valid {
+                continue; // squashed by a violation handled this phase
+            }
+            if self.replay_if_stale(r) {
+                continue;
+            }
+            let op = std::mem::take(self.fu(r));
+            match FuClass::from_bits(op.class) {
+                FuClass::Store => self.agu_store(op),
+                _ => self.agu_load(op),
+            }
+            if !self.running() {
+                return;
+            }
+        }
+
+        // Per-cycle cache port budget: dual-ported via 8 banks.
+        let mut bank_used = [false; sizes::DCACHE_BANKS as usize];
+        let mut ports = 2u32;
+
+        // Loads with known addresses retry until they get data.
+        for i in 0..sizes::LOAD_QUEUE {
+            let e = &self.lsq.lq[i];
+            if e.valid && e.state == LoadState::Access && !e.inflight && !e.fill_wait {
+                self.try_load_access(i, &mut bank_used, &mut ports);
+            }
+        }
+
+    }
+
+    /// Writes the oldest senior store through to memory (one per cycle).
+    fn drain_senior_store(&mut self) {
+        if self.lsq.sq_count.min(sizes::STORE_QUEUE as u64) == 0 {
+            return;
+        }
+        let head = (self.lsq.sq_head % sizes::STORE_QUEUE as u64) as usize;
+        let e = &self.lsq.sq[head];
+        if !e.valid || !e.senior {
+            return;
+        }
+        let (addr, data, size) = (e.addr, e.data, e.size());
+        self.mem.write_sized(addr, data, size);
+        // Write-through: cache data always equals memory, so only the tag
+        // state could change — stores do not allocate.
+        self.lsq.sq[head] = Default::default();
+        self.lsq.sq_head = (self.lsq.sq_head + 1) % sizes::STORE_QUEUE as u64;
+        self.lsq.sq_count = (self.lsq.sq_count - 1) & 0x1f;
+    }
+
+    /// Address generation for a load.
+    fn agu_load(&mut self, op: FuOp) {
+        let insn = decode(op.raw as u32);
+        let addr = op.a.wrapping_add(insn.imm as u64);
+        let li = (op.lsq as usize) % sizes::LOAD_QUEUE;
+        let size = self.lsq.lq[li].size();
+
+        if !is_aligned(addr, size) {
+            self.finish_load_with_exception(li, op, ExcCode::Alignment);
+            return;
+        }
+        if !self.dtlb.covers(addr, size) {
+            self.finish_load_with_exception(li, op, ExcCode::Dtlb);
+            return;
+        }
+        {
+            let e = &mut self.lsq.lq[li];
+            e.addr = addr;
+            e.state = LoadState::Access;
+            e.sched = op.sched;
+        }
+        // Speculative wakeup: from here consumers may issue assuming a
+        // hit; the delivery phase replays them if the access misses.
+        if op.has_dst {
+            if let Some(b) = self.spec_ready.get_mut(op.dst_preg as usize) {
+                *b = true;
+            }
+        }
+        let mut bank_used = [false; sizes::DCACHE_BANKS as usize];
+        let mut ports = 1u32;
+        self.try_load_access(li, &mut bank_used, &mut ports);
+    }
+
+    fn finish_load_with_exception(&mut self, li: usize, op: FuOp, exc: ExcCode) {
+        let e = &mut self.lsq.lq[li];
+        e.state = LoadState::Done;
+        let rob = self.rob.entry_mut(op.rob);
+        rob.exc = exc as u64;
+        rob.completed = true;
+        if op.has_dst {
+            // The destination never produces; end the wakeup window so
+            // consumers wait (they can only retire after the exception
+            // flushes anyway).
+            if let Some(b) = self.spec_ready.get_mut(op.dst_preg as usize) {
+                *b = false;
+            }
+        }
+        self.free_sched(op.sched, op.rob);
+    }
+
+    /// Address generation for a store: capture address and data, complete
+    /// the store, and check younger loads for memory-order violations.
+    fn agu_store(&mut self, op: FuOp) {
+        let insn = decode(op.raw as u32);
+        let addr = op.b.wrapping_add(insn.imm as u64);
+        let si = (op.lsq as usize) % sizes::STORE_QUEUE;
+        let size = self.lsq.sq[si].size();
+
+        if !is_aligned(addr, size) || !self.dtlb.covers(addr, size) {
+            let exc = if !is_aligned(addr, size) { ExcCode::Alignment } else { ExcCode::Dtlb };
+            let rob = self.rob.entry_mut(op.rob);
+            rob.exc = exc as u64;
+            rob.completed = true;
+            self.free_sched(op.sched, op.rob);
+            return;
+        }
+
+        {
+            let e = &mut self.lsq.sq[si];
+            e.addr = addr;
+            e.addr_valid = true;
+            e.data = op.a;
+            e.data_valid = true;
+        }
+        self.rob.entry_mut(op.rob).completed = true;
+        self.free_sched(op.sched, op.rob);
+        self.storesets.store_resolved(si as u64);
+
+        // Memory-order violation: a younger load already obtained data
+        // overlapping this store's range from somewhere else.
+        let store_rob = op.rob;
+        let store_pc = op.pc;
+        let mut victim: Option<(u64, u64, u64)> = None; // (rob, load pc, age)
+        for e in self.lsq.lq.iter() {
+            if !e.valid || e.state == LoadState::WaitAddr {
+                continue;
+            }
+            let got_data = e.state == LoadState::Done || e.inflight;
+            if !got_data {
+                continue;
+            }
+            if !self.rob.younger(e.rob, store_rob) {
+                continue;
+            }
+            if !ranges_overlap(e.addr, e.size(), addr, size) {
+                continue;
+            }
+            if e.forwarded && e.fwd_sq == si as u64 {
+                continue; // it already got THIS store's data
+            }
+            let age = self.rob.age(e.rob);
+            if victim.map_or(true, |(_, _, a)| age < a) {
+                victim = Some((e.rob, e.pc, age));
+            }
+        }
+        if let Some((rob, load_pc, _)) = victim {
+            self.stats.violations += 1;
+            self.storesets.violation(load_pc, store_pc);
+            self.squash_after(rob, true);
+            // squash_after(inclusive) redirects to the load's PC itself.
+        }
+    }
+
+    /// One attempt to obtain data for the load in LQ slot `li`:
+    /// store-to-load forwarding, then a bank-arbitrated cache access.
+    fn try_load_access(&mut self, li: usize, bank_used: &mut [bool], ports: &mut u32) {
+        let (addr, size, load_rob, dst) = {
+            let e = &self.lsq.lq[li];
+            (e.addr, e.size(), e.rob, e.dst_preg)
+        };
+
+        // Scan the store queue youngest-to-oldest (ring order equals
+        // program order) for the nearest older store overlapping us.
+        let cap = sizes::STORE_QUEUE as u64;
+        let count = self.lsq.sq_count.min(cap);
+        let mut hit_store: Option<usize> = None;
+        for k in 0..count {
+            let idx = ((self.lsq.sq_tail + cap - 1 - k) % cap) as usize;
+            let s = &self.lsq.sq[idx];
+            if !s.valid || !s.addr_valid {
+                continue;
+            }
+            let older = s.senior || self.rob.younger(load_rob, s.rob);
+            if !older {
+                continue;
+            }
+            if ranges_overlap(s.addr, s.size(), addr, size) {
+                hit_store = Some(idx);
+                break;
+            }
+        }
+
+        if let Some(si) = hit_store {
+            let s = &self.lsq.sq[si];
+            if s.data_valid && range_contains(s.addr, s.size(), addr, size) {
+                // Forward: extract the loaded bytes from the store data.
+                let shift = (addr - s.addr) * 8;
+                let mask = if size >= 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+                let value = (s.data >> shift) & mask;
+                let e = &mut self.lsq.lq[li];
+                e.forwarded = true;
+                e.fwd_sq = si as u64;
+                e.fwd_value = value;
+                e.inflight = true;
+                e.data_timer = 1;
+            }
+            // Partial overlap or data not ready: retry next cycle (the
+            // store will drain or complete).
+            return;
+        }
+
+        // No forwarding: start a cache access, subject to bank and port
+        // arbitration. Hit/miss resolves at the end of the shadow (in the
+        // delivery phase), which is what makes the speculative wakeup of
+        // consumers genuinely speculative.
+        if self.mhrs.pending(addr) {
+            let e = &mut self.lsq.lq[li];
+            e.fill_wait = true;
+            if let Some(b) = self.spec_ready.get_mut(dst as usize) {
+                *b = false;
+            }
+            return;
+        }
+        let bank = ((addr / 8) % sizes::DCACHE_BANKS) as usize;
+        if *ports == 0 || bank_used[bank] {
+            return; // structural conflict: retry next cycle
+        }
+        *ports -= 1;
+        bank_used[bank] = true;
+
+        self.stats.dcache_accesses += 1;
+        let e = &mut self.lsq.lq[li];
+        e.inflight = true;
+        e.data_timer = sizes::DCACHE_LATENCY as u64;
+    }
+
+    /// Load data arrives: extend, write back, wake consumers, complete.
+    fn deliver_load(&mut self, li: usize) {
+        let (addr, size, forwarded, fwd_value, raw, rob, dst, sched) = {
+            let e = &self.lsq.lq[li];
+            let dst = self.ptr_repair(e.dst_preg, e.dst_ecc);
+            (e.addr, e.size(), e.forwarded, e.fwd_value, e.raw, e.rob, dst, e.sched)
+        };
+        let raw_val = if forwarded { fwd_value } else { self.mem.read_sized(addr, size) };
+        let insn = decode(raw as u32);
+        let value = if insn.is_load() { alu::extend_load(insn.mnemonic, raw_val) } else { raw_val };
+        self.write_preg(dst, value);
+        self.rob.entry_mut(rob).completed = true;
+        self.lsq.lq[li].state = LoadState::Done;
+        self.free_sched(sched, rob);
+    }
+}

@@ -1,0 +1,509 @@
+//! The pipeline top level: a cycle-accurate, bit-accurate model of the
+//! 12-stage dynamically scheduled superscalar processor of Figure 1/2.
+//!
+//! One [`Pipeline::step`] call advances one clock edge. Stages are
+//! evaluated in reverse order (retire first, fetch last) so that values
+//! latched this cycle become visible next cycle, modeling edge-triggered
+//! pipeline registers.
+//!
+//! ## State coverage
+//!
+//! Every microarchitectural storage element is reachable through the
+//! [`VisitState`] implementation: injectable pipeline state (Table 1
+//! categories), protection state (`ecc`/`parity`), and shadow state
+//! (caches and predictors, fingerprinted but excluded from injection).
+//! Main memory and the output stream are *not* part of the walk: their
+//! equivalence with a golden run is implied by matching retirement streams
+//! (every store and syscall is checked at retirement by the injection
+//! harness), which keeps the µArch Match comparison cheap.
+
+mod front;
+mod render;
+mod memphase;
+mod retire;
+mod squash;
+mod visit;
+mod wb;
+
+#[cfg(test)]
+mod tests;
+
+use tfsim_arch::RetireRecord;
+use tfsim_isa::Program;
+use tfsim_mem::{PageSet, SparseMemory};
+use tfsim_protect::{TimeoutAction, TimeoutCounter};
+
+use crate::bpred::{BranchPredictor, Btb, Ras};
+use crate::caches::{MhrFile, TagCache};
+use crate::config::{sizes, PipelineConfig};
+use crate::exec::{FuBank, Scheduler};
+use crate::queues::{ExcCode, FetchQueue, Lsq, Rob, SlotPayload};
+use crate::regfile::PhysRegFile;
+use crate::rename::{FreeList, Rat};
+use crate::storesets::StoreSets;
+use tfsim_bitstate::Category;
+
+/// An architecturally visible event produced by the retire stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetireEvent {
+    /// An instruction committed.
+    Retired(RetireRecord),
+    /// The program halted (PAL halt or `exit` syscall).
+    Halted {
+        /// Exit code.
+        code: u64,
+    },
+    /// An exception reached the head of the ROB; the machine stops.
+    Exception(ExcCode),
+}
+
+/// What happened during one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CycleReport {
+    /// Retirement-stage events, oldest first.
+    pub events: Vec<RetireEvent>,
+    /// Number of instructions retired this cycle.
+    pub retired: u32,
+    /// A protection mechanism forced a pipeline flush this cycle.
+    pub protective_flush: bool,
+}
+
+/// Instrumentation events for the Figure 6 valid-instruction analysis
+/// (recorded only when [`Pipeline::enable_flow_log`] was called).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowEvent {
+    /// Instruction `seq` entered the machine at `cycle`.
+    Fetch {
+        /// Fetch sequence number.
+        seq: u64,
+        /// Cycle of entry.
+        cycle: u64,
+    },
+    /// Instruction `seq` retired at `cycle`.
+    Commit {
+        /// Fetch sequence number.
+        seq: u64,
+        /// Cycle of commit.
+        cycle: u64,
+    },
+    /// Instruction `seq` was squashed at `cycle`.
+    Squash {
+        /// Fetch sequence number.
+        seq: u64,
+        /// Cycle of squash.
+        cycle: u64,
+    },
+}
+
+/// Instrumentation counters (not machine state; never visited).
+///
+/// These are the per-benchmark characteristics the paper uses to explain
+/// masking differences: IPC, branch prediction rate, and cache hit rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Conditional/indirect branches resolved by the branch unit.
+    pub branches_resolved: u64,
+    /// Branches whose prediction was wrong (squash + redirect).
+    pub branch_mispredicts: u64,
+    /// Data-cache accesses attempted by loads.
+    pub dcache_accesses: u64,
+    /// Data-cache misses (MHR allocations or joins).
+    pub dcache_misses: u64,
+    /// Instruction-cache miss stalls.
+    pub icache_misses: u64,
+    /// Scheduler replays caused by load-hit misspeculation.
+    pub replays: u64,
+    /// Memory-order violations detected (store-set training events).
+    pub violations: u64,
+    /// Full pipeline flushes (exceptions and protection mechanisms).
+    pub full_flushes: u64,
+}
+
+impl PipeStats {
+    /// Fraction of resolved branches predicted correctly.
+    pub fn branch_prediction_rate(&self) -> f64 {
+        if self.branches_resolved == 0 {
+            return 1.0;
+        }
+        1.0 - self.branch_mispredicts as f64 / self.branches_resolved as f64
+    }
+
+    /// Fraction of data-cache accesses that hit.
+    pub fn dcache_hit_rate(&self) -> f64 {
+        if self.dcache_accesses == 0 {
+            return 1.0;
+        }
+        1.0 - self.dcache_misses as f64 / self.dcache_accesses as f64
+    }
+}
+
+/// Point-in-time structure occupancies (fractions of capacity), the raw
+/// material of utilization-based vulnerability analysis (cf. Mukherjee et
+/// al.'s architectural vulnerability factors, which the paper's results
+/// corroborate).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Occupancy {
+    /// Reorder buffer occupancy.
+    pub rob: f64,
+    /// Scheduler occupancy.
+    pub scheduler: f64,
+    /// Fetch queue occupancy.
+    pub fetch_queue: f64,
+    /// Load queue occupancy.
+    pub load_queue: f64,
+    /// Store queue occupancy.
+    pub store_queue: f64,
+    /// Miss handling register occupancy.
+    pub mhrs: f64,
+    /// Fetch/decode pipe-latch occupancy.
+    pub frontend: f64,
+}
+
+impl Occupancy {
+    /// Capacity-weighted mean occupancy across the tracked structures.
+    pub fn overall(&self) -> f64 {
+        let weighted = self.rob * sizes::ROB as f64
+            + self.scheduler * sizes::SCHEDULER as f64
+            + self.fetch_queue * sizes::FETCH_QUEUE as f64
+            + self.load_queue * sizes::LOAD_QUEUE as f64
+            + self.store_queue * sizes::STORE_QUEUE as f64
+            + self.mhrs * sizes::MHRS as f64
+            + self.frontend * (3.0 * sizes::FETCH_WIDTH as f64 + 3.0 * sizes::DECODE_WIDTH as f64);
+        let capacity = (sizes::ROB
+            + sizes::SCHEDULER
+            + sizes::FETCH_QUEUE
+            + sizes::LOAD_QUEUE
+            + sizes::STORE_QUEUE
+            + sizes::MHRS
+            + 3 * sizes::FETCH_WIDTH
+            + 3 * sizes::DECODE_WIDTH) as f64;
+        weighted / capacity
+    }
+}
+
+/// The pipeline model. Clone a warmed-up pipeline to create a trial
+/// checkpoint.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    pub(crate) config: PipelineConfig,
+
+    // Memory system (not visited; see module docs).
+    pub(crate) mem: SparseMemory,
+    pub(crate) itlb: PageSet,
+    pub(crate) dtlb: PageSet,
+    pub(crate) output: Vec<u8>,
+
+    // Front end.
+    pub(crate) fetch_pc: u64,
+    pub(crate) redirect_valid: bool,
+    pub(crate) redirect_pc: u64,
+    pub(crate) fstages: Vec<Vec<SlotPayload>>, // 3 stages x 8 slots
+    pub(crate) fq: FetchQueue,
+    pub(crate) dec1: Vec<SlotPayload>, // 4-wide
+    pub(crate) dec2: Vec<SlotPayload>,
+    pub(crate) ren: Vec<SlotPayload>,
+    pub(crate) bpred: BranchPredictor,
+    pub(crate) btb: Btb,
+    pub(crate) ras: Ras,
+    pub(crate) icache: TagCache,
+    pub(crate) ifill_valid: bool,
+    pub(crate) ifill_addr: u64,
+    pub(crate) ifill_timer: u64,
+
+    // Rename.
+    pub(crate) spec_rat: Rat,
+    pub(crate) arch_rat: Rat,
+    pub(crate) spec_fl: FreeList,
+    pub(crate) arch_fl: FreeList,
+
+    // Out-of-order window.
+    pub(crate) sched: Scheduler,
+    pub(crate) rob: Rob,
+    pub(crate) lsq: Lsq,
+    pub(crate) fus: FuBank,
+    pub(crate) regfile: PhysRegFile,
+    pub(crate) spec_ready: Vec<bool>, // 80 speculative-wakeup bits
+    pub(crate) dcache: TagCache,
+    pub(crate) mhrs: MhrFile,
+    pub(crate) storesets: StoreSets,
+
+    // Architectural bookkeeping.
+    pub(crate) arch_pc: u64, // PC of the next instruction to retire
+    pub(crate) watchdog: TimeoutCounter,
+
+    // Terminal conditions and instrumentation (not machine state).
+    pub(crate) halted: Option<u64>,
+    pub(crate) excepted: Option<ExcCode>,
+    pub(crate) cycles: u64,
+    pub(crate) instret: u64,
+    pub(crate) fetch_seq: u64,
+    pub(crate) flow_log: Option<Vec<FlowEvent>>,
+    pub(crate) stats: PipeStats,
+}
+
+impl Pipeline {
+    /// Creates a pipeline loaded with `program`, TLBs preloaded with the
+    /// program's own sections. For injection campaigns, widen the TLBs to
+    /// the pages of a fault-free run with [`Pipeline::set_tlbs`].
+    pub fn new(program: &Program, config: PipelineConfig) -> Pipeline {
+        let mut pages = PageSet::new();
+        for s in &program.sections {
+            pages.insert_range(s.addr, s.bytes.len() as u64);
+        }
+        let ecc = config.pointer_ecc;
+        Pipeline {
+            config,
+            mem: SparseMemory::from_program(program),
+            itlb: pages.clone(),
+            dtlb: pages,
+            output: Vec::new(),
+            fetch_pc: program.entry,
+            redirect_valid: false,
+            redirect_pc: 0,
+            fstages: (0..3)
+                .map(|_| (0..sizes::FETCH_WIDTH).map(|_| SlotPayload::default()).collect())
+                .collect(),
+            fq: FetchQueue::new(),
+            dec1: (0..sizes::DECODE_WIDTH).map(|_| SlotPayload::default()).collect(),
+            dec2: (0..sizes::DECODE_WIDTH).map(|_| SlotPayload::default()).collect(),
+            ren: (0..sizes::DECODE_WIDTH).map(|_| SlotPayload::default()).collect(),
+            bpred: BranchPredictor::new(),
+            btb: Btb::new(),
+            ras: Ras::new(),
+            icache: TagCache::new(sizes::ICACHE_BYTES),
+            ifill_valid: false,
+            ifill_addr: 0,
+            ifill_timer: 0,
+            spec_rat: Rat::new(Category::SpecRat, ecc),
+            arch_rat: Rat::new(Category::ArchRat, ecc),
+            spec_fl: FreeList::new(Category::SpecFreelist, ecc),
+            arch_fl: FreeList::new(Category::ArchFreelist, ecc),
+            sched: Scheduler::new(),
+            rob: Rob::new(),
+            lsq: Lsq::new(),
+            fus: FuBank::new(),
+            regfile: PhysRegFile::new(config.regfile_ecc),
+            spec_ready: vec![false; sizes::PHYS_REGS],
+            dcache: TagCache::new(sizes::DCACHE_BYTES),
+            mhrs: MhrFile::new(),
+            storesets: StoreSets::new(),
+            arch_pc: program.entry,
+            watchdog: TimeoutCounter::with_threshold(config.timeout_threshold),
+            halted: None,
+            excepted: None,
+            cycles: 0,
+            instret: 0,
+            fetch_seq: 0,
+            flow_log: None,
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Replaces the TLB page sets (preloaded from a fault-free functional
+    /// run, as the paper does).
+    pub fn set_tlbs(&mut self, itlb: PageSet, dtlb: PageSet) {
+        self.itlb = itlb;
+        self.dtlb = dtlb;
+    }
+
+    /// Turns on [`FlowEvent`] recording (golden runs only; it is
+    /// instrumentation, not machine state).
+    pub fn enable_flow_log(&mut self) {
+        self.flow_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded flow events.
+    pub fn take_flow_events(&mut self) -> Vec<FlowEvent> {
+        self.flow_log.take().unwrap_or_default()
+    }
+
+    /// Instrumentation counters accumulated since reset.
+    pub fn stats(&self) -> PipeStats {
+        self.stats
+    }
+
+    /// Cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Program output so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Exit code if halted.
+    pub fn halted(&self) -> Option<u64> {
+        self.halted
+    }
+
+    /// Exception that terminated the machine, if any.
+    pub fn exception(&self) -> Option<ExcCode> {
+        self.excepted
+    }
+
+    /// Whether the machine can still advance.
+    pub fn running(&self) -> bool {
+        self.halted.is_none() && self.excepted.is_none()
+    }
+
+    /// Number of instructions currently in flight (fetch buffers, fetch
+    /// queue, decode/rename pipe, and ROB).
+    pub fn in_flight(&self) -> u64 {
+        let stages: u64 = self
+            .fstages
+            .iter()
+            .flatten()
+            .chain(self.dec1.iter())
+            .chain(self.dec2.iter())
+            .chain(self.ren.iter())
+            .filter(|s| s.valid)
+            .count() as u64;
+        stages + self.fq.len() + self.rob.len()
+    }
+
+    /// Check bits for a 7-bit pointer (zero when the protection is off).
+    pub(crate) fn ptr_check(&self, v: u64) -> u64 {
+        if self.config.pointer_ecc {
+            tfsim_protect::ptr7_check(v)
+        } else {
+            0
+        }
+    }
+
+    /// Repairs a pointer against its check bits (identity when off).
+    pub(crate) fn ptr_repair(&self, v: u64, ecc: u64) -> u64 {
+        if self.config.pointer_ecc {
+            tfsim_protect::ptr7_fix(v, ecc)
+        } else {
+            v
+        }
+    }
+
+    /// Samples the current structure occupancies.
+    pub fn occupancy(&self) -> Occupancy {
+        let frontend_slots = self
+            .fstages
+            .iter()
+            .flatten()
+            .chain(self.dec1.iter())
+            .chain(self.dec2.iter())
+            .chain(self.ren.iter())
+            .filter(|s| s.valid)
+            .count() as f64;
+        Occupancy {
+            rob: self.rob.len() as f64 / sizes::ROB as f64,
+            scheduler: self.sched.slots.iter().filter(|e| e.valid).count() as f64
+                / sizes::SCHEDULER as f64,
+            fetch_queue: self.fq.len() as f64 / sizes::FETCH_QUEUE as f64,
+            load_queue: self.lsq.lq_count.min(sizes::LOAD_QUEUE as u64) as f64
+                / sizes::LOAD_QUEUE as f64,
+            store_queue: self.lsq.sq_count.min(sizes::STORE_QUEUE as u64) as f64
+                / sizes::STORE_QUEUE as f64,
+            mhrs: self.mhrs.occupancy() as f64 / sizes::MHRS as f64,
+            frontend: frontend_slots
+                / (3.0 * sizes::FETCH_WIDTH as f64 + 3.0 * sizes::DECODE_WIDTH as f64),
+        }
+    }
+
+    pub(crate) fn log_flow(&mut self, ev: FlowEvent) {
+        if let Some(log) = self.flow_log.as_mut() {
+            log.push(ev);
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) -> CycleReport {
+        let mut report = CycleReport::default();
+        if !self.running() {
+            return report;
+        }
+        self.cycles += 1;
+
+        self.retire_phase(&mut report);
+        if !self.running() {
+            return report;
+        }
+        self.memory_deliver_phase();
+        self.writeback_phase();
+        self.memory_phase();
+        self.execute_phase();
+        self.issue_phase();
+        self.rename_phase();
+        self.decode_phase();
+        self.fetch_phase();
+        self.regfile.tick_ecc();
+
+        if self.config.timeout_counter
+            && self.watchdog.tick(report.retired > 0) == TimeoutAction::Flush
+        {
+            let target = self.arch_pc;
+            self.full_flush(target);
+            report.protective_flush = true;
+        }
+        report
+    }
+
+    /// Runs until halt, exception, or `max_cycles`, collecting all events.
+    pub fn run(&mut self, max_cycles: u64) -> Vec<RetireEvent> {
+        let mut events = Vec::new();
+        for _ in 0..max_cycles {
+            if !self.running() {
+                break;
+            }
+            events.append(&mut self.step().events);
+        }
+        events
+    }
+}
+
+impl Pipeline {
+    /// Drops any flow-event instrumentation (used when cloning a logged
+    /// golden checkpoint into injection trials).
+    pub fn disable_flow_log(&mut self) {
+        self.flow_log = None;
+    }
+
+    /// Checks the rename-state partition invariant for an *idle* machine
+    /// (empty ROB): every physical register appears exactly once across
+    /// the architectural RAT image and the architectural free list, and
+    /// the speculative copies agree with the architectural ones.
+    ///
+    /// Holds for every fault-free execution; fault injection may break it
+    /// (that is the point of the experiments), so this is a test and
+    /// debugging aid, not a runtime assertion.
+    pub fn rename_state_consistent(&mut self) -> bool {
+        if !self.rob.is_empty() {
+            return true; // only meaningful when idle
+        }
+        let mut seen = [0u32; sizes::PHYS_REGS];
+        for areg in 0..sizes::ARCH_REGS as u64 {
+            let spec = self.spec_rat.read(areg);
+            let arch = self.arch_rat.read(areg);
+            if spec != arch {
+                return false;
+            }
+            match seen.get_mut(arch as usize) {
+                Some(slot) => *slot += 1,
+                None => return false,
+            }
+        }
+        // Drain a clone of the arch free list.
+        let mut fl = self.arch_fl.clone();
+        if fl.len() != sizes::FREELIST as u64 {
+            return false;
+        }
+        while let Some(p) = fl.pop() {
+            match seen.get_mut(p as usize) {
+                Some(slot) => *slot += 1,
+                None => return false,
+            }
+        }
+        seen.iter().all(|&c| c == 1)
+    }
+}

@@ -1,0 +1,203 @@
+//! Human-readable pipeline state dumps for debugging and teaching: a
+//! per-cycle view of what each structure holds, in the style of classic
+//! simulator "pipetrace" output.
+
+use tfsim_isa::decode;
+
+use crate::config::sizes;
+use crate::queues::LoadState;
+
+use super::Pipeline;
+
+impl Pipeline {
+    /// Renders a compact snapshot of the machine: front-end contents, the
+    /// reorder buffer window, scheduler entries, load/store queues, and
+    /// functional units.
+    ///
+    /// Intended for debugging and demonstration (`tfsim-run --dump`); the
+    /// output format is human-oriented and not stable API.
+    pub fn render_state(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cycle {}  retired {}  arch_pc {:#x}  fetch_pc {:#x}{}\n",
+            self.cycles,
+            self.instret,
+            self.arch_pc,
+            self.fetch_pc,
+            if self.redirect_valid {
+                format!("  redirect->{:#x}", self.redirect_pc)
+            } else {
+                String::new()
+            }
+        ));
+
+        // Front end.
+        let fq: Vec<String> = (0..self.fq.len())
+            .map(|k| {
+                let i = ((self.fq.head + k) % sizes::FETCH_QUEUE as u64) as usize;
+                format!("{:#x}", self.fq.slots[i].pc)
+            })
+            .collect();
+        out.push_str(&format!("fetch queue [{}]: {}\n", self.fq.len(), fq.join(" ")));
+
+        // ROB window, oldest first.
+        out.push_str(&format!("rob [{}/{}]:\n", self.rob.len(), sizes::ROB));
+        for k in 0..self.rob.len().min(sizes::ROB as u64) {
+            let tag = (self.rob.head + k) % sizes::ROB as u64;
+            let e = self.rob.entry(tag);
+            let insn = decode(e.raw as u32);
+            out.push_str(&format!(
+                "  [{tag:2}] {:#8x} {:<24} {}{}{}\n",
+                e.pc,
+                insn.to_string(),
+                if e.completed { "done" } else { "    " },
+                if e.is_branch { " br" } else { "" },
+                if e.exc != 0 { " EXC" } else { "" },
+            ));
+        }
+
+        // Scheduler.
+        let waiting: Vec<String> = self
+            .sched
+            .slots
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| {
+                format!(
+                    "{}@rob{}{}",
+                    decode(e.raw as u32).mnemonic_label(),
+                    e.rob,
+                    if e.issued { "*" } else { "" }
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "scheduler [{}/{}]: {}\n",
+            waiting.len(),
+            sizes::SCHEDULER,
+            waiting.join(" ")
+        ));
+
+        // LSQ.
+        let loads: Vec<String> = self
+            .lsq
+            .lq
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| {
+                let st = match e.state {
+                    LoadState::WaitAddr => "wait",
+                    LoadState::Access => {
+                        if e.fill_wait {
+                            "fill"
+                        } else if e.inflight {
+                            "mem"
+                        } else {
+                            "retry"
+                        }
+                    }
+                    LoadState::Done => "done",
+                };
+                format!("{:#x}:{st}", e.addr)
+            })
+            .collect();
+        let stores: Vec<String> = self
+            .lsq
+            .sq
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| {
+                format!(
+                    "{:#x}{}",
+                    e.addr,
+                    if e.senior {
+                        ":snr"
+                    } else if e.addr_valid {
+                        ":rdy"
+                    } else {
+                        ":agu"
+                    }
+                )
+            })
+            .collect();
+        out.push_str(&format!("loads: {}   stores: {}\n", loads.join(" "), stores.join(" ")));
+
+        // Functional units.
+        let mut fus = Vec::new();
+        for (name, ops) in [
+            ("alu", &self.fus.simple),
+            ("cpx", &self.fus.complex),
+            ("br", &self.fus.branch),
+            ("agu", &self.fus.agu),
+        ] {
+            for op in ops.iter() {
+                if op.valid {
+                    fus.push(format!(
+                        "{name}:{}(-{})",
+                        decode(op.raw as u32).mnemonic_label(),
+                        op.remaining
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!("units: {}\n", fus.join(" ")));
+        out
+    }
+}
+
+/// Lowercase mnemonic label helper used by the renderer.
+trait MnemonicLabel {
+    fn mnemonic_label(&self) -> String;
+}
+
+impl MnemonicLabel for tfsim_isa::Insn {
+    fn mnemonic_label(&self) -> String {
+        format!("{:?}", self.mnemonic).to_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tfsim_isa::{Asm, Program, Reg};
+
+    use crate::config::PipelineConfig;
+    use crate::pipeline::Pipeline;
+
+    #[test]
+    fn render_shows_live_structures() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, 0x10_0000);
+        a.li(Reg::R2, 200);
+        let top = a.here_label();
+        a.stq(Reg::R2, Reg::R1, 0);
+        a.ldq(Reg::R3, Reg::R1, 0);
+        a.subq_i(Reg::R2, 1, Reg::R2);
+        a.bne(Reg::R2, top);
+        a.halt();
+        let p = Program::new("render", a).with_data(0x10_0000, vec![0u8; 64]);
+        let mut cpu = Pipeline::new(&p, PipelineConfig::baseline());
+        for _ in 0..30 {
+            cpu.step();
+        }
+        let s = cpu.render_state();
+        assert!(s.contains("cycle 30"), "{s}");
+        assert!(s.contains("rob ["), "{s}");
+        assert!(s.contains("scheduler ["), "{s}");
+        assert!(s.contains("fetch queue ["), "{s}");
+        // Live instructions appear by mnemonic.
+        assert!(s.contains("subq") || s.contains("stq") || s.contains("ldq"), "{s}");
+    }
+
+    #[test]
+    fn render_is_safe_on_fresh_and_halted_machines() {
+        let mut a = Asm::new(0x1_0000);
+        a.halt();
+        let p = Program::new("empty", a);
+        let mut cpu = Pipeline::new(&p, PipelineConfig::baseline());
+        let _ = cpu.render_state(); // fresh
+        cpu.run(1_000);
+        assert_eq!(cpu.halted(), Some(0));
+        let s = cpu.render_state(); // halted
+        assert!(s.contains("cycle"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Squash and recovery machinery: branch-misprediction ROB walks,
+//! memory-order violation squashes, and the full pipeline flush used by
+//! exceptions and the protection mechanisms.
+
+use crate::config::sizes;
+use crate::queues::SlotPayload;
+
+use super::{FlowEvent, Pipeline};
+
+impl Pipeline {
+    /// Requests a fetch redirect (consumed by the next fetch phase).
+    pub(crate) fn redirect(&mut self, pc: u64) {
+        self.redirect_valid = true;
+        self.redirect_pc = pc & !3;
+    }
+
+    fn squash_slot(&mut self, slot: &mut SlotPayload) {
+        if slot.valid {
+            let (seq, cycle) = (slot.seq, self.cycles);
+            self.log_flow(FlowEvent::Squash { seq, cycle });
+        }
+        *slot = SlotPayload::default();
+    }
+
+    /// Clears every instruction in the fetch buffers, fetch queue, and
+    /// decode/rename pipe.
+    pub(crate) fn clear_frontend(&mut self) {
+        let mut stages = std::mem::take(&mut self.fstages);
+        for stage in stages.iter_mut() {
+            for slot in stage.iter_mut() {
+                self.squash_slot(slot);
+            }
+        }
+        self.fstages = stages;
+        let mut fq = std::mem::take(&mut self.fq.slots);
+        for slot in fq.iter_mut() {
+            self.squash_slot(slot);
+        }
+        self.fq.slots = fq;
+        self.fq.head = 0;
+        self.fq.tail = 0;
+        self.fq.count = 0;
+        for stage in ["dec1", "dec2", "ren"] {
+            let mut slots = match stage {
+                "dec1" => std::mem::take(&mut self.dec1),
+                "dec2" => std::mem::take(&mut self.dec2),
+                _ => std::mem::take(&mut self.ren),
+            };
+            for slot in slots.iter_mut() {
+                self.squash_slot(slot);
+            }
+            match stage {
+                "dec1" => self.dec1 = slots,
+                "dec2" => self.dec2 = slots,
+                _ => self.ren = slots,
+            }
+        }
+    }
+
+    /// Squashes everything younger than `tag` (and `tag` itself when
+    /// `inclusive`): clears the front end, walks the ROB tail back while
+    /// rolling the speculative RAT and free list back, trims the LSQ, and
+    /// clears matching scheduler entries and functional units.
+    ///
+    /// With `inclusive`, fetch is redirected at the squashed instruction's
+    /// own PC (memory-order violation replay).
+    pub(crate) fn squash_after(&mut self, tag: u64, inclusive: bool) {
+        let cap = sizes::ROB as u64;
+        let refetch_pc = inclusive.then(|| self.rob.entry(tag).pc);
+
+        self.clear_frontend();
+
+        // Walk the ROB from the tail toward `tag`.
+        loop {
+            if self.rob.is_empty() {
+                break;
+            }
+            let youngest = (self.rob.tail + cap - 1) % cap;
+            if !inclusive && youngest == tag % cap {
+                break;
+            }
+            let stop_after = inclusive && youngest == tag % cap;
+            let e = self.rob.pop_tail();
+            let (seq, cycle) = (e.seq, self.cycles);
+            self.log_flow(FlowEvent::Squash { seq, cycle });
+            if e.has_dst {
+                // Return the allocated register to the head of the free
+                // list (the RAT itself is rebuilt below).
+                self.spec_fl.unpop(e.dst_preg);
+            }
+            if e.is_load {
+                self.lsq.pop_load_tail();
+            }
+            if e.is_store {
+                self.lsq.pop_store_tail();
+            }
+            if stop_after {
+                break;
+            }
+        }
+
+        // Clear scheduler entries and FU ops belonging to squashed
+        // instructions (anything younger than the new tail).
+        let cutoff = self.rob.age(tag);
+        let keep = |age: u64| if inclusive { age < cutoff } else { age <= cutoff };
+        for i in 0..sizes::SCHEDULER {
+            let e = &self.sched.slots[i];
+            if e.valid {
+                let age = self.rob.age(e.rob);
+                if !keep(age) {
+                    self.sched.slots[i] = Default::default();
+                }
+            }
+        }
+        let ages: Vec<(usize, u64)> = {
+            let rob = &self.rob;
+            self.fus
+                .simple
+                .iter()
+                .chain(self.fus.complex.iter())
+                .chain(self.fus.branch.iter())
+                .chain(self.fus.agu.iter())
+                .enumerate()
+                .filter(|(_, op)| op.valid)
+                .map(|(i, op)| (i, rob.age(op.rob)))
+                .collect()
+        };
+        for (i, age) in ages {
+            if !keep(age) {
+                if let Some(op) = self.fus.all_mut().nth(i) {
+                    *op = Default::default();
+                }
+            }
+        }
+
+        // Rebuild the speculative RAT: copy the architectural map and
+        // re-apply the mappings of the surviving in-flight instructions
+        // (Alpha-21264-style recovery — this is what makes the
+        // architectural RAT live, frequently read state, and hence one of
+        // the paper's most vulnerable structures).
+        self.spec_rat.copy_from(&self.arch_rat.clone());
+        let survivors = self.rob.len();
+        for k in 0..survivors {
+            let tag = (self.rob.head + k) % sizes::ROB as u64;
+            let e = self.rob.entry(tag);
+            if e.has_dst {
+                let (areg, preg) = (e.dst_areg, e.dst_preg);
+                self.spec_rat.write(areg, preg);
+            }
+        }
+
+        // LFST references squashed SQ slots; speculative wakeup windows of
+        // squashed loads are no longer trustworthy.
+        self.storesets.clear_lfst();
+        for b in self.spec_ready.iter_mut() {
+            *b = false;
+        }
+
+        if let Some(pc) = refetch_pc {
+            self.redirect(pc);
+        }
+    }
+
+    /// Full pipeline flush: discard every unretired instruction and
+    /// restore speculative rename state from the architectural copies.
+    /// Senior stores keep draining. Fetch restarts at `refetch_pc`.
+    pub(crate) fn full_flush(&mut self, refetch_pc: u64) {
+        self.stats.full_flushes += 1;
+        self.clear_frontend();
+        while !self.rob.is_empty() {
+            let e = self.rob.pop_tail();
+            let (seq, cycle) = (e.seq, self.cycles);
+            self.log_flow(FlowEvent::Squash { seq, cycle });
+        }
+        self.rob.clear();
+        self.sched.clear();
+        self.fus.clear();
+        self.lsq.flush_keep_senior();
+        self.spec_rat.copy_from(&self.arch_rat.clone());
+        self.spec_fl.copy_from(&self.arch_fl.clone());
+        self.regfile.all_ready();
+        for b in self.spec_ready.iter_mut() {
+            *b = false;
+        }
+        self.mhrs.clear();
+        self.storesets.clear_lfst();
+        self.redirect(refetch_pc);
+    }
+}

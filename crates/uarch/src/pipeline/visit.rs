@@ -1,0 +1,81 @@
+//! The full-machine state walk: every latch bit and RAM cell of the
+//! pipeline, in a fixed deterministic order, categorized per Table 1.
+
+use tfsim_bitstate::{
+    visit_bool, visit_pc, Category, FieldMeta, StateVisitor, StorageKind, VisitState,
+};
+
+use super::Pipeline;
+
+impl VisitState for Pipeline {
+    fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+        let latch = StorageKind::Latch;
+        let ctrl = FieldMeta::new(Category::Ctrl, latch);
+        let parity_on = self.config.insn_parity;
+        let ptr_ecc = self.config.pointer_ecc;
+
+        // Fetch control.
+        visit_pc(v, latch, &mut self.fetch_pc);
+        visit_bool(v, FieldMeta::new(Category::Valid, latch), &mut self.redirect_valid);
+        visit_pc(v, latch, &mut self.redirect_pc);
+        visit_bool(v, FieldMeta::new(Category::Valid, latch), &mut self.ifill_valid);
+        {
+            // The fill address is line-aligned: 58 meaningful bits.
+            let mut line = self.ifill_addr >> 6;
+            v.field(FieldMeta::new(Category::Addr, latch), 58, &mut line);
+            self.ifill_addr = line << 6;
+        }
+        v.field(ctrl, 4, &mut self.ifill_timer);
+
+        // Fetch buffers (3 stages x 8 slots of pipeline latches).
+        for stage in self.fstages.iter_mut() {
+            for slot in stage.iter_mut() {
+                slot.visit(v, latch, parity_on);
+            }
+        }
+        self.fq.visit(v, parity_on);
+
+        // Decode/rename pipe latches.
+        for slot in self.dec1.iter_mut() {
+            slot.visit(v, latch, parity_on);
+        }
+        for slot in self.dec2.iter_mut() {
+            slot.visit(v, latch, parity_on);
+        }
+        for slot in self.ren.iter_mut() {
+            slot.visit(v, latch, parity_on);
+        }
+
+        // Rename state.
+        self.spec_rat.visit(v);
+        self.arch_rat.visit(v);
+        self.spec_fl.visit(v);
+        self.arch_fl.visit(v);
+
+        // Window.
+        self.sched.visit(v, ptr_ecc);
+        self.rob.visit(v, parity_on, ptr_ecc);
+        self.lsq.visit(v, ptr_ecc);
+        self.fus.visit(v, ptr_ecc);
+        self.regfile.visit(v);
+        for b in self.spec_ready.iter_mut() {
+            visit_bool(v, ctrl, b);
+        }
+        self.mhrs.visit_state(v);
+
+        // Architectural bookkeeping latches.
+        visit_pc(v, latch, &mut self.arch_pc);
+        if self.config.timeout_counter {
+            v.field(ctrl, 10, &mut self.watchdog.count);
+        }
+
+        // Shadow state: prediction and cache tag arrays (fingerprinted for
+        // the µArch Match comparison, excluded from injection).
+        self.bpred.visit_state(v);
+        self.btb.visit_state(v);
+        self.ras.visit_state(v);
+        self.icache.visit_state(v);
+        self.dcache.visit_state(v);
+        self.storesets.visit_state(v);
+    }
+}

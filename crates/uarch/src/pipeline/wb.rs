@@ -1,0 +1,394 @@
+//! Writeback, execute, and issue phases: ALU/branch completion with
+//! speculative-wakeup replay, branch resolution with ROB-walk recovery,
+//! latency counting, and oldest-first select.
+
+use tfsim_isa::{alu, decode, Mnemonic};
+
+use crate::config::sizes;
+use crate::exec::{FuClass, FuOp};
+use crate::queues::ExcCode;
+
+use super::Pipeline;
+
+/// Identifies one FU slot: (bank, index). Banks: 0 simple, 1 complex,
+/// 2 branch, 3 agu.
+pub(crate) type FuRef = (u8, usize);
+
+impl Pipeline {
+    pub(crate) fn fu(&mut self, r: FuRef) -> &mut FuOp {
+        match r.0 {
+            0 => &mut self.fus.simple[r.1],
+            1 => &mut self.fus.complex[r.1],
+            2 => &mut self.fus.branch[r.1],
+            _ => &mut self.fus.agu[r.1],
+        }
+    }
+
+    pub(crate) fn completing_ops(&self, banks: &[u8]) -> Vec<FuRef> {
+        let mut refs: Vec<(FuRef, u64)> = Vec::new();
+        for &bank in banks {
+            let ops = match bank {
+                0 => &self.fus.simple,
+                1 => &self.fus.complex,
+                2 => &self.fus.branch,
+                _ => &self.fus.agu,
+            };
+            for (i, op) in ops.iter().enumerate() {
+                if op.valid && op.remaining <= 1 {
+                    refs.push(((bank, i), self.rob.age(op.rob)));
+                }
+            }
+        }
+        refs.sort_by_key(|&(_, age)| age);
+        refs.into_iter().map(|(r, _)| r).collect()
+    }
+
+    pub(crate) fn writeback_phase(&mut self) {
+        for r in self.completing_ops(&[0, 1, 2]) {
+            if !self.fu(r).valid {
+                continue; // squashed by an older branch earlier this phase
+            }
+            if self.replay_if_stale(r) {
+                continue;
+            }
+            let op = std::mem::take(self.fu(r));
+            if r.0 == 2 {
+                self.complete_branch(op);
+            } else {
+                self.complete_alu(op);
+            }
+        }
+    }
+
+    /// If the op consumed speculatively woken operands that are still not
+    /// ready, replay it (return its scheduler entry to waiting, free the
+    /// FU slot) and return true. Operands that became ready in the
+    /// meantime are refreshed in the operand latches (modeling the bypass
+    /// network delivering the value at execute).
+    pub(crate) fn replay_if_stale(&mut self, r: FuRef) -> bool {
+        let (srcs, needed, spec, sched_idx, rob_tag) = {
+            let op = self.fu(r);
+            (op.srcs, op.src_needed, op.src_spec, op.sched as usize, op.rob)
+        };
+        let mut refreshed = [None; 3];
+        for s in 0..3 {
+            if needed[s] && spec[s] {
+                if self.regfile.is_ready(srcs[s]) {
+                    refreshed[s] = Some(self.regfile.read(srcs[s]));
+                } else {
+                    let entry = &mut self.sched.slots[sched_idx % sizes::SCHEDULER];
+                    if entry.valid && entry.rob == rob_tag {
+                        entry.issued = false;
+                        self.stats.replays += 1;
+                    }
+                    *self.fu(r) = FuOp::default();
+                    return true;
+                }
+            }
+        }
+        let op = self.fu(r);
+        if let Some(v) = refreshed[0] {
+            op.a = v;
+        }
+        if let Some(v) = refreshed[1] {
+            op.b = v;
+        }
+        if let Some(v) = refreshed[2] {
+            op.c = v;
+        }
+        false
+    }
+
+    /// Frees the scheduler entry an op came from (guarded against stale or
+    /// corrupted links).
+    pub(crate) fn free_sched(&mut self, sched_idx: u64, rob_tag: u64) {
+        let entry = &mut self.sched.slots[(sched_idx as usize) % sizes::SCHEDULER];
+        if entry.valid && entry.rob == rob_tag {
+            *entry = Default::default();
+        }
+    }
+
+    /// Writes `value` to `preg`, marking it ready and ending any
+    /// speculative-wakeup window.
+    pub(crate) fn write_preg(&mut self, preg: u64, value: u64) {
+        self.regfile.write(preg, value);
+        self.regfile.set_ready(preg, true);
+        if let Some(b) = self.spec_ready.get_mut(preg as usize) {
+            *b = false;
+        }
+    }
+
+    fn complete_alu(&mut self, op: FuOp) {
+        let insn = decode(op.raw as u32);
+        let result = match insn.mnemonic {
+            Mnemonic::Lda | Mnemonic::Ldah => Ok(alu::lda_value(insn.mnemonic, op.a, insn.imm)),
+            m if is_operate(m) => alu::operate(m, op.a, op.b, op.c),
+            // A corrupted word routed to an ALU: the decoded control no
+            // longer names an executable operation. Raise OPCDEC at
+            // retirement, as hardware decode checks would.
+            _ => {
+                self.rob.entry_mut(op.rob).exc = ExcCode::Illegal as u64;
+                self.rob.entry_mut(op.rob).completed = true;
+                self.free_sched(op.sched, op.rob);
+                return;
+            }
+        };
+        match result {
+            Ok(v) => {
+                if op.has_dst {
+                    let dst = self.ptr_repair(op.dst_preg, op.dst_ecc);
+                    self.write_preg(dst, v);
+                }
+            }
+            Err(_) => {
+                self.rob.entry_mut(op.rob).exc = ExcCode::Overflow as u64;
+            }
+        }
+        self.rob.entry_mut(op.rob).completed = true;
+        self.free_sched(op.sched, op.rob);
+    }
+
+    fn complete_branch(&mut self, op: FuOp) {
+        let insn = decode(op.raw as u32);
+        let pc = op.pc;
+        let fallthrough = pc.wrapping_add(4);
+        let (taken, target) = match insn.mnemonic {
+            Mnemonic::Br | Mnemonic::Bsr => (true, insn.branch_target(pc)),
+            Mnemonic::Jmp | Mnemonic::Jsr | Mnemonic::Ret => (true, op.a & !3),
+            m if insn.is_conditional_branch() => (alu::branch_taken(m, op.a), insn.branch_target(pc)),
+            _ => {
+                // Corrupted word in the branch unit: OPCDEC.
+                self.rob.entry_mut(op.rob).exc = ExcCode::Illegal as u64;
+                self.rob.entry_mut(op.rob).completed = true;
+                self.free_sched(op.sched, op.rob);
+                return;
+            }
+        };
+        let actual_next = if taken { target & !3 } else { fallthrough };
+
+        if op.has_dst {
+            let dst = self.ptr_repair(op.dst_preg, op.dst_ecc);
+            self.write_preg(dst, fallthrough);
+        }
+        let (ghr_snapshot, ras_snapshot) = {
+            let e = self.rob.entry_mut(op.rob);
+            e.next_pc = actual_next;
+            e.completed = true;
+            (e.ghr_snapshot, e.ras_snapshot)
+        };
+        self.free_sched(op.sched, op.rob);
+
+        // Train the predictors with the resolved outcome.
+        if insn.is_conditional_branch() {
+            self.bpred.train(pc, taken, ghr_snapshot);
+        }
+        if insn.is_indirect() {
+            self.btb.update(pc, target & !3);
+        }
+
+        self.stats.branches_resolved += 1;
+        let predicted_next = if op.pred_taken { op.pred_target } else { fallthrough };
+        if actual_next != predicted_next {
+            self.stats.branch_mispredicts += 1;
+            // Misprediction: recover the speculative history, walk the ROB
+            // back, and redirect fetch.
+            if insn.is_conditional_branch() {
+                self.bpred.restore_ghr((ghr_snapshot << 1) | taken as u64);
+            } else {
+                self.bpred.restore_ghr(ghr_snapshot);
+            }
+            self.ras.restore_pointer(ras_snapshot);
+            self.squash_after(op.rob, false);
+            self.redirect(actual_next);
+        }
+    }
+
+    /// Advances multi-cycle operations one cycle.
+    pub(crate) fn execute_phase(&mut self) {
+        for op in self.fus.all_mut() {
+            if op.valid && op.remaining > 1 {
+                op.remaining -= 1;
+            }
+        }
+    }
+
+    /// Select: oldest-first issue of up to 2 simple, 1 complex, 1 branch,
+    /// and 2 AGU operations per cycle.
+    pub(crate) fn issue_phase(&mut self) {
+        // Clear satisfied memory-dependence waits.
+        for i in 0..sizes::SCHEDULER {
+            let e = &self.sched.slots[i];
+            if e.valid && e.wait_sq_valid {
+                let sq = &self.lsq.sq[(e.wait_sq as usize) % sizes::STORE_QUEUE];
+                if !sq.valid || sq.addr_valid {
+                    self.sched.slots[i].wait_sq_valid = false;
+                }
+            }
+        }
+
+        // Gather ready candidates.
+        let mut cands: Vec<(usize, u64)> = Vec::new();
+        for (i, e) in self.sched.slots.iter().enumerate() {
+            if !e.valid || e.issued || e.wait_sq_valid {
+                continue;
+            }
+            let ready = (0..3).all(|s| {
+                !e.src_needed[s]
+                    || self.regfile.is_ready(e.srcs[s])
+                    || self.spec_ready.get(e.srcs[s] as usize).copied().unwrap_or(false)
+            });
+            if ready {
+                cands.push((i, self.rob.age(e.rob)));
+            }
+        }
+        cands.sort_by_key(|&(_, age)| age);
+
+        let mut free_simple: Vec<usize> =
+            (0..self.fus.simple.len()).filter(|&i| !self.fus.simple[i].valid).collect();
+        let mut complex_free = !self.fus.complex[0].valid;
+        let mut branch_free = !self.fus.branch[0].valid;
+        let mut free_agu: Vec<usize> =
+            (0..self.fus.agu.len()).filter(|&i| !self.fus.agu[i].valid).collect();
+
+        for (i, _) in cands {
+            let class = FuClass::from_bits(self.sched.slots[i].class);
+            let slot: Option<FuRef> = match class {
+                FuClass::Simple => free_simple.pop().map(|s| (0, s)),
+                FuClass::Complex => {
+                    if complex_free {
+                        complex_free = false;
+                        Some((1, 0))
+                    } else {
+                        None
+                    }
+                }
+                FuClass::Branch => {
+                    if branch_free {
+                        branch_free = false;
+                        Some((2, 0))
+                    } else {
+                        None
+                    }
+                }
+                FuClass::Load | FuClass::Store => free_agu.pop().map(|s| (3, s)),
+            };
+            let Some(slot) = slot else { continue };
+            self.issue_to(i, slot, class);
+        }
+    }
+
+    fn issue_to(&mut self, sched_idx: usize, slot: FuRef, class: FuClass) {
+        let mut e = self.sched.slots[sched_idx].clone();
+        // Pointer-ECC repair point: operand and destination pointers are
+        // checked as they leave the scheduler.
+        if self.config.pointer_ecc {
+            for s in 0..3 {
+                e.srcs[s] = self.ptr_repair(e.srcs[s], e.src_ecc[s]);
+            }
+            e.dst_preg = self.ptr_repair(e.dst_preg, e.dst_ecc);
+            self.sched.slots[sched_idx].srcs = e.srcs;
+            self.sched.slots[sched_idx].dst_preg = e.dst_preg;
+        }
+        let insn = decode(e.raw as u32);
+        let mut vals = [0u64; 3];
+        let mut spec = [false; 3];
+        for s in 0..3 {
+            if e.src_needed[s] {
+                vals[s] = self.regfile.read(e.srcs[s]);
+                spec[s] = !self.regfile.is_ready(e.srcs[s]);
+            }
+        }
+        // Literal operand replaces Rb.
+        if insn.uses_literal {
+            vals[1] = insn.imm as u64;
+        }
+        let remaining = if class == FuClass::Complex { insn.exec_latency() as u64 } else { 1 };
+        let op = FuOp {
+            valid: true,
+            sched: sched_idx as u64,
+            rob: e.rob,
+            dst_preg: e.dst_preg,
+            has_dst: e.has_dst,
+            a: vals[0],
+            b: vals[1],
+            c: vals[2],
+            srcs: e.srcs,
+            src_needed: e.src_needed,
+            src_spec: spec,
+            raw: e.raw,
+            pc: e.pc,
+            remaining: remaining.clamp(1, 7),
+            pred_taken: e.pred_taken,
+            pred_target: e.pred_target,
+            lsq: e.lsq,
+            class: e.class,
+            src_ecc: e.src_ecc,
+            dst_ecc: e.dst_ecc,
+        };
+        *self.fu(slot) = op;
+        self.sched.slots[sched_idx].issued = true;
+    }
+}
+
+/// Whether the mnemonic is a register-operate instruction executable by
+/// the integer ALUs.
+fn is_operate(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    matches!(
+        m,
+        Addl | S4addl
+            | Subl
+            | S4subl
+            | Addq
+            | S4addq
+            | S8addq
+            | Subq
+            | S8subq
+            | Addlv
+            | Sublv
+            | Addqv
+            | Subqv
+            | Cmpeq
+            | Cmplt
+            | Cmple
+            | Cmpult
+            | Cmpule
+            | Cmpbge
+            | And
+            | Bic
+            | Bis
+            | Ornot
+            | Xor
+            | Eqv
+            | Cmoveq
+            | Cmovne
+            | Cmovlbs
+            | Cmovlbc
+            | Cmovlt
+            | Cmovge
+            | Cmovle
+            | Cmovgt
+            | Sll
+            | Srl
+            | Sra
+            | Zap
+            | Zapnot
+            | Extbl
+            | Extwl
+            | Extll
+            | Extql
+            | Insbl
+            | Inswl
+            | Insll
+            | Insql
+            | Mskbl
+            | Mskwl
+            | Mskll
+            | Mskql
+            | Mull
+            | Mulq
+            | Umulh
+            | Mullv
+            | Mulqv
+    )
+}

@@ -1,0 +1,845 @@
+//! Pipeline queue structures: fetch queue, reorder buffer, and the load
+//! and store queues.
+//!
+//! All payload storage is RAM-array state (the paper: "Pipeline structures
+//! that are implemented using RAM arrays include ... scheduler and ROB
+//! payloads, and various queues"); ring pointers are `qctrl` latches.
+//! Ring arithmetic is performed modulo the capacity everywhere so that a
+//! fault-corrupted pointer can wedge the machine (the paper's `locked`
+//! failure mode) but can never crash the simulator.
+
+use tfsim_bitstate::{visit_bool, visit_pc, Category, FieldMeta, StateVisitor, StorageKind};
+use tfsim_isa::Reg;
+
+use crate::config::sizes;
+
+/// An instruction traveling through fetch/decode, with its prediction
+/// metadata. Used for fetch-stage buffers, fetch-queue entries, and the
+/// decode/rename pipe latches.
+#[derive(Debug, Clone, Default)]
+pub struct SlotPayload {
+    /// Slot holds an instruction.
+    pub valid: bool,
+    /// Raw 32-bit instruction word.
+    pub raw: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// Predicted direction (control instructions).
+    pub pred_taken: bool,
+    /// Predicted target (valid when `pred_taken`).
+    pub pred_target: u64,
+    /// Instruction fetch faulted (ITLB miss): raises `itlb` at retire.
+    pub fetch_fault: bool,
+    /// Even-parity bit over `raw` (instruction-word parity protection).
+    pub parity: bool,
+    /// Global history snapshot for squash recovery (prediction state:
+    /// shadow, not injectable).
+    pub ghr_snapshot: u64,
+    /// RAS pointer snapshot for squash recovery (shadow).
+    pub ras_snapshot: u64,
+    /// Instrumentation only: global fetch sequence number. Not machine
+    /// state — never visited, never affects execution.
+    pub seq: u64,
+}
+
+impl SlotPayload {
+    /// Visits the payload's state bits. `kind` distinguishes latch slots
+    /// (pipe registers) from RAM slots (fetch queue entries);
+    /// `parity_enabled` controls whether the parity bit exists.
+    pub fn visit(&mut self, v: &mut dyn StateVisitor, kind: StorageKind, parity_enabled: bool) {
+        visit_bool(v, FieldMeta::new(Category::Valid, kind), &mut self.valid);
+        v.field(FieldMeta::new(Category::Insn, kind), 32, &mut self.raw);
+        visit_pc(v, kind, &mut self.pc);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, kind), &mut self.pred_taken);
+        visit_pc(v, kind, &mut self.pred_target);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, kind), &mut self.fetch_fault);
+        if parity_enabled {
+            visit_bool(v, FieldMeta::new(Category::Parity, kind), &mut self.parity);
+        }
+        v.field(FieldMeta::shadow(Category::Ctrl, kind), 12, &mut self.ghr_snapshot);
+        v.field(FieldMeta::shadow(Category::Qctrl, kind), 3, &mut self.ras_snapshot);
+    }
+}
+
+/// The 32-entry fetch queue (a circular RAM queue of [`SlotPayload`]s).
+#[derive(Debug, Clone)]
+pub struct FetchQueue {
+    /// Entries, indexed by ring position.
+    pub slots: Vec<SlotPayload>,
+    /// Ring head (5-bit).
+    pub head: u64,
+    /// Ring tail (5-bit).
+    pub tail: u64,
+    /// Occupancy (6-bit).
+    pub count: u64,
+}
+
+impl FetchQueue {
+    const CAP: u64 = sizes::FETCH_QUEUE as u64;
+
+    /// Creates an empty fetch queue.
+    pub fn new() -> FetchQueue {
+        FetchQueue {
+            slots: (0..sizes::FETCH_QUEUE).map(|_| SlotPayload::default()).collect(),
+            head: 0,
+            tail: 0,
+            count: 0,
+        }
+    }
+
+    /// Current occupancy (clamped to capacity).
+    pub fn len(&self) -> u64 {
+        self.count.min(Self::CAP)
+    }
+
+    /// Whether the queue holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> u64 {
+        Self::CAP - self.len()
+    }
+
+    /// Appends an instruction (caller must check [`FetchQueue::free`]).
+    pub fn push(&mut self, p: SlotPayload) {
+        let i = (self.tail % Self::CAP) as usize;
+        self.slots[i] = p;
+        self.slots[i].valid = true;
+        self.tail = (self.tail + 1) % Self::CAP;
+        self.count = (self.count + 1) & 0x3f;
+    }
+
+    /// Removes and returns the oldest instruction.
+    pub fn pop(&mut self) -> Option<SlotPayload> {
+        if self.len() == 0 {
+            return None;
+        }
+        let i = (self.head % Self::CAP) as usize;
+        let p = std::mem::take(&mut self.slots[i]);
+        self.head = (self.head + 1) % Self::CAP;
+        self.count = (self.count - 1) & 0x3f;
+        Some(p)
+    }
+
+    /// Empties the queue (squash).
+    pub fn clear(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = SlotPayload::default();
+        }
+        self.head = 0;
+        self.tail = 0;
+        self.count = 0;
+    }
+
+    /// Visits all slots and ring pointers.
+    pub fn visit(&mut self, v: &mut dyn StateVisitor, parity_enabled: bool) {
+        for s in self.slots.iter_mut() {
+            s.visit(v, StorageKind::Ram, parity_enabled);
+        }
+        let q = FieldMeta::new(Category::Qctrl, StorageKind::Latch);
+        v.field(q, 5, &mut self.head);
+        v.field(q, 5, &mut self.tail);
+        v.field(q, 6, &mut self.count);
+    }
+}
+
+impl Default for FetchQueue {
+    fn default() -> Self {
+        FetchQueue::new()
+    }
+}
+
+/// Architectural exception codes carried in ROB entries (3-bit `ctrl`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum ExcCode {
+    /// No exception.
+    #[default]
+    None = 0,
+    /// Undecodable instruction word.
+    Illegal = 1,
+    /// Misaligned memory access.
+    Alignment = 2,
+    /// Integer overflow from a `/V` operation.
+    Overflow = 3,
+    /// Instruction TLB miss (fetch outside the preloaded pages).
+    Itlb = 4,
+    /// Data TLB miss (access outside the preloaded pages).
+    Dtlb = 5,
+    /// Unimplemented PAL function or syscall.
+    BadPal = 6,
+}
+
+impl ExcCode {
+    /// Decodes a 3-bit field (corrupted encodings map to `BadPal`).
+    pub fn from_bits(bits: u64) -> ExcCode {
+        match bits & 7 {
+            0 => ExcCode::None,
+            1 => ExcCode::Illegal,
+            2 => ExcCode::Alignment,
+            3 => ExcCode::Overflow,
+            4 => ExcCode::Itlb,
+            5 => ExcCode::Dtlb,
+            _ => ExcCode::BadPal,
+        }
+    }
+}
+
+/// One reorder buffer entry.
+#[derive(Debug, Clone, Default)]
+pub struct RobEntry {
+    /// Instruction address.
+    pub pc: u64,
+    /// Resolved next PC (filled at dispatch for sequential flow, updated
+    /// by the branch unit).
+    pub next_pc: u64,
+    /// Raw instruction word (retire re-decodes it; parity is checked over
+    /// it when the protection is enabled).
+    pub raw: u64,
+    /// Destination architectural register (5-bit; meaningful if `has_dst`).
+    pub dst_areg: u64,
+    /// Whether the instruction writes a register.
+    pub has_dst: bool,
+    /// Destination physical register.
+    pub dst_preg: u64,
+    /// Previous mapping of `dst_areg` (freed at retire, restored on walk).
+    pub old_preg: u64,
+    /// Result (and side effects) are complete; the entry may retire.
+    pub completed: bool,
+    /// Exception accumulated for this instruction (3-bit code).
+    pub exc: u64,
+    /// Instruction is a store; `lsq` is its store-queue slot.
+    pub is_store: bool,
+    /// Instruction is a load; `lsq` is its load-queue slot.
+    pub is_load: bool,
+    /// Load/store queue slot index (4-bit).
+    pub lsq: u64,
+    /// Instruction is a control transfer.
+    pub is_branch: bool,
+    /// Parity bit traveling with the instruction word.
+    pub parity: bool,
+    /// Prediction metadata for recovery/training (shadow).
+    pub pred_taken: bool,
+    /// Global-history snapshot (shadow).
+    pub ghr_snapshot: u64,
+    /// RAS pointer snapshot (shadow).
+    pub ras_snapshot: u64,
+    /// Pointer-ECC check bits for `dst_preg`.
+    pub dst_ecc: u64,
+    /// Pointer-ECC check bits for `old_preg`.
+    pub old_ecc: u64,
+    /// Instrumentation only (never visited): fetch sequence number.
+    pub seq: u64,
+}
+
+impl RobEntry {
+    fn visit(&mut self, v: &mut dyn StateVisitor, parity_enabled: bool, ptr_ecc: bool) {
+        let ram = StorageKind::Ram;
+        visit_pc(v, ram, &mut self.pc);
+        visit_pc(v, ram, &mut self.next_pc);
+        v.field(FieldMeta::new(Category::Insn, ram), 32, &mut self.raw);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 5, &mut self.dst_areg);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.has_dst);
+        v.field(FieldMeta::new(Category::Regptr, ram), 7, &mut self.dst_preg);
+        v.field(FieldMeta::new(Category::Regptr, ram), 7, &mut self.old_preg);
+        visit_bool(v, FieldMeta::new(Category::Valid, ram), &mut self.completed);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 3, &mut self.exc);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.is_store);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.is_load);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 4, &mut self.lsq);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.is_branch);
+        if parity_enabled {
+            visit_bool(v, FieldMeta::new(Category::Parity, ram), &mut self.parity);
+        }
+        if ptr_ecc {
+            v.field(FieldMeta::new(Category::Ecc, ram), 4, &mut self.dst_ecc);
+            v.field(FieldMeta::new(Category::Ecc, ram), 4, &mut self.old_ecc);
+        }
+        visit_bool(v, FieldMeta::shadow(Category::Ctrl, ram), &mut self.pred_taken);
+        v.field(FieldMeta::shadow(Category::Ctrl, ram), 12, &mut self.ghr_snapshot);
+        v.field(FieldMeta::shadow(Category::Qctrl, ram), 3, &mut self.ras_snapshot);
+    }
+}
+
+/// The 64-entry reorder buffer (circular).
+#[derive(Debug, Clone)]
+pub struct Rob {
+    /// Entries, indexed by ring position.
+    pub slots: Vec<RobEntry>,
+    /// Ring head: the oldest unretired instruction (6-bit).
+    pub head: u64,
+    /// Ring tail: the next allocation slot (6-bit).
+    pub tail: u64,
+    /// Occupancy (7-bit).
+    pub count: u64,
+}
+
+impl Rob {
+    const CAP: u64 = sizes::ROB as u64;
+
+    /// Creates an empty reorder buffer.
+    pub fn new() -> Rob {
+        Rob {
+            slots: (0..sizes::ROB).map(|_| RobEntry::default()).collect(),
+            head: 0,
+            tail: 0,
+            count: 0,
+        }
+    }
+
+    /// Current occupancy (clamped).
+    pub fn len(&self) -> u64 {
+        self.count.min(Self::CAP)
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the ROB is full.
+    pub fn is_full(&self) -> bool {
+        self.len() >= Self::CAP
+    }
+
+    /// Allocates the tail entry and returns its tag.
+    pub fn alloc(&mut self, entry: RobEntry) -> u64 {
+        let tag = self.tail % Self::CAP;
+        self.slots[tag as usize] = entry;
+        self.tail = (self.tail + 1) % Self::CAP;
+        self.count = (self.count + 1) & 0x7f;
+        tag
+    }
+
+    /// The tag of the oldest entry.
+    pub fn head_tag(&self) -> u64 {
+        self.head % Self::CAP
+    }
+
+    /// Pops the head entry (retirement). Caller checks emptiness/state.
+    pub fn retire_head(&mut self) -> RobEntry {
+        let tag = self.head_tag() as usize;
+        let e = std::mem::take(&mut self.slots[tag]);
+        self.head = (self.head + 1) % Self::CAP;
+        self.count = (self.count - 1) & 0x7f;
+        e
+    }
+
+    /// Removes the youngest entry (misprediction walk). Returns it.
+    pub fn pop_tail(&mut self) -> RobEntry {
+        self.tail = (self.tail + Self::CAP - 1) % Self::CAP;
+        self.count = (self.count - 1) & 0x7f;
+        std::mem::take(&mut self.slots[(self.tail % Self::CAP) as usize])
+    }
+
+    /// Ring age of `tag`: 0 for the head, increasing toward the tail.
+    pub fn age(&self, tag: u64) -> u64 {
+        (tag + Self::CAP - self.head % Self::CAP) % Self::CAP
+    }
+
+    /// Whether `a` is strictly younger (allocated later) than `b`.
+    pub fn younger(&self, a: u64, b: u64) -> bool {
+        self.age(a) > self.age(b)
+    }
+
+    /// Access an entry by tag (always in range via masking).
+    pub fn entry(&self, tag: u64) -> &RobEntry {
+        &self.slots[(tag % Self::CAP) as usize]
+    }
+
+    /// Mutable access by tag.
+    pub fn entry_mut(&mut self, tag: u64) -> &mut RobEntry {
+        &mut self.slots[(tag % Self::CAP) as usize]
+    }
+
+    /// Empties the ROB (full flush).
+    pub fn clear(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = RobEntry::default();
+        }
+        self.head = 0;
+        self.tail = 0;
+        self.count = 0;
+    }
+
+    /// Visits all entries and ring pointers. ROB tags live in the `robptr`
+    /// category.
+    pub fn visit(&mut self, v: &mut dyn StateVisitor, parity_enabled: bool, ptr_ecc: bool) {
+        for s in self.slots.iter_mut() {
+            s.visit(v, parity_enabled, ptr_ecc);
+        }
+        let q = FieldMeta::new(Category::Qctrl, StorageKind::Latch);
+        v.field(q, 6, &mut self.head);
+        v.field(q, 6, &mut self.tail);
+        v.field(q, 7, &mut self.count);
+    }
+}
+
+impl Default for Rob {
+    fn default() -> Self {
+        Rob::new()
+    }
+}
+
+/// Load queue entry states (2-bit `ctrl`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadState {
+    /// Waiting for address generation.
+    #[default]
+    WaitAddr = 0,
+    /// Address known; access in progress or pending retry.
+    Access = 1,
+    /// Data returned and written back.
+    Done = 2,
+}
+
+/// One load queue entry.
+#[derive(Debug, Clone, Default)]
+pub struct LqEntry {
+    /// Entry allocated.
+    pub valid: bool,
+    /// Effective address (valid once `state != WaitAddr`).
+    pub addr: u64,
+    /// Access size in bytes (1/2/4/8, stored as log2: 2 bits).
+    pub size_log2: u64,
+    /// Progress state.
+    pub state: LoadState,
+    /// Cycles until data arrives (in-flight access).
+    pub data_timer: u64,
+    /// Whether an access is in flight (data_timer counting).
+    pub inflight: bool,
+    /// Waiting for a cache-line fill (MHR).
+    pub fill_wait: bool,
+    /// Data was forwarded from the store queue ("state in the memory unit
+    /// that records store to load forwarding").
+    pub forwarded: bool,
+    /// Store queue slot the data was forwarded from.
+    pub fwd_sq: u64,
+    /// Forwarding source value (data category).
+    pub fwd_value: u64,
+    /// Scheduler slot of this load (freed when the data arrives).
+    pub sched: u64,
+    /// Pointer-ECC check bits for `dst_preg`.
+    pub dst_ecc: u64,
+    /// ROB tag of the load.
+    pub rob: u64,
+    /// Destination physical register.
+    pub dst_preg: u64,
+    /// Load PC (for store-set training).
+    pub pc: u64,
+    /// Raw instruction word (for extension semantics on writeback).
+    pub raw: u64,
+}
+
+impl LqEntry {
+    /// Access size in bytes.
+    pub fn size(&self) -> u64 {
+        1 << (self.size_log2 & 3)
+    }
+
+    fn visit(&mut self, v: &mut dyn StateVisitor, ptr_ecc: bool) {
+        let ram = StorageKind::Ram;
+        visit_bool(v, FieldMeta::new(Category::Valid, ram), &mut self.valid);
+        v.field(FieldMeta::new(Category::Addr, ram), 64, &mut self.addr);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 2, &mut self.size_log2);
+        let mut st = self.state as u64;
+        v.field(FieldMeta::new(Category::Ctrl, ram), 2, &mut st);
+        self.state = match st & 3 {
+            0 => LoadState::WaitAddr,
+            1 => LoadState::Access,
+            _ => LoadState::Done,
+        };
+        v.field(FieldMeta::new(Category::Ctrl, ram), 4, &mut self.data_timer);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.inflight);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.fill_wait);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.forwarded);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 4, &mut self.fwd_sq);
+        v.field(FieldMeta::new(Category::Data, ram), 64, &mut self.fwd_value);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 5, &mut self.sched);
+        v.field(FieldMeta::new(Category::Robptr, ram), 6, &mut self.rob);
+        v.field(FieldMeta::new(Category::Regptr, ram), 7, &mut self.dst_preg);
+        if ptr_ecc {
+            v.field(FieldMeta::new(Category::Ecc, ram), 4, &mut self.dst_ecc);
+        }
+        visit_pc(v, ram, &mut self.pc);
+        v.field(FieldMeta::new(Category::Insn, ram), 32, &mut self.raw);
+    }
+}
+
+/// One store queue entry.
+#[derive(Debug, Clone, Default)]
+pub struct SqEntry {
+    /// Entry allocated.
+    pub valid: bool,
+    /// Effective address.
+    pub addr: u64,
+    /// Address computed.
+    pub addr_valid: bool,
+    /// Store data.
+    pub data: u64,
+    /// Data operand captured.
+    pub data_valid: bool,
+    /// Access size (log2, 2 bits).
+    pub size_log2: u64,
+    /// ROB tag.
+    pub rob: u64,
+    /// Store PC (store-set training).
+    pub pc: u64,
+    /// Retired, awaiting drain to the cache ("the store buffer maintains
+    /// its state across pipe flushes").
+    pub senior: bool,
+}
+
+impl SqEntry {
+    /// Access size in bytes.
+    pub fn size(&self) -> u64 {
+        1 << (self.size_log2 & 3)
+    }
+
+    fn visit(&mut self, v: &mut dyn StateVisitor) {
+        let ram = StorageKind::Ram;
+        visit_bool(v, FieldMeta::new(Category::Valid, ram), &mut self.valid);
+        v.field(FieldMeta::new(Category::Addr, ram), 64, &mut self.addr);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.addr_valid);
+        v.field(FieldMeta::new(Category::Data, ram), 64, &mut self.data);
+        visit_bool(v, FieldMeta::new(Category::Ctrl, ram), &mut self.data_valid);
+        v.field(FieldMeta::new(Category::Ctrl, ram), 2, &mut self.size_log2);
+        v.field(FieldMeta::new(Category::Robptr, ram), 6, &mut self.rob);
+        visit_pc(v, ram, &mut self.pc);
+        visit_bool(v, FieldMeta::new(Category::Qctrl, ram), &mut self.senior);
+    }
+}
+
+/// The 16-entry load queue and 16-entry store queue (circular).
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    /// Load entries.
+    pub lq: Vec<LqEntry>,
+    /// Load ring head (4-bit).
+    pub lq_head: u64,
+    /// Load ring tail.
+    pub lq_tail: u64,
+    /// Load occupancy (5-bit).
+    pub lq_count: u64,
+    /// Store entries.
+    pub sq: Vec<SqEntry>,
+    /// Store ring head.
+    pub sq_head: u64,
+    /// Store ring tail.
+    pub sq_tail: u64,
+    /// Store occupancy.
+    pub sq_count: u64,
+}
+
+impl Lsq {
+    const LCAP: u64 = sizes::LOAD_QUEUE as u64;
+    const SCAP: u64 = sizes::STORE_QUEUE as u64;
+
+    /// Creates empty queues.
+    pub fn new() -> Lsq {
+        Lsq {
+            lq: (0..sizes::LOAD_QUEUE).map(|_| LqEntry::default()).collect(),
+            lq_head: 0,
+            lq_tail: 0,
+            lq_count: 0,
+            sq: (0..sizes::STORE_QUEUE).map(|_| SqEntry::default()).collect(),
+            sq_head: 0,
+            sq_tail: 0,
+            sq_count: 0,
+        }
+    }
+
+    /// Free load slots.
+    pub fn lq_free(&self) -> u64 {
+        Self::LCAP - self.lq_count.min(Self::LCAP)
+    }
+
+    /// Free store slots.
+    pub fn sq_free(&self) -> u64 {
+        Self::SCAP - self.sq_count.min(Self::SCAP)
+    }
+
+    /// Allocates a load slot, returning its index.
+    pub fn alloc_load(&mut self, e: LqEntry) -> u64 {
+        let i = self.lq_tail % Self::LCAP;
+        self.lq[i as usize] = e;
+        self.lq[i as usize].valid = true;
+        self.lq_tail = (self.lq_tail + 1) % Self::LCAP;
+        self.lq_count = (self.lq_count + 1) & 0x1f;
+        i
+    }
+
+    /// Allocates a store slot, returning its index.
+    pub fn alloc_store(&mut self, e: SqEntry) -> u64 {
+        let i = self.sq_tail % Self::SCAP;
+        self.sq[i as usize] = e;
+        self.sq[i as usize].valid = true;
+        self.sq_tail = (self.sq_tail + 1) % Self::SCAP;
+        self.sq_count = (self.sq_count + 1) & 0x1f;
+        i
+    }
+
+    /// Frees the load at ring index `i` if it is the head (loads retire in
+    /// order; out-of-order frees only happen through squashes).
+    pub fn free_load_head(&mut self) {
+        if self.lq_count.min(Self::LCAP) == 0 {
+            return;
+        }
+        let i = (self.lq_head % Self::LCAP) as usize;
+        self.lq[i] = LqEntry::default();
+        self.lq_head = (self.lq_head + 1) % Self::LCAP;
+        self.lq_count = (self.lq_count - 1) & 0x1f;
+    }
+
+    /// Pops the youngest load (misprediction walk).
+    pub fn pop_load_tail(&mut self) {
+        if self.lq_count.min(Self::LCAP) == 0 {
+            return;
+        }
+        self.lq_tail = (self.lq_tail + Self::LCAP - 1) % Self::LCAP;
+        self.lq[(self.lq_tail % Self::LCAP) as usize] = LqEntry::default();
+        self.lq_count = (self.lq_count - 1) & 0x1f;
+    }
+
+    /// Pops the youngest (non-senior) store (misprediction walk).
+    pub fn pop_store_tail(&mut self) {
+        if self.sq_count.min(Self::SCAP) == 0 {
+            return;
+        }
+        self.sq_tail = (self.sq_tail + Self::SCAP - 1) % Self::SCAP;
+        self.sq[(self.sq_tail % Self::SCAP) as usize] = SqEntry::default();
+        self.sq_count = (self.sq_count - 1) & 0x1f;
+    }
+
+    /// Drops every load and every non-senior store (full flush). Senior
+    /// stores survive and continue draining.
+    pub fn flush_keep_senior(&mut self) {
+        for e in self.lq.iter_mut() {
+            *e = LqEntry::default();
+        }
+        self.lq_head = 0;
+        self.lq_tail = 0;
+        self.lq_count = 0;
+        // Compact: drop non-senior stores from the tail side.
+        while self.sq_count.min(Self::SCAP) > 0 {
+            let last = (self.sq_tail + Self::SCAP - 1) % Self::SCAP;
+            if self.sq[(last % Self::SCAP) as usize].senior {
+                break;
+            }
+            self.pop_store_tail();
+        }
+    }
+
+    /// Visits both queues and their ring pointers.
+    pub fn visit(&mut self, v: &mut dyn StateVisitor, ptr_ecc: bool) {
+        for e in self.lq.iter_mut() {
+            e.visit(v, ptr_ecc);
+        }
+        for e in self.sq.iter_mut() {
+            e.visit(v);
+        }
+        let q = FieldMeta::new(Category::Qctrl, StorageKind::Latch);
+        v.field(q, 4, &mut self.lq_head);
+        v.field(q, 4, &mut self.lq_tail);
+        v.field(q, 5, &mut self.lq_count);
+        v.field(q, 4, &mut self.sq_head);
+        v.field(q, 4, &mut self.sq_tail);
+        v.field(q, 5, &mut self.sq_count);
+    }
+}
+
+impl Default for Lsq {
+    fn default() -> Self {
+        Lsq::new()
+    }
+}
+
+/// Converts an access size in bytes to the stored log2 form.
+pub fn size_to_log2(size: u64) -> u64 {
+    match size {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        _ => 3,
+    }
+}
+
+/// Whether two (addr, size) ranges overlap.
+pub fn ranges_overlap(a: u64, asize: u64, b: u64, bsize: u64) -> bool {
+    a < b.wrapping_add(bsize) && b < a.wrapping_add(asize)
+}
+
+/// Whether range `(inner, isize)` is fully contained in `(outer, osize)`.
+pub fn range_contains(outer: u64, osize: u64, inner: u64, isize: u64) -> bool {
+    inner >= outer && inner.wrapping_add(isize) <= outer.wrapping_add(osize)
+}
+
+/// The architectural register a 5-bit field names.
+pub fn areg(bits: u64) -> Reg {
+    Reg::from_number((bits & 31) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsim_bitstate::Census;
+
+    #[test]
+    fn fetch_queue_fifo_order() {
+        let mut fq = FetchQueue::new();
+        for i in 0..5u64 {
+            let mut p = SlotPayload::default();
+            p.pc = 0x1000 + i * 4;
+            fq.push(p);
+        }
+        assert_eq!(fq.len(), 5);
+        for i in 0..5u64 {
+            assert_eq!(fq.pop().unwrap().pc, 0x1000 + i * 4);
+        }
+        assert!(fq.pop().is_none());
+    }
+
+    #[test]
+    fn fetch_queue_capacity() {
+        let mut fq = FetchQueue::new();
+        for _ in 0..32 {
+            fq.push(SlotPayload::default());
+        }
+        assert_eq!(fq.free(), 0);
+        fq.clear();
+        assert_eq!(fq.free(), 32);
+    }
+
+    #[test]
+    fn rob_alloc_retire_cycle() {
+        let mut rob = Rob::new();
+        let t0 = rob.alloc(RobEntry { pc: 0x100, ..Default::default() });
+        let t1 = rob.alloc(RobEntry { pc: 0x104, ..Default::default() });
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.head_tag(), t0);
+        assert!(rob.younger(t1, t0));
+        assert!(!rob.younger(t0, t1));
+        let e = rob.retire_head();
+        assert_eq!(e.pc, 0x100);
+        assert_eq!(rob.head_tag(), t1);
+    }
+
+    #[test]
+    fn rob_tail_walk() {
+        let mut rob = Rob::new();
+        rob.alloc(RobEntry { pc: 0x100, ..Default::default() });
+        rob.alloc(RobEntry { pc: 0x104, ..Default::default() });
+        rob.alloc(RobEntry { pc: 0x108, ..Default::default() });
+        let e = rob.pop_tail();
+        assert_eq!(e.pc, 0x108);
+        assert_eq!(rob.len(), 2);
+    }
+
+    #[test]
+    fn rob_age_wraps_correctly() {
+        let mut rob = Rob::new();
+        // Advance head/tail near the wrap point.
+        for _ in 0..60 {
+            rob.alloc(RobEntry::default());
+            rob.retire_head();
+        }
+        let a = rob.alloc(RobEntry::default());
+        let b = rob.alloc(RobEntry::default());
+        let c = rob.alloc(RobEntry::default());
+        let d = rob.alloc(RobEntry::default());
+        let e = rob.alloc(RobEntry::default());
+        assert!(rob.younger(e, a));
+        assert!(rob.younger(d, c));
+        assert_eq!(rob.age(a), 0);
+        assert_eq!(rob.age(b), 1);
+        assert_eq!(rob.age(e), 4);
+    }
+
+    #[test]
+    fn lsq_allocation_and_flush() {
+        let mut lsq = Lsq::new();
+        let l = lsq.alloc_load(LqEntry { rob: 3, ..Default::default() });
+        let s = lsq.alloc_store(SqEntry { rob: 4, ..Default::default() });
+        assert_eq!((l, s), (0, 0));
+        assert_eq!(lsq.lq_free(), 15);
+        assert_eq!(lsq.sq_free(), 15);
+        lsq.sq[0].senior = true;
+        lsq.alloc_store(SqEntry { rob: 9, ..Default::default() });
+        lsq.flush_keep_senior();
+        assert_eq!(lsq.lq_free(), 16, "loads fully cleared");
+        assert_eq!(lsq.sq_free(), 15, "senior store survives the flush");
+        assert!(lsq.sq[0].senior);
+        assert!(!lsq.sq[1].valid);
+    }
+
+    #[test]
+    fn overlap_and_containment() {
+        assert!(ranges_overlap(100, 8, 104, 8));
+        assert!(!ranges_overlap(100, 4, 104, 4));
+        assert!(range_contains(100, 8, 104, 4));
+        assert!(!range_contains(100, 8, 104, 8));
+        assert!(range_contains(100, 8, 100, 8));
+    }
+
+    #[test]
+    fn size_encoding_round_trip() {
+        for s in [1u64, 2, 4, 8] {
+            let e = LqEntry { size_log2: size_to_log2(s), ..Default::default() };
+            assert_eq!(e.size(), s);
+        }
+    }
+
+    #[test]
+    fn exc_code_round_trip() {
+        for bits in 0..8u64 {
+            let c = ExcCode::from_bits(bits);
+            if bits <= 6 {
+                assert_eq!(c as u64, bits);
+            } else {
+                assert_eq!(c, ExcCode::BadPal);
+            }
+        }
+    }
+
+    #[test]
+    fn census_categories_present() {
+        let mut rob = Rob::new();
+        let mut c = Census::new();
+        rob.visit(&mut c, true, false);
+        // 64 entries x 2 x 62-bit PC fields.
+        assert_eq!(c.bits(Category::Pc, StorageKind::Ram), 64 * 124);
+        assert_eq!(c.bits(Category::Insn, StorageKind::Ram), 64 * 32);
+        assert_eq!(c.bits(Category::Regptr, StorageKind::Ram), 64 * 14);
+        assert_eq!(c.bits(Category::Parity, StorageKind::Ram), 64);
+        assert_eq!(c.bits(Category::Qctrl, StorageKind::Latch), 19);
+
+        let mut lsq = Lsq::new();
+        let mut c = Census::new();
+        lsq.visit(&mut c, false);
+        assert_eq!(c.bits(Category::Addr, StorageKind::Ram), 32 * 64);
+        assert_eq!(c.bits(Category::Data, StorageKind::Ram), 32 * 64);
+    }
+
+    #[test]
+    fn corrupted_ring_pointers_do_not_panic() {
+        let mut fq = FetchQueue::new();
+        fq.head = 63;
+        fq.tail = 70;
+        fq.count = 63;
+        for _ in 0..100 {
+            let _ = fq.pop();
+        }
+        let mut rob = Rob::new();
+        rob.head = 127;
+        rob.count = 127;
+        let _ = rob.retire_head();
+        let _ = rob.entry(999);
+        let mut lsq = Lsq::new();
+        lsq.sq_tail = 31;
+        lsq.sq_count = 31;
+        lsq.pop_store_tail();
+        lsq.flush_keep_senior();
+    }
+}

@@ -1,0 +1,369 @@
+//! Register alias tables and register free lists.
+//!
+//! The pipeline maintains *speculative* and *architectural* copies of both
+//! the RAT and the free list (Figure 2: "Speculative and architectural
+//! rename maps maintained"):
+//!
+//! * Rename reads/writes the speculative copies.
+//! * Retirement updates the architectural copies.
+//! * Branch mispredictions roll the speculative copies back by walking the
+//!   ROB (done by the pipeline); full flushes copy the architectural state
+//!   over the speculative state.
+//!
+//! With the pointer-ECC protection enabled, every 7-bit pointer stored here
+//! carries 4 SEC check bits (`ecc` category state) that repair single-bit
+//! flips when the pointer is read.
+
+use tfsim_bitstate::{Category, FieldMeta, StateVisitor, StorageKind};
+use tfsim_protect::{pointer_code, Decoded};
+
+use crate::config::sizes;
+
+/// Applies pointer-ECC correction to a stored (pointer, check) pair,
+/// repairing the stored pointer in place when a single-bit error is found.
+/// Returns the (possibly corrected) pointer value.
+fn checked_read(slot: &mut u64, ecc: &mut u64, ecc_enabled: bool) -> u64 {
+    if !ecc_enabled {
+        return *slot;
+    }
+    match pointer_code().decode(*slot as u128, *ecc as u32) {
+        Decoded::Clean => *slot,
+        Decoded::CorrectedData(fixed) => {
+            *slot = fixed as u64;
+            *slot
+        }
+        Decoded::CorrectedCheck | Decoded::Uncorrectable => {
+            // Repair the check bits to match the data (best effort; an
+            // uncorrectable pattern cannot happen from a single flip with
+            // SEC, but corrupted state must never wedge the logic).
+            *ecc = pointer_code().encode(*slot as u128) as u64;
+            *slot
+        }
+    }
+}
+
+fn encode_ptr(value: u64) -> u64 {
+    pointer_code().encode((value & 0x7f) as u128) as u64
+}
+
+/// A register alias table: 32 architectural registers → 7-bit physical
+/// register pointers (224 bits of RAM, matching the paper's Table 1).
+#[derive(Debug, Clone)]
+pub struct Rat {
+    map: Vec<u64>,
+    ecc: Vec<u64>,
+    category: Category,
+    ecc_enabled: bool,
+}
+
+impl Rat {
+    /// Creates a RAT with the identity mapping `areg i -> preg i`.
+    ///
+    /// `category` must be [`Category::SpecRat`] or [`Category::ArchRat`].
+    pub fn new(category: Category, ecc_enabled: bool) -> Rat {
+        let map: Vec<u64> = (0..sizes::ARCH_REGS as u64).collect();
+        let ecc = map.iter().map(|&p| encode_ptr(p)).collect();
+        Rat { map, ecc, category, ecc_enabled }
+    }
+
+    /// Reads the mapping for `areg`, applying pointer-ECC repair if
+    /// enabled. Out-of-range architectural indices (impossible from decode,
+    /// but reachable through corrupted state) read as pointer 0.
+    pub fn read(&mut self, areg: u64) -> u64 {
+        let i = areg as usize;
+        if i >= self.map.len() {
+            return 0;
+        }
+        checked_read(&mut self.map[i], &mut self.ecc[i], self.ecc_enabled) & 0x7f
+    }
+
+    /// Writes a new mapping (the check bits travel with the pointer).
+    pub fn write(&mut self, areg: u64, preg: u64) {
+        let i = areg as usize;
+        if i >= self.map.len() {
+            return;
+        }
+        self.map[i] = preg & 0x7f;
+        self.ecc[i] = encode_ptr(preg);
+    }
+
+    /// Copies another RAT's contents (full-flush recovery).
+    pub fn copy_from(&mut self, other: &Rat) {
+        self.map.copy_from_slice(&other.map);
+        self.ecc.copy_from_slice(&other.ecc);
+    }
+
+    /// Walks every mapping through the ECC decoder (a background scrub used
+    /// by tests; real repair happens on read).
+    pub fn scrub(&mut self) {
+        if !self.ecc_enabled {
+            return;
+        }
+        for i in 0..self.map.len() {
+            checked_read(&mut self.map[i], &mut self.ecc[i], true);
+        }
+    }
+
+    /// Visits the RAT state (and its check bits when ECC is enabled).
+    pub fn visit(&mut self, v: &mut dyn StateVisitor) {
+        v.array(FieldMeta::new(self.category, StorageKind::Ram), sizes::PREG_BITS, &mut self.map);
+        if self.ecc_enabled {
+            v.array(FieldMeta::new(Category::Ecc, StorageKind::Ram), 4, &mut self.ecc);
+        }
+    }
+}
+
+/// A circular register free list of 48 entries (the paper's 336 RAM bits:
+/// 48 × 7), with 6-bit head/tail/count queue-control latches.
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    slots: Vec<u64>,
+    ecc: Vec<u64>,
+    head: u64,
+    tail: u64,
+    count: u64,
+    category: Category,
+    ecc_enabled: bool,
+}
+
+impl FreeList {
+    /// Creates a full free list holding pregs `32..80` (the registers not
+    /// claimed by the initial identity RAT).
+    ///
+    /// `category` must be [`Category::SpecFreelist`] or
+    /// [`Category::ArchFreelist`].
+    pub fn new(category: Category, ecc_enabled: bool) -> FreeList {
+        let slots: Vec<u64> = (sizes::ARCH_REGS as u64..sizes::PHYS_REGS as u64).collect();
+        let ecc = slots.iter().map(|&p| encode_ptr(p)).collect();
+        FreeList {
+            slots,
+            ecc,
+            head: 0,
+            tail: 0,
+            count: sizes::FREELIST as u64,
+            category,
+            ecc_enabled,
+        }
+    }
+
+    const CAP: u64 = sizes::FREELIST as u64;
+
+    /// Free registers currently available.
+    pub fn len(&self) -> u64 {
+        self.count.min(Self::CAP)
+    }
+
+    /// Whether no registers are available.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pops the next free physical register, if any.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.len() == 0 {
+            return None;
+        }
+        let i = (self.head % Self::CAP) as usize;
+        let preg = checked_read(&mut self.slots[i], &mut self.ecc[i], self.ecc_enabled) & 0x7f;
+        self.head = (self.head + 1) % Self::CAP;
+        self.count = (self.count - 1) & 0x3f;
+        Some(preg)
+    }
+
+    /// Reverses the most recent [`FreeList::pop`], restoring `preg` to the
+    /// head of the list (used by the ROB-walk misprediction rollback).
+    pub fn unpop(&mut self, preg: u64) {
+        self.head = (self.head + Self::CAP - 1) % Self::CAP;
+        let i = (self.head % Self::CAP) as usize;
+        self.slots[i] = preg & 0x7f;
+        self.ecc[i] = encode_ptr(preg);
+        self.count = (self.count + 1) & 0x3f;
+    }
+
+    /// Appends a freed register at the tail (retirement).
+    pub fn push(&mut self, preg: u64) {
+        let i = (self.tail % Self::CAP) as usize;
+        self.slots[i] = preg & 0x7f;
+        self.ecc[i] = encode_ptr(preg);
+        self.tail = (self.tail + 1) % Self::CAP;
+        self.count = (self.count + 1) & 0x3f;
+    }
+
+    /// Copies another free list's full state (full-flush recovery).
+    pub fn copy_from(&mut self, other: &FreeList) {
+        self.slots.copy_from_slice(&other.slots);
+        self.ecc.copy_from_slice(&other.ecc);
+        self.head = other.head;
+        self.tail = other.tail;
+        self.count = other.count;
+    }
+
+    /// Visits the free list's RAM slots, check bits, and queue-control
+    /// pointers.
+    pub fn visit(&mut self, v: &mut dyn StateVisitor) {
+        v.array(FieldMeta::new(self.category, StorageKind::Ram), sizes::PREG_BITS, &mut self.slots);
+        if self.ecc_enabled {
+            v.array(FieldMeta::new(Category::Ecc, StorageKind::Ram), 4, &mut self.ecc);
+        }
+        let q = FieldMeta::new(Category::Qctrl, StorageKind::Latch);
+        v.field(q, 6, &mut self.head);
+        v.field(q, 6, &mut self.tail);
+        v.field(q, 6, &mut self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsim_bitstate::{BitCount, Census, InjectionMask, StorageKind};
+
+    #[test]
+    fn rat_identity_initialization() {
+        let mut rat = Rat::new(Category::SpecRat, false);
+        for a in 0..32 {
+            assert_eq!(rat.read(a), a);
+        }
+        assert_eq!(rat.read(99), 0, "out-of-range reads are harmless");
+    }
+
+    #[test]
+    fn rat_write_read_round_trip() {
+        let mut rat = Rat::new(Category::SpecRat, false);
+        rat.write(5, 77);
+        assert_eq!(rat.read(5), 77);
+        rat.write(99, 1); // out of range: dropped
+    }
+
+    #[test]
+    fn rat_bit_census_matches_paper() {
+        // Table 1: specrat/archrat are 224 RAM bits each (32 x 7).
+        let mut rat = Rat::new(Category::ArchRat, false);
+        let mut census = Census::new();
+        rat.visit(&mut census);
+        assert_eq!(census.bits(Category::ArchRat, StorageKind::Ram), 224);
+    }
+
+    #[test]
+    fn rat_pointer_ecc_repairs_flips() {
+        let mut rat = Rat::new(Category::SpecRat, true);
+        rat.write(3, 0b1010101);
+        // Corrupt one stored pointer bit directly.
+        rat.map[3] ^= 1 << 4;
+        assert_eq!(rat.read(3), 0b1010101, "ECC must repair the flip");
+        assert_eq!(rat.map[3], 0b1010101, "repair is written back");
+    }
+
+    #[test]
+    fn rat_ecc_census() {
+        let mut rat = Rat::new(Category::SpecRat, true);
+        let mut census = Census::new();
+        rat.visit(&mut census);
+        assert_eq!(census.bits(Category::Ecc, StorageKind::Ram), 32 * 4);
+    }
+
+    #[test]
+    fn freelist_starts_full_with_upper_pregs() {
+        let mut fl = FreeList::new(Category::SpecFreelist, false);
+        assert_eq!(fl.len(), 48);
+        let mut seen = Vec::new();
+        while let Some(p) = fl.pop() {
+            seen.push(p);
+        }
+        assert_eq!(seen.len(), 48);
+        assert_eq!(seen[0], 32);
+        assert_eq!(seen[47], 79);
+        assert!(fl.is_empty());
+        assert_eq!(fl.pop(), None);
+    }
+
+    #[test]
+    fn freelist_pop_push_cycle_conserves_registers() {
+        let mut fl = FreeList::new(Category::SpecFreelist, false);
+        for round in 0..200 {
+            let a = fl.pop().unwrap();
+            let b = fl.pop().unwrap();
+            fl.push(a);
+            fl.push(b);
+            assert_eq!(fl.len(), 48, "round {round}");
+        }
+        // All 48 registers are still distinct.
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(p) = fl.pop() {
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 48);
+    }
+
+    #[test]
+    fn freelist_unpop_reverses_pop_order() {
+        let mut fl = FreeList::new(Category::SpecFreelist, false);
+        let a = fl.pop().unwrap();
+        let b = fl.pop().unwrap();
+        // Rollback walks youngest-first.
+        fl.unpop(b);
+        fl.unpop(a);
+        assert_eq!(fl.pop(), Some(a));
+        assert_eq!(fl.pop(), Some(b));
+        assert_eq!(fl.len(), 46);
+    }
+
+    #[test]
+    fn freelist_census_matches_paper() {
+        // Table 1: specfreelist is 336 RAM bits (48 x 7).
+        let mut fl = FreeList::new(Category::SpecFreelist, false);
+        let mut census = Census::new();
+        fl.visit(&mut census);
+        assert_eq!(census.bits(Category::SpecFreelist, StorageKind::Ram), 336);
+        assert_eq!(census.bits(Category::Qctrl, StorageKind::Latch), 18);
+    }
+
+    #[test]
+    fn freelist_ecc_repairs_slot_flips() {
+        let mut fl = FreeList::new(Category::SpecFreelist, true);
+        fl.slots[0] ^= 1 << 6; // corrupt the first free preg (32 -> 96)
+        let p = fl.pop().unwrap();
+        assert_eq!(p, 32, "ECC must repair the pointer before use");
+    }
+
+    #[test]
+    fn freelist_copy_from_restores_exact_state() {
+        let mut arch = FreeList::new(Category::ArchFreelist, false);
+        let mut spec = FreeList::new(Category::SpecFreelist, false);
+        spec.pop();
+        spec.pop();
+        spec.push(70);
+        // Arch side performs its own sequence.
+        arch.pop();
+        arch.push(50);
+        spec.copy_from(&arch);
+        assert_eq!(spec.len(), arch.len());
+        let (a, b) = (spec.pop(), arch.pop());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupted_pointers_never_panic() {
+        let mut fl = FreeList::new(Category::SpecFreelist, false);
+        fl.head = 63; // out of the 0..47 ring
+        fl.tail = 55;
+        fl.count = 63;
+        for _ in 0..100 {
+            let _ = fl.pop();
+            fl.push(5);
+        }
+        let mut rat = Rat::new(Category::SpecRat, false);
+        rat.map[0] = 0x7f; // nonexistent preg 127: read must just return it
+        assert_eq!(rat.read(0), 0x7f);
+    }
+
+    #[test]
+    fn injectable_bit_totals() {
+        let mut fl = FreeList::new(Category::SpecFreelist, false);
+        let mut count = BitCount::new(InjectionMask::LatchesAndRams);
+        fl.visit(&mut count);
+        assert_eq!(count.count, 48 * 7 + 18);
+        let mut latches = BitCount::new(InjectionMask::LatchesOnly);
+        fl.visit(&mut latches);
+        assert_eq!(latches.count, 18, "only the queue pointers are latches");
+    }
+}

@@ -1,0 +1,538 @@
+//! The ten kernel generators. Each mimics the microarchitectural character
+//! of one SPECint-2000 program (see the crate docs and DESIGN.md for the
+//! substitution rationale).
+//!
+//! Register conventions shared by the kernels:
+//! `R9` checksum accumulator, `R10` LCG state, `R24`/`R25` LCG constants,
+//! `R20`–`R23` loop-invariant constants, `R1`–`R8`/`R11`–`R15` locals.
+
+use tfsim_isa::{Asm, Program, Reg};
+
+use crate::{epilogue, fold_checksum, ineffectual, lcg_init, lcg_step, CODE_BASE, DATA_BASE};
+
+use Reg::*;
+
+/// `gzip`-like: run-length compression of a buffer with 16-byte runs.
+/// Tight loops of byte loads with highly predictable branches — the
+/// highest-IPC workload, matching the paper's description of gzip.
+pub fn gzip_like(scale: u32) -> Program {
+    let n = 2048u64 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    // Generate input: byte i holds (i >> 4) & 0xff, giving 16-byte runs.
+    a.li(R1, DATA_BASE);
+    a.li(R2, n);
+    a.li(R3, 0);
+    let init = a.here_label();
+    a.srl_i(R3, 4, R4);
+    a.and_i(R4, 0xff, R4);
+    a.addq(R1, R3, R5);
+    a.stb(R4, R5, 0);
+    a.addq_i(R3, 1, R3);
+    a.cmplt(R3, R2, R6);
+    a.bne(R6, init);
+    // Compress: for each run, fold (length, byte) into the checksum.
+    a.li(R3, 0);
+    a.li(R9, 1);
+    let outer = a.here_label();
+    let done = a.label();
+    a.cmplt(R3, R2, R6);
+    a.beq(R6, done);
+    a.addq(R1, R3, R5);
+    a.ldbu(R4, R5, 0);
+    a.li(R7, 1);
+    let inner = a.here_label();
+    let inner_done = a.label();
+    a.addq(R3, R7, R5);
+    a.cmplt(R5, R2, R6);
+    a.beq(R6, inner_done);
+    a.addq(R1, R5, R6);
+    a.ldbu(R8, R6, 0);
+    ineffectual(&mut a, R8);
+    a.cmpeq(R8, R4, R6);
+    a.beq(R6, inner_done);
+    a.addq_i(R7, 1, R7);
+    a.br(inner);
+    a.bind(inner_done);
+    fold_checksum(&mut a, R9, R7);
+    fold_checksum(&mut a, R9, R4);
+    a.addq(R3, R7, R3);
+    a.br(outer);
+    a.bind(done);
+    epilogue(&mut a, R9);
+    Program::new("gzip-like", a)
+}
+
+/// `bzip2`-like: insertion sort of an LCG-generated block, then a checksum
+/// pass. High IPC, the highest data-cache hit rate (the block fits in L1),
+/// and predictable branch behaviour — the properties the paper attributes
+/// to bzip2.
+pub fn bzip2_like(scale: u32) -> Program {
+    let n = 64 + 32 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    a.li(R1, DATA_BASE);
+    a.li(R2, n);
+    lcg_init(&mut a, R24, R25);
+    a.li(R10, 0x3030);
+    a.li(R3, 0);
+    let gen = a.here_label();
+    lcg_step(&mut a, R10, R24, R25);
+    a.s8addq(R3, R1, R5);
+    a.stq(R10, R5, 0);
+    a.addq_i(R3, 1, R3);
+    a.cmplt(R3, R2, R6);
+    a.bne(R6, gen);
+    // Insertion sort (unsigned ascending).
+    a.li(R3, 1);
+    let outer = a.here_label();
+    let sorted = a.label();
+    a.cmplt(R3, R2, R6);
+    a.beq(R6, sorted);
+    a.s8addq(R3, R1, R5);
+    a.ldq(R4, R5, 0); // key
+    ineffectual(&mut a, R4);
+    a.mov(R3, R7); // j
+    let inner = a.here_label();
+    let insert = a.label();
+    a.beq(R7, insert);
+    a.subq_i(R7, 1, R8);
+    a.s8addq(R8, R1, R5);
+    a.ldq(R11, R5, 0);
+    a.cmpult(R4, R11, R6);
+    a.beq(R6, insert);
+    a.s8addq(R7, R1, R12);
+    a.stq(R11, R12, 0);
+    a.mov(R8, R7);
+    a.br(inner);
+    a.bind(insert);
+    a.s8addq(R7, R1, R5);
+    a.stq(R4, R5, 0);
+    a.addq_i(R3, 1, R3);
+    a.br(outer);
+    a.bind(sorted);
+    // Checksum of the sorted block, position-salted.
+    a.li(R3, 0);
+    a.li(R9, 1);
+    let ck = a.here_label();
+    a.s8addq(R3, R1, R5);
+    a.ldq(R4, R5, 0);
+    a.xor(R4, R3, R4);
+    fold_checksum(&mut a, R9, R4);
+    a.addq_i(R3, 1, R3);
+    a.cmplt(R3, R2, R6);
+    a.bne(R6, ck);
+    epilogue(&mut a, R9);
+    Program::new("bzip2-like", a)
+}
+
+/// `gcc`-like: pointer chasing across a 1024-node linked structure whose
+/// next pointers follow a co-prime stride permutation. Serial dependent
+/// loads keep IPC low, as in gcc's IR walks.
+pub fn gcc_like(scale: u32) -> Program {
+    let n = 1024u64; // nodes, 16 bytes each
+    let hops = 4096u64 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    a.li(R1, DATA_BASE);
+    a.li(R2, n);
+    a.li(R20, 521); // stride, co-prime with 1024 -> a single cycle
+    a.li(R21, n - 1);
+    a.li(R3, 0);
+    let init = a.here_label();
+    a.addq(R3, R20, R4);
+    a.and(R4, R21, R4);
+    a.sll_i(R4, 4, R4);
+    a.addq(R1, R4, R4); // address of successor node
+    a.sll_i(R3, 4, R5);
+    a.addq(R1, R5, R5); // address of this node
+    a.stq(R4, R5, 0); // node.next
+    a.stq(R3, R5, 8); // node.value = i
+    a.addq_i(R3, 1, R3);
+    a.cmplt(R3, R2, R6);
+    a.bne(R6, init);
+    // Chase.
+    a.li(R7, hops);
+    a.mov(R1, R5);
+    a.li(R9, 1);
+    let chase = a.here_label();
+    a.ldq(R4, R5, 8);
+    fold_checksum(&mut a, R9, R4);
+    a.ldq(R5, R5, 0);
+    a.subq_i(R7, 1, R7);
+    a.bne(R7, chase);
+    epilogue(&mut a, R9);
+    Program::new("gcc-like", a)
+}
+
+/// `mcf`-like: read-modify-write updates at LCG-random positions of a
+/// 256 KB array — far larger than the 32 KB data cache, so most accesses
+/// miss. Cache-miss bound, low IPC, like mcf's network-simplex arcs.
+pub fn mcf_like(scale: u32) -> Program {
+    let n: u64 = 32 * 1024; // u64 elements = 256 KB
+    let updates = 4000u64 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    a.li(R1, DATA_BASE);
+    a.li(R23, n - 1);
+    lcg_init(&mut a, R24, R25);
+    a.li(R10, 0xfeed);
+    a.li(R7, updates);
+    a.li(R9, 1);
+    let top = a.here_label();
+    lcg_step(&mut a, R10, R24, R25);
+    a.srl_i(R10, 17, R4);
+    a.and(R4, R23, R4);
+    a.s8addq(R4, R1, R5);
+    a.ldq(R6, R5, 0);
+    ineffectual(&mut a, R6);
+    a.addq(R6, R7, R6);
+    a.stq(R6, R5, 0);
+    fold_checksum(&mut a, R9, R6);
+    a.subq_i(R7, 1, R7);
+    a.bne(R7, top);
+    epilogue(&mut a, R9);
+    Program::new("mcf-like", a)
+}
+
+/// `crafty`-like: SWAR population counts and board mixing over LCG values.
+/// Almost purely ALU work (shifts, masks, multiplies) with no memory in the
+/// hot loop — high ILP, like crafty's bitboard move generation.
+pub fn crafty_like(scale: u32) -> Program {
+    let iters = 2000u64 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    lcg_init(&mut a, R24, R25);
+    a.li(R10, 0xb0a2d);
+    a.li(R20, 0x5555_5555_5555_5555);
+    a.li(R21, 0x3333_3333_3333_3333);
+    a.li(R22, 0x0f0f_0f0f_0f0f_0f0f);
+    a.li(R23, 0x0101_0101_0101_0101);
+    a.li(R7, iters);
+    a.li(R9, 1);
+    let top = a.here_label();
+    lcg_step(&mut a, R10, R24, R25);
+    // SWAR popcount of r10 into r4.
+    a.srl_i(R10, 1, R5);
+    a.and(R5, R20, R5);
+    a.subq(R10, R5, R4);
+    a.and(R4, R21, R5);
+    a.srl_i(R4, 2, R4);
+    a.and(R4, R21, R4);
+    a.addq(R4, R5, R4);
+    a.srl_i(R4, 4, R5);
+    a.addq(R4, R5, R4);
+    a.and(R4, R22, R4);
+    a.mulq(R4, R23, R4);
+    a.srl_i(R4, 56, R4);
+    ineffectual(&mut a, R4);
+    // Mix a rotated copy of the board into the running checksum.
+    a.sll_i(R10, 13, R5);
+    a.srl_i(R10, 51, R6);
+    a.bis(R5, R6, R5);
+    a.xor(R5, R4, R5);
+    fold_checksum(&mut a, R9, R5);
+    a.subq_i(R7, 1, R7);
+    a.bne(R7, top);
+    epilogue(&mut a, R9);
+    Program::new("crafty-like", a)
+}
+
+/// `parser`-like: classifies LCG-random bytes through a chain of compares
+/// whose outcomes are data-dependent — heavy branch misprediction, like
+/// parser's grammar dispatch.
+pub fn parser_like(scale: u32) -> Program {
+    let n = 3072u64 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    a.li(R1, DATA_BASE);
+    a.li(R2, n);
+    lcg_init(&mut a, R24, R25);
+    a.li(R10, 0x9e3779);
+    a.li(R3, 0);
+    let gen = a.here_label();
+    lcg_step(&mut a, R10, R24, R25);
+    a.srl_i(R10, 32, R4);
+    a.addq(R1, R3, R5);
+    a.stb(R4, R5, 0);
+    a.addq_i(R3, 1, R3);
+    a.cmplt(R3, R2, R6);
+    a.bne(R6, gen);
+    // Classify.
+    a.li(R3, 0);
+    a.li(R9, 1);
+    let top = a.here_label();
+    let done = a.label();
+    let cls0 = a.label();
+    let cls1 = a.label();
+    let cls2 = a.label();
+    let next = a.label();
+    a.cmplt(R3, R2, R6);
+    a.beq(R6, done);
+    a.addq(R1, R3, R5);
+    a.ldbu(R4, R5, 0);
+    ineffectual(&mut a, R4);
+    a.cmplt_i(R4, 32, R6);
+    a.bne(R6, cls0);
+    a.cmplt_i(R4, 64, R6);
+    a.bne(R6, cls1);
+    a.cmplt_i(R4, 128, R6);
+    a.bne(R6, cls2);
+    // class 3: punctuation-like — multiply-fold.
+    fold_checksum(&mut a, R9, R4);
+    a.br(next);
+    a.bind(cls0); // control characters: xor-mix
+    a.xor(R9, R4, R9);
+    a.addq_i(R9, 3, R9);
+    a.br(next);
+    a.bind(cls1); // digits-like: shifted add
+    a.sll_i(R4, 2, R7);
+    a.addq(R9, R7, R9);
+    a.br(next);
+    a.bind(cls2); // letters-like: rotate-ish mix
+    a.sll_i(R9, 1, R7);
+    a.srl_i(R9, 63, R8);
+    a.bis(R7, R8, R9);
+    a.addq(R9, R4, R9);
+    a.bind(next);
+    a.addq_i(R3, 1, R3);
+    a.br(top);
+    a.bind(done);
+    epilogue(&mut a, R9);
+    Program::new("parser-like", a)
+}
+
+/// `perlbmk`-like: hashes LCG keys (multiply + shift avalanche) into a
+/// 1024-bucket table with scattered read-modify-writes, then folds the
+/// table — multiplies plus irregular memory traffic, like perl's hash-heavy
+/// interpreter loops.
+pub fn perlbmk_like(scale: u32) -> Program {
+    let buckets = 1024u64;
+    let keys = 3000u64 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    a.li(R1, DATA_BASE);
+    a.li(R23, buckets - 1);
+    lcg_init(&mut a, R24, R25);
+    a.li(R10, 0xcafe);
+    a.li(R20, 0x100_0000_01b3); // FNV prime
+    a.li(R7, keys);
+    a.li(R9, 1);
+    let top = a.here_label();
+    lcg_step(&mut a, R10, R24, R25);
+    a.mov(R10, R4);
+    a.srl_i(R4, 33, R5);
+    a.xor(R4, R5, R4);
+    a.mulq(R4, R20, R4);
+    a.srl_i(R4, 29, R5);
+    a.xor(R4, R5, R4);
+    ineffectual(&mut a, R4);
+    a.and(R4, R23, R5); // bucket index
+    a.s8addq(R5, R1, R5);
+    a.ldq(R6, R5, 0);
+    a.addq(R6, R4, R6);
+    a.bis_i(R6, 1, R6);
+    a.stq(R6, R5, 0);
+    a.subq_i(R7, 1, R7);
+    a.bne(R7, top);
+    // Fold the table.
+    a.li(R3, 0);
+    a.li(R2, buckets);
+    let ck = a.here_label();
+    a.s8addq(R3, R1, R5);
+    a.ldq(R4, R5, 0);
+    fold_checksum(&mut a, R9, R4);
+    a.addq_i(R3, 1, R3);
+    a.cmplt(R3, R2, R6);
+    a.bne(R6, ck);
+    epilogue(&mut a, R9);
+    Program::new("perlbmk-like", a)
+}
+
+/// `twolf`-like: annealing-style conditional swaps. Two LCG draws pick
+/// cells, a multiply computes the cost delta, and a ~50% data-dependent
+/// branch decides whether to swap — the mispredict-plus-store mix of
+/// place-and-route inner loops.
+pub fn twolf_like(scale: u32) -> Program {
+    let n = 1024u64;
+    let iters = 1500u64 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    a.li(R1, DATA_BASE);
+    a.li(R2, n);
+    a.li(R23, n - 1);
+    lcg_init(&mut a, R24, R25);
+    a.li(R10, 0x7a01f);
+    // Initialize cells with LCG values.
+    a.li(R3, 0);
+    let init = a.here_label();
+    lcg_step(&mut a, R10, R24, R25);
+    a.s8addq(R3, R1, R5);
+    a.stq(R10, R5, 0);
+    a.addq_i(R3, 1, R3);
+    a.cmplt(R3, R2, R6);
+    a.bne(R6, init);
+    // Anneal.
+    a.li(R7, iters);
+    a.li(R9, 1);
+    let top = a.here_label();
+    let no_swap = a.label();
+    lcg_step(&mut a, R10, R24, R25);
+    a.srl_i(R10, 13, R3);
+    a.and(R3, R23, R3); // i
+    lcg_step(&mut a, R10, R24, R25);
+    a.srl_i(R10, 13, R4);
+    a.and(R4, R23, R4); // j
+    a.s8addq(R3, R1, R11);
+    a.s8addq(R4, R1, R12);
+    a.ldq(R5, R11, 0); // a[i]
+    a.ldq(R6, R12, 0); // a[j]
+    ineffectual(&mut a, R5);
+    a.subq(R5, R6, R13);
+    a.subq(R3, R4, R14);
+    a.mulq(R13, R14, R13); // cost delta
+    a.ble(R13, no_swap);
+    a.stq(R6, R11, 0);
+    a.stq(R5, R12, 0);
+    fold_checksum(&mut a, R9, R13);
+    a.bind(no_swap);
+    a.addq(R9, R13, R9);
+    a.subq_i(R7, 1, R7);
+    a.bne(R7, top);
+    epilogue(&mut a, R9);
+    Program::new("twolf-like", a)
+}
+
+/// `vortex`-like: an object store of 32-byte records; each transaction
+/// copies a record to a new slot while updating its fields. Store-heavy
+/// with regular addressing, like vortex's in-memory database.
+pub fn vortex_like(scale: u32) -> Program {
+    let records = 512u64; // 32 bytes each = 16 KB
+    let ops = 2000u64 * scale as u64;
+    let mut a = Asm::new(CODE_BASE);
+    a.li(R1, DATA_BASE);
+    a.li(R23, records - 1);
+    lcg_init(&mut a, R24, R25);
+    a.li(R10, 0x5eed);
+    a.li(R7, ops);
+    a.li(R9, 1);
+    let top = a.here_label();
+    lcg_step(&mut a, R10, R24, R25);
+    a.srl_i(R10, 21, R3);
+    a.and(R3, R23, R3); // src record
+    a.addq_i(R3, 7, R4);
+    a.and(R4, R23, R4); // dst record
+    a.sll_i(R3, 5, R5);
+    a.addq(R1, R5, R5); // src addr
+    a.sll_i(R4, 5, R6);
+    a.addq(R1, R6, R6); // dst addr
+    a.ldq(R11, R5, 0);
+    a.ldq(R12, R5, 8);
+    ineffectual(&mut a, R11);
+    a.ldq(R13, R5, 16);
+    a.addq_i(R11, 1, R11); // bump generation field
+    a.stq(R11, R6, 0);
+    a.stq(R12, R6, 8);
+    a.stq(R13, R6, 16);
+    a.xor(R11, R12, R14);
+    a.stq(R14, R6, 24);
+    fold_checksum(&mut a, R9, R14);
+    a.subq_i(R7, 1, R7);
+    a.bne(R7, top);
+    epilogue(&mut a, R9);
+    Program::new("vortex-like", a)
+}
+
+/// `vpr`-like: breadth-first wavefront expansion over a 32×32 grid with an
+/// explicit in-memory work queue — queue pointer management, byte-map
+/// updates, and bounds-check branches, like vpr's maze router.
+pub fn vpr_like(scale: u32) -> Program {
+    let w = 32u64; // grid width (power of two)
+    let cells = w * w;
+    let visited = DATA_BASE;
+    let queue = DATA_BASE + 0x1_0000;
+    let mut a = Asm::new(CODE_BASE);
+    a.li(R1, visited);
+    a.li(R2, queue);
+    a.li(R20, w - 1); // x mask
+    a.li(R21, 1); // constant one for marking
+    a.li(R22, cells);
+    a.li(R9, 1);
+    a.li(R15, scale as u64); // BFS passes
+    let pass_top = a.here_label();
+    // Clear the visited map.
+    a.li(R3, 0);
+    let clear = a.here_label();
+    a.addq(R1, R3, R5);
+    a.stb(R31, R5, 0);
+    a.addq_i(R3, 1, R3);
+    a.cmplt(R3, R22, R6);
+    a.bne(R6, clear);
+    // Seed the queue with a pass-dependent start cell.
+    a.mulq_i(R15, 97, R4);
+    a.addq_i(R4, 33, R4);
+    a.and(R4, R20, R4); // x0
+    a.sll_i(R15, 5, R5);
+    a.addq(R4, R5, R4);
+    a.li(R5, cells - 1);
+    a.and(R4, R5, R4); // start index
+    a.li(R7, 0); // head
+    a.li(R8, 0); // tail
+    a.s4addq(R8, R2, R5);
+    a.stl(R4, R5, 0);
+    a.addq_i(R8, 1, R8);
+    a.addq(R1, R4, R5);
+    a.stb(R21, R5, 0);
+    // BFS loop.
+    let bfs = a.here_label();
+    let pass_done = a.label();
+    a.cmplt(R7, R8, R6);
+    a.beq(R6, pass_done);
+    a.s4addq(R7, R2, R5);
+    a.ldl(R4, R5, 0); // current index
+    a.addq_i(R7, 1, R7);
+    fold_checksum(&mut a, R9, R4);
+    ineffectual(&mut a, R4);
+    // Neighbor: left (x > 0).
+    let skip_l = a.label();
+    a.and(R4, R20, R5);
+    a.beq(R5, skip_l);
+    a.subq_i(R4, 1, R11);
+    visit_neighbor(&mut a, R11, skip_l);
+    a.bind(skip_l);
+    // Neighbor: right (x < w-1).
+    let skip_r = a.label();
+    a.and(R4, R20, R5);
+    a.cmpeq(R5, R20, R6);
+    a.bne(R6, skip_r);
+    a.addq_i(R4, 1, R11);
+    visit_neighbor(&mut a, R11, skip_r);
+    a.bind(skip_r);
+    // Neighbor: up (index >= w).
+    let skip_u = a.label();
+    a.cmplt_i(R4, 32, R6);
+    a.bne(R6, skip_u);
+    a.subq_i(R4, 32, R11);
+    visit_neighbor(&mut a, R11, skip_u);
+    a.bind(skip_u);
+    // Neighbor: down (index < cells - w).
+    let skip_d = a.label();
+    a.li(R5, cells - w);
+    a.cmplt(R4, R5, R6);
+    a.beq(R6, skip_d);
+    a.addq_i(R4, 32, R11);
+    visit_neighbor(&mut a, R11, skip_d);
+    a.bind(skip_d);
+    a.br(bfs);
+    a.bind(pass_done);
+    a.subq_i(R15, 1, R15);
+    a.bne(R15, pass_top);
+    epilogue(&mut a, R9);
+    Program::new("vpr-like", a)
+}
+
+/// Emits the visit-or-skip body for a BFS neighbor whose index is in
+/// `nidx`: if unvisited, mark it and enqueue it; otherwise jump to `skip`.
+/// Relies on the register conventions of [`vpr_like`] (`R1` visited base,
+/// `R2` queue base, `R8` tail, `R21` the constant 1).
+fn visit_neighbor(a: &mut Asm, nidx: Reg, skip: tfsim_isa::Label) {
+    a.addq(R1, nidx, R12);
+    a.ldbu(R13, R12, 0);
+    a.bne(R13, skip);
+    a.stb(R21, R12, 0);
+    a.s4addq(R8, R2, R13);
+    a.stl(nidx, R13, 0);
+    a.addq_i(R8, 1, R8);
+}

@@ -1,0 +1,274 @@
+#![warn(missing_docs)]
+
+//! # tfsim-workloads — synthetic SPECint-2000-like benchmarks
+//!
+//! The paper drives its injection campaigns with the SPEC2000 integer
+//! suite. SPEC sources are not redistributable and require an OS layer, so
+//! this crate provides ten self-contained kernels — one per SPECint program
+//! the paper uses — written in the Alpha subset via [`tfsim_isa::Asm`].
+//! Each kernel mimics the qualitative microarchitectural character of its
+//! namesake (see each constructor's documentation): together they span
+//! high/low IPC, predictable/unpredictable branches, and cache-friendly/
+//! cache-hostile access patterns, which are exactly the properties the
+//! paper identifies as driving per-benchmark masking differences.
+//!
+//! Every program ends by writing an 8-byte checksum through the `write`
+//! syscall and exiting with code 0, so both the architectural outcome
+//! classifier (`Output OK`/`Output Bad`) and the golden-trace checker can
+//! observe its result.
+//!
+//! ```
+//! use tfsim_workloads::{all, by_name};
+//!
+//! assert_eq!(all().len(), 10);
+//! let w = by_name("gzip-like").unwrap();
+//! let program = w.build(1);
+//! assert!(!program.sections.is_empty());
+//! ```
+
+use tfsim_isa::{syscall, Asm, Program, Reg};
+
+mod kernels;
+
+pub use kernels::*;
+
+/// Base address of workload code.
+pub const CODE_BASE: u64 = 0x1_0000;
+/// Base address of workload data.
+pub const DATA_BASE: u64 = 0x10_0000;
+/// Address of the 8-byte output checksum buffer.
+pub const OUT_BASE: u64 = 0xF_0000;
+
+/// A named workload generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Stable name (e.g. `"gzip-like"`), used in figures and CLIs.
+    pub name: &'static str,
+    /// The program generator backing [`Workload::build`].
+    pub builder: fn(u32) -> Program,
+    /// One-line description of the microarchitectural character.
+    pub character: &'static str,
+}
+
+impl Workload {
+    /// Builds the program at a given scale factor (≥ 1). Larger scales run
+    /// longer; scale 1 targets tens of thousands of dynamic instructions.
+    pub fn build(&self, scale: u32) -> Program {
+        (self.builder)(scale)
+    }
+}
+
+/// The ten SPECint-2000 stand-ins, in the paper's Figure 3 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "bzip2-like",
+            builder: bzip2_like,
+            character: "block sort: high IPC, high dcache hit rate, predictable branches",
+        },
+        Workload {
+            name: "crafty-like",
+            builder: crafty_like,
+            character: "bitboard arithmetic: ALU-bound, very high ILP, multiplies",
+        },
+        Workload {
+            name: "gcc-like",
+            builder: gcc_like,
+            character: "pointer chasing over a linked structure: serial loads, low IPC",
+        },
+        Workload {
+            name: "gzip-like",
+            builder: gzip_like,
+            character: "run-length compression: tight loops, highest IPC",
+        },
+        Workload {
+            name: "mcf-like",
+            builder: mcf_like,
+            character: "sparse random updates over a large array: cache-miss bound",
+        },
+        Workload {
+            name: "parser-like",
+            builder: parser_like,
+            character: "byte classification: data-dependent, mispredict-heavy branches",
+        },
+        Workload {
+            name: "perlbmk-like",
+            builder: perlbmk_like,
+            character: "hashing into a table: multiplies plus scattered loads/stores",
+        },
+        Workload {
+            name: "twolf-like",
+            builder: twolf_like,
+            character: "annealing-style conditional swaps: ~50% taken branches",
+        },
+        Workload {
+            name: "vortex-like",
+            builder: vortex_like,
+            character: "object store: record copies, store-heavy",
+        },
+        Workload {
+            name: "vpr-like",
+            builder: vpr_like,
+            character: "grid breadth-first wavefront: memory queue, mixed branches",
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// Emits the standard epilogue: stores the checksum register to
+/// [`OUT_BASE`], writes those 8 bytes, and exits with code 0.
+pub(crate) fn epilogue(a: &mut Asm, checksum: Reg) {
+    a.li(Reg::R22, OUT_BASE);
+    a.stq(checksum, Reg::R22, 0);
+    a.li(Reg::V0, syscall::WRITE);
+    a.li(Reg::A0, 1);
+    a.li(Reg::A1, OUT_BASE);
+    a.li(Reg::A2, 8);
+    a.callsys();
+    a.li(Reg::V0, syscall::EXIT);
+    a.li(Reg::A0, 0);
+    a.callsys();
+}
+
+/// Emits one LCG step: `state = state * MUL + INC` where the constants
+/// live in `mul_reg`/`inc_reg` (loaded once by [`lcg_init`]).
+pub(crate) fn lcg_step(a: &mut Asm, state: Reg, mul_reg: Reg, inc_reg: Reg) {
+    a.mulq(state, mul_reg, state);
+    a.addq(state, inc_reg, state);
+}
+
+/// Loads the Knuth MMIX LCG constants into two registers.
+pub(crate) fn lcg_init(a: &mut Asm, mul_reg: Reg, inc_reg: Reg) {
+    a.li(mul_reg, 6364136223846793005);
+    a.li(inc_reg, 1442695040888963407);
+}
+
+/// Folds `value` into the running checksum register: `ck = ck * 31 + value`.
+pub(crate) fn fold_checksum(a: &mut Asm, ck: Reg, value: Reg) {
+    a.mulq_i(ck, 31, ck);
+    a.addq(ck, value, ck);
+}
+
+/// Emits a block of realistic-but-ineffectual computation, mimicking the
+/// dead and transitively dead values of compiled SPECint code (dead
+/// register writes from spills and partially dead code, silent compares
+/// whose upper bits never matter, and never-taken convergent checks —
+/// cf. the dead/ineffectual-instruction studies the paper cites). The
+/// paper attributes roughly half of all software-level masking to such
+/// values, so the kernels carry a comparable dynamic fraction.
+///
+/// Uses only the conventional scratch registers `R27`/`R28`, both
+/// overwritten on every execution of the block so corrupted values
+/// reconverge within one loop iteration.
+pub(crate) fn ineffectual(a: &mut Asm, live: Reg) {
+    // A derived temporary that is immediately dead.
+    a.srl_i(live, 9, Reg::R28);
+    // An address-like computation whose result is never consumed.
+    a.s4addq(Reg::R28, live, Reg::R27);
+    // A silent comparison: always 1, only the low bit is ever live.
+    a.cmpeq(Reg::R27, Reg::R27, Reg::R28);
+    // A never-taken check whose taken path converges immediately (the
+    // "y-branch" structure of real error checks).
+    let lbl = a.label();
+    a.beq(Reg::R28, lbl);
+    a.bind(lbl);
+    // A register move that the next block overwrites (spill-like).
+    a.bis(live, Reg::R31, Reg::R28);
+    // A short dead dependence chain (partially dead code after inlining).
+    a.srl_i(Reg::R27, 3, Reg::R27);
+    a.subq(Reg::R28, Reg::R27, Reg::R27);
+    a.addq_i(Reg::R28, 5, Reg::R28);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsim_arch::FuncSim;
+
+    /// Runs a program to completion and returns (checksum bytes, retired).
+    fn run(program: &Program) -> (Vec<u8>, u64) {
+        let mut sim = FuncSim::new(program);
+        let result = sim.run(5_000_000);
+        assert_eq!(
+            result.exit_code,
+            Some(0),
+            "{} did not exit cleanly: {result:?}",
+            program.name
+        );
+        assert_eq!(sim.output().len(), 8, "{} wrote wrong output size", program.name);
+        (sim.output().to_vec(), sim.instret())
+    }
+
+    #[test]
+    fn every_workload_terminates_and_outputs() {
+        for w in all() {
+            let p = w.build(1);
+            let (out, retired) = run(&p);
+            assert!(
+                retired > 5_000,
+                "{} too short at scale 1: {retired} instructions",
+                w.name
+            );
+            assert!(
+                retired < 2_000_000,
+                "{} too long at scale 1: {retired} instructions",
+                w.name
+            );
+            assert_ne!(out, vec![0u8; 8], "{} produced a zero checksum", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for w in all() {
+            let (a, _) = run(&w.build(1));
+            let (b, _) = run(&w.build(1));
+            assert_eq!(a, b, "{} not deterministic", w.name);
+        }
+    }
+
+    #[test]
+    fn scale_changes_length_and_output() {
+        for w in all() {
+            let (out1, n1) = run(&w.build(1));
+            let (out2, n2) = run(&w.build(2));
+            assert!(n2 > n1, "{}: scale 2 not longer ({n1} vs {n2})", w.name);
+            assert_ne!(out1, out2, "{}: scale must affect the checksum", w.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let ws = all();
+        for w in &ws {
+            assert_eq!(by_name(w.name).unwrap().name, w.name);
+        }
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn workloads_differ_from_each_other() {
+        let mut outputs = Vec::new();
+        for w in all() {
+            let (out, _) = run(&w.build(1));
+            outputs.push((w.name, out));
+        }
+        for i in 0..outputs.len() {
+            for j in (i + 1)..outputs.len() {
+                assert_ne!(
+                    outputs[i].1, outputs[j].1,
+                    "{} and {} produced identical checksums",
+                    outputs[i].0, outputs[j].0
+                );
+            }
+        }
+    }
+}

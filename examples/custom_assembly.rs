@@ -1,0 +1,74 @@
+//! Write a program in textual assembly, run it, disassemble it, and watch
+//! the two simulators agree.
+//!
+//! ```text
+//! cargo run --release --example custom_assembly
+//! ```
+
+use tfsim::arch::FuncSim;
+use tfsim::isa::text::{disassemble, parse_program};
+use tfsim::uarch::{Pipeline, PipelineConfig};
+
+const SOURCE: &str = r#"
+; Compute fib(20) iteratively, store the sequence to memory, write the
+; final value through the output syscall, and exit with fib(20) mod 256.
+.org 0x10000
+        li      s0, 0x20000       ; results buffer
+        li      t0, 0             ; fib(i-2)
+        li      t1, 1             ; fib(i-1)
+        li      t2, 20            ; iterations
+loop:
+        addq    t0, t1, t3        ; next
+        mov     t1, t0
+        mov     t3, t1
+        stq     t3, (s0)
+        lda     s0, 8(s0)
+        subq    t2, #1, t2
+        bne     t2, loop
+
+        li      v0, 4             ; write(1, buf, 8): the last value
+        li      a0, 1
+        subq    s0, #8, a1
+        li      a2, 8
+        callsys
+
+        and     t1, #0xff, a0
+        li      v0, 1             ; exit
+        callsys
+
+.data 0x20000
+.zero 256
+"#;
+
+fn main() {
+    let program = parse_program("fib", SOURCE).expect("assembly parses");
+
+    // Show the machine code we produced.
+    let code = &program.sections[0];
+    let words: Vec<u32> = code
+        .bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    println!("disassembly:\n{}", disassemble(&words[..12.min(words.len())], code.addr));
+
+    let mut func = FuncSim::new(&program);
+    let r = func.run(100_000);
+    let fib20 = u64::from_le_bytes(func.output().try_into().expect("8 bytes"));
+    println!("functional: fib(20) = {fib20}, exit code {:?}", r.exit_code);
+    assert_eq!(fib20, 10_946, "fib(20) with fib(1)=1");
+
+    let mut cpu = Pipeline::new(&program, PipelineConfig::baseline());
+    cpu.set_tlbs(func.code_pages().clone(), func.data_pages().clone());
+    cpu.run(100_000);
+    println!(
+        "pipeline:   {} instructions in {} cycles (IPC {:.2}), exit code {:?}",
+        cpu.instret(),
+        cpu.cycles(),
+        cpu.instret() as f64 / cpu.cycles() as f64,
+        cpu.halted()
+    );
+    assert_eq!(cpu.output(), func.output());
+    assert_eq!(cpu.halted(), r.exit_code);
+    println!("both simulators agree.");
+}

@@ -1,0 +1,51 @@
+//! Section-5 in miniature: apply the six architectural fault models to a
+//! workload's dynamic instruction stream and classify the outcomes.
+//!
+//! ```text
+//! cargo run --release --example software_masking [-- <workload>]
+//! ```
+
+use tfsim::arch::swinject::{golden_ref, run_campaign, FaultModel};
+use tfsim::stats::{pct, Table};
+use tfsim::workloads;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "perlbmk-like".to_string());
+    let w = workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let program = w.build(1);
+
+    println!("reference run of {name}...");
+    let golden = golden_ref(&program, 10_000_000);
+    println!(
+        "  {} dynamic instructions, {} output bytes, exit {:?}\n",
+        golden.retired(),
+        golden.output().len(),
+        golden.exit_code()
+    );
+
+    let trials = 150;
+    let mut t = Table::new(&[
+        "fault model",
+        "exception %",
+        "state-ok %",
+        "output-ok %",
+        "output-bad %",
+    ]);
+    for model in FaultModel::ALL {
+        let tally = run_campaign(&program, &golden, model, trials, 99);
+        let n = tally.total();
+        t.row_owned(vec![
+            model.label().to_string(),
+            pct(tally.exception, n),
+            pct(tally.state_ok, n),
+            pct(tally.output_ok, n),
+            pct(tally.output_bad, n),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "State OK = the architectural state fully reconverged before any output escaped:\n\
+         the software layer masked the fault (the paper finds roughly half of all\n\
+         hardware-escaped faults die here, mostly in dead and transitively dead values)."
+    );
+}

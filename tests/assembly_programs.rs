@@ -1,0 +1,136 @@
+//! Textual-assembly integration: programs written as `.s` listings must
+//! assemble, run identically on both simulators, and disassemble back to
+//! readable text.
+
+use tfsim::arch::FuncSim;
+use tfsim::isa::text::{disassemble, parse_program};
+use tfsim::uarch::{Pipeline, PipelineConfig};
+
+fn run_both(name: &str, source: &str) -> (u64, Vec<u8>) {
+    let p = parse_program(name, source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut func = FuncSim::new(&p);
+    let fr = func.run(10_000_000);
+    let exit = fr.exit_code.unwrap_or_else(|| panic!("{name}: {fr:?}"));
+
+    let mut cpu = Pipeline::new(&p, PipelineConfig::baseline());
+    cpu.set_tlbs(func.code_pages().clone(), func.data_pages().clone());
+    cpu.run(10_000_000);
+    assert_eq!(cpu.halted(), Some(exit), "{name}: pipeline exit");
+    assert_eq!(cpu.output(), func.output(), "{name}: output");
+    (exit, func.output().to_vec())
+}
+
+#[test]
+fn gcd_program() {
+    let (exit, _) = run_both(
+        "gcd",
+        r#"
+        .org 0x10000
+            li   t0, 1071        ; a
+            li   t1, 462         ; b
+        loop:
+            beq  t1, done
+            ; t2 = a mod b, by repeated subtraction
+        modloop:
+            cmpult t0, t1, t3
+            bne  t3, moddone
+            subq t0, t1, t0
+            br   modloop
+        moddone:
+            mov  t1, t2
+            mov  t0, t1
+            mov  t2, t0          ; swap: a=b, b=a mod b
+            ; careful: after the swap above, t0=old b, t1=old a mod b
+            br   loop
+        done:
+            mov  t0, a0
+            li   v0, 1
+            callsys
+        "#,
+    );
+    assert_eq!(exit, 21, "gcd(1071, 462)");
+}
+
+#[test]
+fn string_reverse_with_byte_ops() {
+    // Reverses an 8-byte string with the Alpha byte-manipulation
+    // instructions, writes it out, exits 0.
+    let (exit, out) = run_both(
+        "strrev",
+        r#"
+        .org 0x10000
+            li   s0, 0x20000
+            ldq  t0, (s0)        ; "ABCDEFGH" little-endian
+            li   t4, 0           ; result
+            li   t1, 0           ; i
+        rev:
+            extbl t0, t1, t2     ; byte i
+            li    t3, 7
+            subq  t3, t1, t3     ; 7 - i
+            insbl t2, t3, t2     ; placed at mirrored position
+            bis   t4, t2, t4
+            addq  t1, #1, t1
+            cmplt t1, #8, t2
+            bne   t2, rev
+            stq   t4, 8(s0)
+            li   v0, 4           ; write(1, s0+8, 8)
+            li   a0, 1
+            lda  a1, 8(s0)
+            li   a2, 8
+            callsys
+            exit 0
+
+        .data 0x20000
+        .ascii "ABCDEFGH"
+        .zero 8
+        "#,
+    );
+    assert_eq!(exit, 0);
+    assert_eq!(out, b"HGFEDCBA");
+}
+
+#[test]
+fn collatz_steps() {
+    let (exit, _) = run_both(
+        "collatz",
+        r#"
+        .org 0x10000
+            li   t0, 27          ; famous long trajectory
+            li   t5, 0           ; steps
+        step:
+            cmpeq t0, #1, t1
+            bne  t1, done
+            blbs t0, odd
+            srl  t0, #1, t0      ; even: n /= 2
+            br   next
+        odd:
+            s4addq t0, t0, t2    ; 4n + n = 5n? no: we need 3n+1
+            ; 3n+1 = n + n + n + 1
+            addq t0, t0, t2
+            addq t2, t0, t2
+            addq t2, #1, t0
+        next:
+            addq t5, #1, t5
+            br   step
+        done:
+            mov  t5, a0
+            li   v0, 1
+            callsys
+        "#,
+    );
+    assert_eq!(exit, 111, "collatz(27) takes 111 steps");
+}
+
+#[test]
+fn disassembly_is_stable() {
+    let src = ".org 0x4000\n li t0, 5\nx: subq t0, #1, t0\n bne t0, x\n exit 0\n";
+    let p = parse_program("d", src).expect("parse");
+    let words: Vec<u32> = p.sections[0]
+        .bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let text = disassemble(&words, p.entry);
+    assert!(text.contains("subq r1, #1, r1"), "{text}");
+    assert!(text.contains("bne r1, 0x4004"), "{text}");
+}

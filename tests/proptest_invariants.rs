@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: decoder totality and round-tripping, shared ALU semantics,
+//! ECC correction, memory consistency, free-list conservation, and
+//! constant materialization.
+
+use proptest::prelude::*;
+
+use tfsim::bitstate::Category;
+use tfsim::isa::{alu, decode, Asm, Mnemonic, Program, Reg};
+use tfsim::mem::{PageSet, SparseMemory, PAGE_SIZE};
+use tfsim::protect::{parity32, pointer_code, ptr7_check, ptr7_fix, regfile_code, Decoded, Hamming};
+use tfsim::uarch::rename::FreeList;
+
+proptest! {
+    /// The decoder is total: every 32-bit word decodes without panicking,
+    /// and re-encoding the decoded form is a fixed point of decoding.
+    #[test]
+    fn decoder_total_and_idempotent(w in any::<u32>()) {
+        let d1 = decode(w);
+        let w2 = d1.encode();
+        let d2 = decode(w2);
+        prop_assert_eq!(d1.mnemonic, d2.mnemonic);
+        prop_assert_eq!(d1.ra, d2.ra);
+        prop_assert_eq!(d1.uses_literal, d2.uses_literal);
+        if d1.mnemonic != Mnemonic::Illegal {
+            prop_assert_eq!(d1.imm, d2.imm);
+            prop_assert_eq!(d2.encode(), w2, "encode must be stable");
+        }
+        // Metadata accessors never panic and stay in range.
+        let _ = d1.exec_class();
+        prop_assert!(d1.exec_latency() >= 1 && d1.exec_latency() <= 5);
+        let srcs = d1.srcs();
+        prop_assert!(srcs.iter().flatten().all(|r| !r.is_zero()));
+    }
+
+    /// Arithmetic identities of the shared ALU semantics.
+    #[test]
+    fn alu_identities(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assert_eq!(alu::operate(Mnemonic::Addq, a, b, c).unwrap(),
+                        alu::operate(Mnemonic::Addq, b, a, c).unwrap());
+        prop_assert_eq!(alu::operate(Mnemonic::Xor, a, a, c).unwrap(), 0);
+        prop_assert_eq!(alu::operate(Mnemonic::Bis, a, 0, c).unwrap(), a);
+        prop_assert_eq!(alu::operate(Mnemonic::And, a, u64::MAX, c).unwrap(), a);
+        prop_assert_eq!(alu::operate(Mnemonic::Subq, a, a, c).unwrap(), 0);
+        // Scaled adds decompose.
+        prop_assert_eq!(
+            alu::operate(Mnemonic::S8addq, a, b, c).unwrap(),
+            a.wrapping_mul(8).wrapping_add(b)
+        );
+        // Comparison complement: a < b  iff  !(b <= a).
+        let lt = alu::operate(Mnemonic::Cmplt, a, b, 0).unwrap();
+        let le_rev = alu::operate(Mnemonic::Cmple, b, a, 0).unwrap();
+        prop_assert_eq!(lt == 1, le_rev == 0);
+        // Branch-condition complements.
+        prop_assert_ne!(alu::branch_taken(Mnemonic::Beq, a), alu::branch_taken(Mnemonic::Bne, a));
+        prop_assert_ne!(alu::branch_taken(Mnemonic::Blt, a), alu::branch_taken(Mnemonic::Bge, a));
+        prop_assert_ne!(alu::branch_taken(Mnemonic::Blbc, a), alu::branch_taken(Mnemonic::Blbs, a));
+    }
+
+    /// CMOV keeps exactly one of the two candidate values.
+    #[test]
+    fn cmov_selects(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        for m in [Mnemonic::Cmoveq, Mnemonic::Cmovne, Mnemonic::Cmovlt, Mnemonic::Cmovge,
+                  Mnemonic::Cmovle, Mnemonic::Cmovgt, Mnemonic::Cmovlbs, Mnemonic::Cmovlbc] {
+            let r = alu::operate(m, a, b, c).unwrap();
+            prop_assert!(r == b || r == c);
+        }
+    }
+
+    /// SECDED corrects any single-bit data error for arbitrary widths.
+    #[test]
+    fn hamming_corrects_single_flips(width in 2u32..=64, data in any::<u64>(), bit in 0u32..64) {
+        let bit = bit % width;
+        let data = (data as u128) & ((1u128 << width) - 1);
+        let code = Hamming::new(width, true);
+        let check = code.encode(data);
+        prop_assert_eq!(code.decode(data, check), Decoded::Clean);
+        let corrupted = data ^ (1u128 << bit);
+        prop_assert_eq!(code.decode(corrupted, check), Decoded::CorrectedData(data));
+    }
+
+    /// SECDED detects (never miscorrects) any double-bit data error.
+    #[test]
+    fn hamming_detects_double_flips(data in any::<u64>(), b1 in 0u32..65, b2 in 0u32..65) {
+        prop_assume!(b1 != b2);
+        let data = (data as u128) | (((data >> 1) as u128 & 1) << 64);
+        let code = regfile_code();
+        let check = code.encode(data);
+        let corrupted = data ^ (1u128 << b1) ^ (1u128 << b2);
+        prop_assert_eq!(code.decode(corrupted, check), Decoded::Uncorrectable);
+    }
+
+    /// The pointer-ECC lookup tables agree with the codec everywhere.
+    #[test]
+    fn ptr_tables_agree(data in 0u64..128, check in 0u64..16) {
+        prop_assert_eq!(ptr7_check(data), pointer_code().encode(data as u128) as u64);
+        let fixed = ptr7_fix(data, check);
+        match pointer_code().decode(data as u128, check as u32) {
+            Decoded::CorrectedData(f) => prop_assert_eq!(fixed, f as u64),
+            _ => prop_assert_eq!(fixed, data),
+        }
+    }
+
+    /// Parity distributes over disjoint bit partitions (the paper's
+    /// "update the parity as word portions are dropped" scheme).
+    #[test]
+    fn parity_partition(w in any::<u32>(), mask in any::<u32>()) {
+        prop_assert_eq!(parity32(w), parity32(w & mask) ^ parity32(w & !mask));
+    }
+
+    /// Sparse memory is byte-exact against a HashMap reference model.
+    #[test]
+    fn memory_matches_reference(ops in prop::collection::vec(
+        (0u64..0x4_0000, any::<u64>(), prop::sample::select(vec![1u64, 2, 4, 8])), 1..60)
+    ) {
+        let mut mem = SparseMemory::new();
+        let mut reference = std::collections::HashMap::new();
+        for (addr, value, size) in &ops {
+            mem.write_sized(*addr, *value, *size);
+            for i in 0..*size {
+                reference.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+        for (addr, _, size) in &ops {
+            let expect: u64 = (0..*size)
+                .map(|i| (*reference.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i))
+                .sum();
+            prop_assert_eq!(mem.read_sized(*addr, *size), expect);
+        }
+    }
+
+    /// Page sets cover exactly the inserted ranges.
+    #[test]
+    fn pageset_covers_inserted(addr in 0u64..0x10_0000, len in 1u64..0x8000) {
+        let mut s = PageSet::new();
+        s.insert_range(addr, len);
+        prop_assert!(s.covers(addr, 1));
+        prop_assert!(s.covers(addr + len - 1, 1));
+        prop_assert!(s.covers(addr, len.min(8)));
+        // An address at least a full page past the range is not covered.
+        prop_assert!(!s.covers(addr + len + PAGE_SIZE, 1));
+    }
+
+    /// Free lists conserve registers across arbitrary pop/push/unpop
+    /// sequences that respect stack discipline for unpop.
+    #[test]
+    fn freelist_conservation(ops in prop::collection::vec(0u8..3, 1..200)) {
+        let mut fl = FreeList::new(Category::SpecFreelist, false);
+        let mut popped: Vec<u64> = Vec::new();
+        let mut retired: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                // rename: allocate
+                0 => {
+                    if let Some(p) = fl.pop() {
+                        popped.push(p);
+                    }
+                }
+                // squash walk: unpop youngest allocation
+                1 => {
+                    if let Some(p) = popped.pop() {
+                        fl.unpop(p);
+                    }
+                }
+                // retire: oldest allocation becomes a freed old mapping
+                _ => {
+                    if !popped.is_empty() {
+                        let p = popped.remove(0);
+                        retired.push(p);
+                        fl.push(p);
+                    }
+                }
+            }
+            prop_assert_eq!(fl.len() as usize + popped.len(), 48, "registers conserved");
+        }
+        // Drain: every register is still distinct.
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(p) = fl.pop() {
+            prop_assert!(seen.insert(p), "duplicate register {}", p);
+        }
+        for p in popped {
+            prop_assert!(seen.insert(p), "duplicate register {}", p);
+        }
+        prop_assert_eq!(seen.len(), 48);
+    }
+
+    /// `li` materializes arbitrary constants exactly (validated through the
+    /// functional simulator, end to end).
+    #[test]
+    fn li_materializes_any_constant(v in any::<u64>()) {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R1, v);
+        a.li(Reg::R2, 0x2_0000);
+        a.stq(Reg::R1, Reg::R2, 0);
+        a.li(Reg::V0, 1); // exit
+        a.li(Reg::A0, 0);
+        a.callsys();
+        let mut sim = tfsim::arch::FuncSim::new(&Program::new("li", a));
+        let r = sim.run(100);
+        prop_assert_eq!(r.exit_code, Some(0));
+        prop_assert_eq!(sim.mem.read_u64(0x2_0000), v);
+    }
+}

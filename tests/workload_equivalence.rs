@@ -1,0 +1,97 @@
+//! Cross-crate integration: every synthetic workload must execute on the
+//! pipeline model with a retirement stream identical to the functional
+//! simulator's, under both the baseline and the fully protected
+//! configuration.
+
+use tfsim::arch::{FuncSim, StepEvent};
+use tfsim::isa::Program;
+use tfsim::uarch::{Pipeline, PipelineConfig, RetireEvent};
+use tfsim::workloads;
+
+/// Runs `program` on both models in lockstep at retirement granularity.
+/// Returns (instructions, cycles).
+fn lockstep(program: &Program, config: PipelineConfig) -> (u64, u64) {
+    let mut probe = FuncSim::new(program);
+    probe.run(50_000_000);
+    let mut golden = FuncSim::new(program);
+    let mut cpu = Pipeline::new(program, config);
+    cpu.set_tlbs(probe.code_pages().clone(), probe.data_pages().clone());
+
+    let max_cycles = 20_000_000u64;
+    for _ in 0..max_cycles {
+        if !cpu.running() {
+            break;
+        }
+        for ev in cpu.step().events {
+            match ev {
+                RetireEvent::Retired(rec) => match golden.step() {
+                    StepEvent::Retired(g) => {
+                        assert_eq!(
+                            (rec.pc, rec.next_pc, rec.raw, rec.dst, rec.store),
+                            (g.pc, g.next_pc, g.raw, g.dst, g.store),
+                            "{}: retirement #{} diverged",
+                            program.name,
+                            rec.seq
+                        );
+                    }
+                    other => panic!("{}: golden ended early: {other:?}", program.name),
+                },
+                RetireEvent::Halted { code } => {
+                    match golden.step() {
+                        StepEvent::Halted { code: g } => assert_eq!(code, g),
+                        other => panic!("{}: golden did not halt: {other:?}", program.name),
+                    }
+                    assert_eq!(cpu.output(), golden.output(), "{}: output", program.name);
+                    return (cpu.instret(), cpu.cycles());
+                }
+                RetireEvent::Exception(e) => {
+                    panic!("{}: unexpected exception {e:?} at cycle {}", program.name, cpu.cycles())
+                }
+            }
+        }
+    }
+    panic!(
+        "{}: did not finish in {max_cycles} cycles (retired {})",
+        program.name,
+        cpu.instret()
+    );
+}
+
+#[test]
+fn all_workloads_match_functional_simulator_baseline() {
+    for w in workloads::all() {
+        let p = w.build(1);
+        let (insns, cycles) = lockstep(&p, PipelineConfig::baseline());
+        let ipc = insns as f64 / cycles as f64;
+        println!("{:<14} {:>8} insns {:>8} cycles  ipc {:.2}", w.name, insns, cycles, ipc);
+        assert!(ipc > 0.1, "{}: implausibly low IPC {ipc:.3}", w.name);
+        assert!(ipc < 6.0, "{}: implausibly high IPC {ipc:.3}", w.name);
+    }
+}
+
+#[test]
+fn all_workloads_match_functional_simulator_protected() {
+    for w in workloads::all() {
+        let p = w.build(1);
+        lockstep(&p, PipelineConfig::protected());
+    }
+}
+
+#[test]
+fn workload_ipc_ordering_is_plausible() {
+    // The paper: gzip has the highest IPC; mcf-like (cache-miss bound) and
+    // gcc-like (pointer chasing) should be the slowest.
+    let ipc_of = |name: &str| {
+        let w = workloads::by_name(name).unwrap();
+        let p = w.build(1);
+        let (insns, cycles) = lockstep(&p, PipelineConfig::baseline());
+        insns as f64 / cycles as f64
+    };
+    let gzip = ipc_of("gzip-like");
+    let mcf = ipc_of("mcf-like");
+    let gcc = ipc_of("gcc-like");
+    assert!(
+        gzip > mcf && gzip > gcc,
+        "gzip-like must out-run the memory-bound kernels: gzip {gzip:.2}, mcf {mcf:.2}, gcc {gcc:.2}"
+    );
+}
