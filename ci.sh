@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate for tfsim. Everything runs --offline: the workspace is
+# hermetic (zero external crates), so CI must never touch a registry.
+# A build that only works online is a regression.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> tier-1 gate passed"

@@ -26,9 +26,7 @@
 //! assert_eq!(tally.total(), 20);
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use tfsim_check::Rng;
 use tfsim_isa::{decode, Mnemonic, PalFunc, Program};
 
 use crate::sim::{ArchFault, ArchState, FuncSim, StepEvent};
@@ -208,7 +206,7 @@ pub fn run_trial(
     program: &Program,
     golden: &GoldenRef,
     model: FaultModel,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> SwOutcome {
     // Choose the dynamic instruction to corrupt, uniform over the
     // instructions the model can apply to.
@@ -227,7 +225,7 @@ pub fn run_trial(
     let fault = match model {
         FaultModel::ResultBit32 => ArchFault::FlipResultBit32 { bit: rng.gen_range(0..32) },
         FaultModel::ResultBit64 => ArchFault::FlipResultBit64 { bit: rng.gen_range(0..64) },
-        FaultModel::ResultRandom => ArchFault::RandomResult { value: rng.gen() },
+        FaultModel::ResultRandom => ArchFault::RandomResult { value: rng.next_u64() },
         FaultModel::InsnBit => ArchFault::FlipInsnBit { bit: rng.gen_range(0..32) },
         FaultModel::Nop => ArchFault::MakeNop,
         FaultModel::BranchFlip => ArchFault::FlipBranch,
@@ -336,7 +334,7 @@ pub fn run_campaign(
     trials: u64,
     seed: u64,
 ) -> SwTally {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (model as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut rng = Rng::from_seed_stream(seed, model as u64);
     let mut tally = SwTally::default();
     for _ in 0..trials {
         tally.record(run_trial(program, golden, model, &mut rng));

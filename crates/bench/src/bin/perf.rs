@@ -1,0 +1,134 @@
+//! Performance benchmarks for the simulation substrate: these measure the
+//! *harness* (how fast the reproduction runs), complementing the `figures`
+//! binary (which regenerates the paper's exhibits).
+//!
+//! Runs as a plain binary on the in-tree `tfsim-check` bench runner:
+//!
+//! ```text
+//! cargo run --release -p tfsim-bench --bin perf [-- [FILTER] [--json]]
+//! ```
+//!
+//! `FILTER` keeps only benchmarks whose name contains the substring;
+//! `--json` appends one JSON object per benchmark after the table.
+//! `TFSIM_BENCH_SAMPLES` / `TFSIM_BENCH_SAMPLE_MS` tune the measurement.
+
+use tfsim_arch::FuncSim;
+use tfsim_bitstate::{fingerprint_of, InjectionMask};
+use tfsim_check::Bench;
+use tfsim_inject::StartPoint;
+use tfsim_isa::decode;
+use tfsim_protect::{regfile_code, Decoded};
+use tfsim_uarch::{Pipeline, PipelineConfig};
+
+fn warmed_pipeline(name: &str, cycles: u64) -> Pipeline {
+    let w = tfsim_workloads::by_name(name).expect("workload");
+    let p = w.build(4);
+    let mut probe = FuncSim::new(&p);
+    probe.run(50_000_000);
+    let mut cpu = Pipeline::new(&p, PipelineConfig::baseline());
+    cpu.set_tlbs(probe.code_pages().clone(), probe.data_pages().clone());
+    for _ in 0..cycles {
+        cpu.step();
+    }
+    cpu
+}
+
+fn bench_pipeline_step(b: &mut Bench) {
+    for name in ["gzip-like", "mcf-like", "twolf-like"] {
+        let cpu = warmed_pipeline(name, 500);
+        b.bench_with_setup(
+            &format!("pipeline/step-1k/{name}"),
+            || cpu.clone(),
+            |mut cpu| {
+                for _ in 0..1_000 {
+                    cpu.step();
+                }
+                cpu.cycles()
+            },
+        );
+    }
+}
+
+fn bench_funcsim(b: &mut Bench) {
+    let w = tfsim_workloads::by_name("gzip-like").expect("workload");
+    let p = w.build(4);
+    b.bench_with_setup("funcsim/step-10k", || FuncSim::new(&p), |mut sim| sim.run(10_000));
+}
+
+fn bench_fingerprint(b: &mut Bench) {
+    let mut cpu = warmed_pipeline("gzip-like", 500);
+    b.bench("fingerprint/full-machine", || fingerprint_of(&mut cpu));
+}
+
+fn bench_trial(b: &mut Bench) {
+    let cpu = warmed_pipeline("gzip-like", 1_000);
+    let sp = StartPoint::prepare(&cpu, 2_000, InjectionMask::LatchesAndRams);
+    let mut target = 0u64;
+    b.bench("inject/one-trial-2k-window", || {
+        target = (target + 7_919) % sp.bit_count();
+        sp.run_trial(InjectionMask::LatchesAndRams, target, 50, 1_500)
+    });
+}
+
+fn bench_codecs(b: &mut Bench) {
+    let code = regfile_code();
+    let mut v = 0x0123_4567_89ab_cdefu128;
+    b.bench("protect/secded65/encode", || {
+        v = v.rotate_left(7) & ((1 << 65) - 1);
+        code.encode(v)
+    });
+    let data = 0xdead_beef_cafe_f00du128;
+    let check = code.encode(data);
+    let mut bit = 0;
+    b.bench("protect/secded65/decode-corrupted", || {
+        bit = (bit + 1) % 65;
+        match code.decode(data ^ (1u128 << bit), check) {
+            Decoded::CorrectedData(d) => d,
+            _ => 0,
+        }
+    });
+}
+
+fn bench_decoder(b: &mut Bench) {
+    b.bench("isa/decode-1k", || {
+        let mut acc = 0u64;
+        for i in 0..1_000u32 {
+            let w = i.wrapping_mul(0x9e37_79b9);
+            acc = acc.wrapping_add(decode(w).exec_latency() as u64);
+        }
+        acc
+    });
+}
+
+fn main() {
+    let mut json = false;
+    let mut bench = Bench::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: perf [FILTER] [--json]");
+                return;
+            }
+            f => bench.filter = Some(f.to_string()),
+        }
+    }
+
+    bench_pipeline_step(&mut bench);
+    bench_funcsim(&mut bench);
+    bench_fingerprint(&mut bench);
+    bench_trial(&mut bench);
+    bench_codecs(&mut bench);
+    bench_decoder(&mut bench);
+
+    if bench.results().is_empty() {
+        if let Some(f) = &bench.filter {
+            eprintln!("perf: no benchmark name contains `{f}`");
+            std::process::exit(2);
+        }
+    }
+    print!("{}", bench.render_table());
+    if json {
+        print!("{}", bench.render_json());
+    }
+}

@@ -331,7 +331,7 @@ impl Census {
 
 impl StateVisitor for Census {
     fn field(&mut self, meta: FieldMeta, width: u32, _bits: &mut u64) {
-        debug_assert!(width >= 1 && width <= 64);
+        debug_assert!((1..=64).contains(&width));
         if meta.injectable {
             self.counts[meta.category.index()][meta.kind as usize] += width as u64;
         } else {

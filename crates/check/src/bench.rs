@@ -1,0 +1,369 @@
+//! A wall-clock micro-bench runner (the workspace's `criterion`
+//! replacement).
+//!
+//! Each benchmark is calibrated so one sample takes roughly
+//! [`Bench::target_sample_ns`], warmed up untimed, then measured
+//! [`Bench::samples`] times; the per-iteration median is the headline
+//! number (medians are robust to scheduler noise, which dominates on
+//! shared machines). Results render as an aligned table and as JSON
+//! lines for machine consumption.
+//!
+//! ```
+//! use tfsim_check::bench::{black_box, Bench};
+//!
+//! let mut b = Bench::new();
+//! b.samples = 5;
+//! b.target_sample_ns = 100_000; // keep the doctest fast
+//! b.bench("sum-1k", || (0..1_000u64).map(black_box).sum::<u64>());
+//! assert!(b.results()[0].median_ns() > 0.0);
+//! println!("{}", b.render_table());
+//! ```
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measurements for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per timed sample (set by calibration).
+    pub iters_per_sample: u64,
+    /// Per-iteration nanoseconds, one entry per sample.
+    pub samples_ns: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Median per-iteration nanoseconds.
+    pub fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(f64::total_cmp);
+        match s.len() {
+            0 => 0.0,
+            n if n % 2 == 1 => s[n / 2],
+            n => (s[n / 2 - 1] + s[n / 2]) / 2.0,
+        }
+    }
+
+    /// Fastest per-iteration sample.
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest per-iteration sample.
+    pub fn max_ns(&self) -> f64 {
+        self.samples_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean per-iteration nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// One JSON object describing this result.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+            escape_json(&self.name),
+            self.median_ns(),
+            self.min_ns(),
+            self.mean_ns(),
+            self.max_ns(),
+            self.samples_ns.len(),
+            self.iters_per_sample,
+        )
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The benchmark runner: collects [`BenchResult`]s with a shared
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// Timed samples per benchmark (`TFSIM_BENCH_SAMPLES`, default 15).
+    pub samples: u32,
+    /// Calibration target per sample in nanoseconds
+    /// (`TFSIM_BENCH_SAMPLE_MS` in milliseconds, default 20ms).
+    pub target_sample_ns: u64,
+    /// Only run benchmarks whose name contains this substring.
+    pub filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Bench {
+    fn default() -> Bench {
+        Bench::new()
+    }
+}
+
+impl Bench {
+    /// A runner configured from the environment.
+    pub fn new() -> Bench {
+        let samples = std::env::var("TFSIM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(15);
+        let sample_ms: u64 = std::env::var("TFSIM_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20);
+        Bench {
+            samples,
+            target_sample_ns: sample_ms * 1_000_000,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    fn skipped(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => !name.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    /// Benchmarks `f` as a closed loop: calibrates the iteration count,
+    /// warms up with one untimed sample, then records the timed samples.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if self.skipped(name) {
+            return;
+        }
+        // Calibrate: double the batch until it costs >= 1/8 of the target,
+        // then scale to the target.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as u64;
+            if ns >= self.target_sample_ns / 8 || iters >= 1 << 40 {
+                break (ns.max(1) as f64 / iters as f64).max(0.25);
+            }
+            iters *= 2;
+        };
+        let iters = ((self.target_sample_ns as f64 / per_iter_ns) as u64).max(1);
+
+        // Warm-up: one untimed sample.
+        for _ in 0..iters {
+            black_box(f());
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples_ns,
+        });
+    }
+
+    /// Benchmarks `f` with a fresh, untimed `setup()` value per call
+    /// (criterion's `iter_batched`): each iteration is timed individually
+    /// so setup cost never leaks into the measurement. Intended for
+    /// bodies that are expensive relative to clock reads (≥ microseconds).
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) {
+        if self.skipped(name) {
+            return;
+        }
+        // Calibrate against the timed body only.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let mut ns = 0u64;
+            for _ in 0..iters {
+                let s = setup();
+                let t = Instant::now();
+                black_box(f(s));
+                ns += t.elapsed().as_nanos() as u64;
+            }
+            if ns >= self.target_sample_ns / 8 || iters >= 1 << 30 {
+                break (ns.max(1) as f64 / iters as f64).max(0.25);
+            }
+            iters *= 2;
+        };
+        let iters = ((self.target_sample_ns as f64 / per_iter_ns) as u64).max(1);
+
+        {
+            let s = setup();
+            black_box(f(s)); // warm-up
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let mut ns = 0u64;
+            for _ in 0..iters {
+                let s = setup();
+                let t = Instant::now();
+                black_box(f(s));
+                ns += t.elapsed().as_nanos() as u64;
+            }
+            samples_ns.push(ns as f64 / iters as f64);
+        }
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples_ns,
+        });
+    }
+
+    /// All collected results, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders results as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:>14} {:>14} {:>14} {:>8}\n",
+            "benchmark", "median", "min", "mean", "samples"
+        ));
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<36} {:>14} {:>14} {:>14} {:>8}\n",
+                r.name,
+                fmt_ns(r.median_ns()),
+                fmt_ns(r.min_ns()),
+                fmt_ns(r.mean_ns()),
+                r.samples_ns.len(),
+            ));
+        }
+        out
+    }
+
+    /// Renders results as JSON lines (one object per benchmark).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human formatting for a nanosecond quantity.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Bench {
+        Bench { samples: 5, target_sample_ns: 50_000, filter: None, results: Vec::new() }
+    }
+
+    #[test]
+    fn bench_produces_positive_stats() {
+        let mut b = tiny();
+        b.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i) * 3);
+            }
+            acc
+        });
+        let r = &b.results()[0];
+        assert_eq!(r.samples_ns.len(), 5);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.median_ns() > 0.0);
+        assert!(r.min_ns() <= r.median_ns());
+        assert!(r.median_ns() <= r.max_ns());
+        let mean = r.mean_ns();
+        assert!(mean >= r.min_ns() && mean <= r.max_ns());
+    }
+
+    #[test]
+    fn bench_with_setup_excludes_setup_cost() {
+        let mut b = tiny();
+        b.bench_with_setup(
+            "consume-vec",
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+        );
+        assert_eq!(b.results().len(), 1);
+        assert!(b.results()[0].median_ns() > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut b = tiny();
+        b.filter = Some("keep".to_string());
+        b.bench("keep-me", || 1u64);
+        b.bench("drop-me", || 2u64);
+        assert_eq!(b.results().len(), 1);
+        assert_eq!(b.results()[0].name, "keep-me");
+    }
+
+    #[test]
+    fn json_and_table_render_every_result() {
+        let mut b = tiny();
+        b.bench("fast-op", || black_box(21u64) * 2);
+        let json = b.render_json();
+        assert!(json.contains("\"name\":\"fast-op\""), "{json}");
+        assert!(json.contains("\"median_ns\":"), "{json}");
+        let table = b.render_table();
+        assert!(table.contains("fast-op"));
+        assert!(table.contains("median"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn median_of_even_sample_count() {
+        let r = BenchResult {
+            name: "m".into(),
+            iters_per_sample: 1,
+            samples_ns: vec![1.0, 3.0, 2.0, 10.0],
+        };
+        assert!((r.median_ns() - 2.5).abs() < 1e-9);
+        assert_eq!(r.min_ns(), 1.0);
+        assert_eq!(r.max_ns(), 10.0);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).ends_with(" s"));
+    }
+}

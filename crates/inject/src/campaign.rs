@@ -5,8 +5,7 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tfsim_check::Rng;
 
 use tfsim_bitstate::{Category, InjectionMask, StorageKind};
 use tfsim_isa::Program;
@@ -298,12 +297,13 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
                 let pipeline = warm_pipeline(&program, config.pipeline, warm);
                 let sp = StartPoint::prepare(&pipeline, config.horizon(), config.mask);
 
-                let mut rng = SmallRng::seed_from_u64(
-                    config
-                        .seed
-                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                        .wrapping_add((task.bench as u64) << 32)
-                        .wrapping_add(task.start_point as u64),
+                // Every (benchmark, start point) task owns PRNG substream
+                // `bench << 32 | start_point` of the campaign seed, so the
+                // trial sequence is a pure function of the config — not of
+                // thread count or work-stealing order.
+                let mut rng = Rng::from_seed_stream(
+                    config.seed,
+                    (task.bench as u64) << 32 | task.start_point as u64,
                 );
                 let mut records = Vec::with_capacity(config.trials_per_start_point as usize);
                 let mut benign = 0u64;

@@ -469,6 +469,76 @@ mod tests {
         assert_eq!(a.category, b.category);
     }
 
+    /// A workload short enough to halt well inside the monitoring horizon.
+    fn halting_start_point() -> StartPoint {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R7, 40);
+        let top = a.here_label();
+        a.subq_i(Reg::R7, 1, Reg::R7);
+        a.bne(Reg::R7, top);
+        a.li(Reg::V0, tfsim_isa::syscall::EXIT);
+        a.li(Reg::A0, 0);
+        a.callsys();
+        let p = tfsim_isa::Program::new("short", a);
+        let warmed = warm_pipeline(&p, PipelineConfig::baseline(), 10);
+        StartPoint::prepare(&warmed, 2_000, InjectionMask::LatchesAndRams)
+    }
+
+    #[test]
+    fn zero_monitor_window_is_provably_gray_area() {
+        // With no cycles to observe, the classifier can neither match
+        // state nor detect a failure, whatever bit is hit: the definition
+        // of the Gray Area (Section 2.2).
+        let sp = start_point();
+        for target in [0, 997, 40_001] {
+            let rec = sp.run_trial(InjectionMask::LatchesAndRams, target, 5, 0);
+            assert_eq!(rec.outcome, Outcome::GrayArea, "target {target}");
+        }
+    }
+
+    #[test]
+    fn flip_after_golden_halt_is_provably_micro_arch_match() {
+        // A fault injected into a machine that already halted cannot
+        // change any architecturally visible behaviour.
+        let sp = halting_start_point();
+        let (halt_step, code) = sp.halted_at.expect("short workload must halt in horizon");
+        assert_eq!(code, 0);
+        for target in [3, 1_234, 20_011] {
+            let rec =
+                sp.run_trial(InjectionMask::LatchesAndRams, target, halt_step + 50, 500);
+            assert_eq!(rec.outcome, Outcome::MicroArchMatch, "target {target}");
+        }
+    }
+
+    #[test]
+    fn deterministic_sweep_reaches_every_outcome_class() {
+        // A spaced sweep over eligible bits must surface all four of the
+        // paper's outcome classes: µArch Match, Gray Area, at least one
+        // SDC mode, and at least one Terminated mode. Fully deterministic,
+        // so a classifier regression shows up as a stable diff here.
+        let sp = start_point();
+        let mut matched = 0u32;
+        let mut gray = 0u32;
+        let mut sdc = 0u32;
+        let mut terminated = 0u32;
+        for t in 0..120u64 {
+            let target = (t * 40_127) % sp.bit_count();
+            let rec = sp.run_trial(InjectionMask::LatchesAndRams, target, t % 60, 1_500);
+            match rec.outcome {
+                Outcome::MicroArchMatch => matched += 1,
+                Outcome::GrayArea => gray += 1,
+                Outcome::Failure(m) if m.is_termination() => terminated += 1,
+                Outcome::Failure(_) => sdc += 1,
+            }
+        }
+        assert!(matched > 0, "no µArch Match in sweep");
+        assert!(gray > 0, "no Gray Area in sweep");
+        assert!(sdc > 0, "no SDC failure in sweep");
+        assert!(terminated > 0, "no Terminated failure in sweep");
+        // The paper's headline result at pipeline level: most flips mask.
+        assert!(matched >= 60, "masking should dominate: {matched}/120");
+    }
+
     #[test]
     fn failure_mode_classification_properties() {
         assert!(FailureMode::Locked.is_termination());

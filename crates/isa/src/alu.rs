@@ -159,7 +159,7 @@ pub fn operate(m: Mnemonic, va: u64, vb: u64, old_c: u64) -> Result<u64, ArithTr
         Extll => (va >> ((vb & 7) * 8)) & 0xffff_ffff,
         Extql => va >> ((vb & 7) * 8),
         Insbl => (va & 0xff) << ((vb & 7) * 8),
-        Inswl => ((va & 0xffff) << ((vb & 7) * 8)) & u64::MAX,
+        Inswl => (va & 0xffff) << ((vb & 7) * 8),
         Insll => (va & 0xffff_ffff).wrapping_shl(((vb & 7) * 8) as u32),
         Insql => va.wrapping_shl(((vb & 7) * 8) as u32),
         Mskbl => va & !byte_field_mask(vb & 7, 1),

@@ -64,7 +64,7 @@ pub fn decode(w: u32) -> Insn {
         0x29 => mem(&mut insn, Mnemonic::Ldq, disp16),
         0x2C => mem(&mut insn, Mnemonic::Stl, disp16),
         0x2D => mem(&mut insn, Mnemonic::Stq, disp16),
-        0x10 | 0x11 | 0x12 | 0x13 => {
+        0x10..=0x13 => {
             let func = (w >> 5) & 0x7f;
             if let Some(m) = operate_mnemonic(opcode(w), func) {
                 insn.mnemonic = m;

@@ -201,11 +201,7 @@ impl Insn {
                 _ => [none_zero(self.ra), None, None],
             },
             Format::MemoryJump => [none_zero(self.rb), None, None],
-            Format::Pal => match self.mnemonic {
-                // callsys reads v0/a0..a2 but is serialized at retire; the
-                // pipeline treats it as having no renamed sources.
-                _ => [None, None, None],
-            },
+            Format::Pal => [None, None, None],
             Format::Operate => {
                 let a = none_zero(self.ra);
                 let b = if self.uses_literal { None } else { none_zero(self.rb) };

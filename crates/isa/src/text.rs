@@ -284,7 +284,7 @@ pub fn parse_program(name: &str, source: &str) -> Result<Program, ParseError> {
             }
             if let Some(rest) = line.strip_prefix(".zero") {
                 let n = parse_u64(rest.trim(), line_no)?;
-                bytes.extend(std::iter::repeat(0u8).take(n as usize));
+                bytes.extend(std::iter::repeat_n(0u8, n as usize));
                 continue;
             }
             return Err(err(line_no, format!("unknown data directive {line:?}")));
@@ -485,11 +485,7 @@ pub fn disassemble(words: &[u32], base: u64) -> String {
         {
             // Resolve branch targets to absolute addresses for readability.
             let m = format!("{:?}", insn.mnemonic).to_lowercase();
-            if matches!(insn.mnemonic, Mnemonic::Br | Mnemonic::Bsr) {
-                format!("{m} {}, {:#x}", insn.ra, insn.branch_target(pc))
-            } else {
-                format!("{m} {}, {:#x}", insn.ra, insn.branch_target(pc))
-            }
+            format!("{m} {}, {:#x}", insn.ra, insn.branch_target(pc))
         } else {
             insn.to_string()
         };

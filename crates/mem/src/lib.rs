@@ -191,7 +191,7 @@ impl SparseMemory {
 /// Misaligned accesses raise alignment exceptions, one source of the
 /// paper's `except` failure mode.
 pub fn is_aligned(addr: u64, size: u64) -> bool {
-    size == 0 || addr % size == 0
+    size == 0 || addr.is_multiple_of(size)
 }
 
 /// The preloaded-TLB model: the set of virtual pages the fault-free

@@ -66,7 +66,7 @@ impl Hamming {
     ///
     /// Panics if `data_width` is 0 or exceeds 120.
     pub fn new(data_width: u32, secded: bool) -> Hamming {
-        assert!(data_width >= 1 && data_width <= 120, "unsupported data width {data_width}");
+        assert!((1..=120).contains(&data_width), "unsupported data width {data_width}");
         let mut checks = 0u32;
         while (1u32 << checks) < data_width + checks + 1 {
             checks += 1;

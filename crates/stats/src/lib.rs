@@ -218,7 +218,7 @@ impl Table {
                 }
                 // Right-align numeric-looking cells, left-align text.
                 let numeric =
-                    cell.chars().next().map_or(false, |ch| ch.is_ascii_digit() || ch == '-' || ch == '+');
+                    cell.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '+');
                 if numeric && c > 0 {
                     line.push_str(&format!("{:>width$}", cell, width = widths[c]));
                 } else {

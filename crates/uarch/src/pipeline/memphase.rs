@@ -43,15 +43,15 @@ impl Pipeline {
                 }
             } else if self.dcache.access(addr) {
                 self.deliver_load(i);
-            } else if {
+            } else {
                 self.stats.dcache_misses += 1;
-                self.mhrs.allocate(addr)
-            } {
-                let e = &mut self.lsq.lq[i];
-                e.fill_wait = true;
-                // The hit speculation failed: consumers must replay.
-                if let Some(b) = self.spec_ready.get_mut(dst as usize) {
-                    *b = false;
+                if self.mhrs.allocate(addr) {
+                    let e = &mut self.lsq.lq[i];
+                    e.fill_wait = true;
+                    // The hit speculation failed: consumers must replay.
+                    if let Some(b) = self.spec_ready.get_mut(dst as usize) {
+                        *b = false;
+                    }
                 }
             }
             // MHRs exhausted: the entry returns to Access state and the
@@ -243,7 +243,7 @@ impl Pipeline {
                 continue; // it already got THIS store's data
             }
             let age = self.rob.age(e.rob);
-            if victim.map_or(true, |(_, _, a)| age < a) {
+            if victim.is_none_or(|(_, _, a)| age < a) {
                 victim = Some((e.rob, e.pc, age));
             }
         }

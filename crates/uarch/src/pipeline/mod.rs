@@ -337,6 +337,12 @@ impl Pipeline {
         &self.output
     }
 
+    /// Deterministic checksum over the memory image, comparable against
+    /// [`tfsim_mem::SparseMemory::checksum`] of a functional run.
+    pub fn mem_checksum(&self) -> u64 {
+        self.mem.checksum()
+    }
+
     /// Exit code if halted.
     pub fn halted(&self) -> Option<u64> {
         self.halted

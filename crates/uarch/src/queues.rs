@@ -113,7 +113,7 @@ impl FetchQueue {
 
     /// Removes and returns the oldest instruction.
     pub fn pop(&mut self) -> Option<SlotPayload> {
-        if self.len() == 0 {
+        if self.is_empty() {
             return None;
         }
         let i = (self.head % Self::CAP) as usize;

@@ -160,7 +160,7 @@ impl FreeList {
 
     /// Pops the next free physical register, if any.
     pub fn pop(&mut self) -> Option<u64> {
-        if self.len() == 0 {
+        if self.is_empty() {
             return None;
         }
         let i = (self.head % Self::CAP) as usize;

@@ -6,6 +6,8 @@
 //!
 //! See the individual crates for details:
 //!
+//! * [`check`] — hermetic verification substrate (PRNG, property tests,
+//!   micro-benchmarks).
 //! * [`isa`] — the Alpha AXP integer subset and assembler.
 //! * [`mem`] — sparse memory and the preloaded-TLB model.
 //! * [`arch`] — the functional simulator (golden reference + Section 5).
@@ -18,6 +20,7 @@
 
 pub use tfsim_arch as arch;
 pub use tfsim_bitstate as bitstate;
+pub use tfsim_check as check;
 pub use tfsim_inject as inject;
 pub use tfsim_isa as isa;
 pub use tfsim_mem as mem;

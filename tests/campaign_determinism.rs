@@ -1,0 +1,98 @@
+//! Campaign determinism: a campaign's outcome counts must be a pure
+//! function of its `CampaignConfig` — in particular of the seed — and
+//! must not depend on the worker-thread count or on work-stealing order.
+//! This is the classic parallel-RNG partitioning bug: if trial randomness
+//! were drawn from a shared (or scheduling-dependent) generator, the
+//! paper's tables would change from run to run and machine to machine.
+//!
+//! The campaign framework avoids it by giving every
+//! `(benchmark, start point)` task its own PRNG substream of the campaign
+//! seed (`tfsim_check::Rng::from_seed_stream`); these tests pin that
+//! contract.
+
+use std::collections::BTreeMap;
+
+use tfsim::bitstate::{Category, StorageKind};
+use tfsim::inject::{run_campaign_on, CampaignConfig, CampaignResult, OutcomeCounts};
+use tfsim::workloads;
+
+fn config(threads: usize) -> CampaignConfig {
+    let mut config = CampaignConfig::quick(0xD5_2004);
+    config.start_points = 2;
+    config.trials_per_start_point = 12;
+    config.monitor_cycles = 800;
+    config.scale = 1;
+    config.threads = threads;
+    config
+}
+
+fn run_with(threads: usize) -> CampaignResult {
+    // Two workloads x two start points = four tasks, so 2 and N threads
+    // genuinely contend for the work list.
+    let workloads: Vec<_> = workloads::all()
+        .into_iter()
+        .filter(|w| w.name == "gzip-like" || w.name == "vpr-like")
+        .collect();
+    run_campaign_on(&config(threads), &workloads)
+}
+
+/// Every per-outcome counter a campaign reports, flattened.
+type Census = (
+    Vec<(String, OutcomeCounts)>,
+    BTreeMap<Category, OutcomeCounts>,
+    BTreeMap<(Category, StorageKind), OutcomeCounts>,
+);
+
+/// Flattens every per-outcome counter a campaign reports, so equality
+/// means *byte-identical counts everywhere*, not just equal totals.
+fn outcome_census(r: &CampaignResult) -> Census {
+    (
+        r.benchmarks.iter().map(|b| (b.name.clone(), b.counts)).collect(),
+        r.by_category.clone(),
+        r.by_category_kind.clone(),
+    )
+}
+
+#[test]
+fn outcome_counts_identical_across_1_2_and_n_threads() {
+    let one = run_with(1);
+    let two = run_with(2);
+    let all = run_with(0); // 0 = available_parallelism()
+
+    let c1 = outcome_census(&one);
+    let c2 = outcome_census(&two);
+    let cn = outcome_census(&all);
+    assert_eq!(c1, c2, "1-thread vs 2-thread campaigns diverged");
+    assert_eq!(c1, cn, "1-thread vs available_parallelism() campaigns diverged");
+
+    // The scatter points (sorted by the framework) must agree too.
+    assert_eq!(one.scatter.len(), two.scatter.len());
+    for (a, b) in one.scatter.iter().zip(two.scatter.iter()) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.valid_instructions.to_bits(), b.valid_instructions.to_bits());
+        assert_eq!(a.benign_fraction.to_bits(), b.benign_fraction.to_bits());
+    }
+    assert_eq!(one.eligible_bits, two.eligible_bits);
+    assert_eq!(one.eligible_bits, all.eligible_bits);
+
+    // Sanity: the campaign actually ran trials.
+    assert_eq!(one.totals().total(), 2 * 2 * 12);
+}
+
+#[test]
+fn different_seeds_change_the_trial_mix() {
+    // Guards against the degenerate "deterministic because the seed is
+    // ignored" failure mode: two seeds must draw different trial sets.
+    let workloads: Vec<_> =
+        workloads::all().into_iter().filter(|w| w.name == "gzip-like").collect();
+    let mut a_cfg = config(1);
+    a_cfg.seed = 1;
+    let mut b_cfg = config(1);
+    b_cfg.seed = 2;
+    let a = run_campaign_on(&a_cfg, &workloads);
+    let b = run_campaign_on(&b_cfg, &workloads);
+    let a_cat: Vec<_> = a.by_category.iter().map(|(c, o)| (*c, o.total())).collect();
+    let b_cat: Vec<_> = b.by_category.iter().map(|(c, o)| (*c, o.total())).collect();
+    assert_ne!(a_cat, b_cat, "seed must influence which bits are hit");
+}

@@ -1,9 +1,13 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: decoder totality and round-tripping, shared ALU semantics,
-//! ECC correction, memory consistency, free-list conservation, and
-//! constant materialization.
+//! Property-based tests (on the in-tree `tfsim-check` harness) for the
+//! core data structures and invariants: decoder totality and
+//! round-tripping, shared ALU semantics, ECC correction, memory
+//! consistency, free-list conservation, and constant materialization.
+//!
+//! A failing property prints its `(seed, case)` pair and the shrunk
+//! counterexample; rerun with `TFSIM_PROP_SEED=<seed>` to reproduce.
 
-use proptest::prelude::*;
+use tfsim::check::prop::{any_u32, any_u64, ints, select, vecs};
+use tfsim_check::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_check};
 
 use tfsim::bitstate::Category;
 use tfsim::isa::{alu, decode, Asm, Mnemonic, Program, Reg};
@@ -11,11 +15,72 @@ use tfsim::mem::{PageSet, SparseMemory, PAGE_SIZE};
 use tfsim::protect::{parity32, pointer_code, ptr7_check, ptr7_fix, regfile_code, Decoded, Hamming};
 use tfsim::uarch::rename::FreeList;
 
-proptest! {
+/// Shared body of the `alu_identities` property, so the ported
+/// regression case and the generated cases run exactly the same checks.
+fn check_alu_identities(a: u64, b: u64, c: u64) -> Result<(), String> {
+    prop_assert_eq!(
+        alu::operate(Mnemonic::Addq, a, b, c).unwrap(),
+        alu::operate(Mnemonic::Addq, b, a, c).unwrap()
+    );
+    prop_assert_eq!(alu::operate(Mnemonic::Xor, a, a, c).unwrap(), 0);
+    prop_assert_eq!(alu::operate(Mnemonic::Bis, a, 0, c).unwrap(), a);
+    prop_assert_eq!(alu::operate(Mnemonic::And, a, u64::MAX, c).unwrap(), a);
+    prop_assert_eq!(alu::operate(Mnemonic::Subq, a, a, c).unwrap(), 0);
+    // Scaled adds decompose.
+    prop_assert_eq!(
+        alu::operate(Mnemonic::S8addq, a, b, c).unwrap(),
+        a.wrapping_mul(8).wrapping_add(b)
+    );
+    // Comparison complement: a < b  iff  !(b <= a).
+    let lt = alu::operate(Mnemonic::Cmplt, a, b, 0).unwrap();
+    let le_rev = alu::operate(Mnemonic::Cmple, b, a, 0).unwrap();
+    prop_assert_eq!(lt == 1, le_rev == 0);
+    // Branch-condition complements.
+    prop_assert_ne!(alu::branch_taken(Mnemonic::Beq, a), alu::branch_taken(Mnemonic::Bne, a));
+    prop_assert_ne!(alu::branch_taken(Mnemonic::Blt, a), alu::branch_taken(Mnemonic::Bge, a));
+    prop_assert_ne!(alu::branch_taken(Mnemonic::Blbc, a), alu::branch_taken(Mnemonic::Blbs, a));
+    Ok(())
+}
+
+/// Shared body of the `cmov_selects` property (see
+/// `check_alu_identities` for why it is factored out).
+fn check_cmov_selects(a: u64, b: u64, c: u64) -> Result<(), String> {
+    for m in [
+        Mnemonic::Cmoveq,
+        Mnemonic::Cmovne,
+        Mnemonic::Cmovlt,
+        Mnemonic::Cmovge,
+        Mnemonic::Cmovle,
+        Mnemonic::Cmovgt,
+        Mnemonic::Cmovlbs,
+        Mnemonic::Cmovlbc,
+    ] {
+        let r = alu::operate(m, a, b, c).unwrap();
+        prop_assert!(r == b || r == c, "{m:?}: {r} is neither {b} nor {c}");
+    }
+    Ok(())
+}
+
+/// Ported proptest regression (`tests/proptest_invariants.proptest-regressions`,
+/// entry `093a87…`, "shrinks to a = 0, b = 1, c = 0"): the shrunk ALU
+/// counterexample from early development, kept as an explicit case now
+/// that the seed file format is gone.
+#[test]
+fn regression_alu_identities_a0_b1_c0() {
+    check_alu_identities(0, 1, 0).unwrap();
+}
+
+/// Second ported regression entry: the same shrunk input run through the
+/// CMOV property, which drew from the identical `(a, b, c)` generator.
+#[test]
+fn regression_cmov_selects_a0_b1_c0() {
+    check_cmov_selects(0, 1, 0).unwrap();
+}
+
+prop_check! {
     /// The decoder is total: every 32-bit word decodes without panicking,
     /// and re-encoding the decoded form is a fixed point of decoding.
-    #[test]
-    fn decoder_total_and_idempotent(w in any::<u32>()) {
+    fn decoder_total_and_idempotent(w in any_u32()) {
         let d1 = decode(w);
         let w2 = d1.encode();
         let d2 = decode(w2);
@@ -34,42 +99,17 @@ proptest! {
     }
 
     /// Arithmetic identities of the shared ALU semantics.
-    #[test]
-    fn alu_identities(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        prop_assert_eq!(alu::operate(Mnemonic::Addq, a, b, c).unwrap(),
-                        alu::operate(Mnemonic::Addq, b, a, c).unwrap());
-        prop_assert_eq!(alu::operate(Mnemonic::Xor, a, a, c).unwrap(), 0);
-        prop_assert_eq!(alu::operate(Mnemonic::Bis, a, 0, c).unwrap(), a);
-        prop_assert_eq!(alu::operate(Mnemonic::And, a, u64::MAX, c).unwrap(), a);
-        prop_assert_eq!(alu::operate(Mnemonic::Subq, a, a, c).unwrap(), 0);
-        // Scaled adds decompose.
-        prop_assert_eq!(
-            alu::operate(Mnemonic::S8addq, a, b, c).unwrap(),
-            a.wrapping_mul(8).wrapping_add(b)
-        );
-        // Comparison complement: a < b  iff  !(b <= a).
-        let lt = alu::operate(Mnemonic::Cmplt, a, b, 0).unwrap();
-        let le_rev = alu::operate(Mnemonic::Cmple, b, a, 0).unwrap();
-        prop_assert_eq!(lt == 1, le_rev == 0);
-        // Branch-condition complements.
-        prop_assert_ne!(alu::branch_taken(Mnemonic::Beq, a), alu::branch_taken(Mnemonic::Bne, a));
-        prop_assert_ne!(alu::branch_taken(Mnemonic::Blt, a), alu::branch_taken(Mnemonic::Bge, a));
-        prop_assert_ne!(alu::branch_taken(Mnemonic::Blbc, a), alu::branch_taken(Mnemonic::Blbs, a));
+    fn alu_identities(a in any_u64(), b in any_u64(), c in any_u64()) {
+        check_alu_identities(a, b, c)?;
     }
 
     /// CMOV keeps exactly one of the two candidate values.
-    #[test]
-    fn cmov_selects(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        for m in [Mnemonic::Cmoveq, Mnemonic::Cmovne, Mnemonic::Cmovlt, Mnemonic::Cmovge,
-                  Mnemonic::Cmovle, Mnemonic::Cmovgt, Mnemonic::Cmovlbs, Mnemonic::Cmovlbc] {
-            let r = alu::operate(m, a, b, c).unwrap();
-            prop_assert!(r == b || r == c);
-        }
+    fn cmov_selects(a in any_u64(), b in any_u64(), c in any_u64()) {
+        check_cmov_selects(a, b, c)?;
     }
 
     /// SECDED corrects any single-bit data error for arbitrary widths.
-    #[test]
-    fn hamming_corrects_single_flips(width in 2u32..=64, data in any::<u64>(), bit in 0u32..64) {
+    fn hamming_corrects_single_flips(width in ints(2u32..65), data in any_u64(), bit in ints(0u32..64)) {
         let bit = bit % width;
         let data = (data as u128) & ((1u128 << width) - 1);
         let code = Hamming::new(width, true);
@@ -80,8 +120,7 @@ proptest! {
     }
 
     /// SECDED detects (never miscorrects) any double-bit data error.
-    #[test]
-    fn hamming_detects_double_flips(data in any::<u64>(), b1 in 0u32..65, b2 in 0u32..65) {
+    fn hamming_detects_double_flips(data in any_u64(), b1 in ints(0u32..65), b2 in ints(0u32..65)) {
         prop_assume!(b1 != b2);
         let data = (data as u128) | (((data >> 1) as u128 & 1) << 64);
         let code = regfile_code();
@@ -91,8 +130,7 @@ proptest! {
     }
 
     /// The pointer-ECC lookup tables agree with the codec everywhere.
-    #[test]
-    fn ptr_tables_agree(data in 0u64..128, check in 0u64..16) {
+    fn ptr_tables_agree(data in ints(0u64..128), check in ints(0u64..16)) {
         prop_assert_eq!(ptr7_check(data), pointer_code().encode(data as u128) as u64);
         let fixed = ptr7_fix(data, check);
         match pointer_code().decode(data as u128, check as u32) {
@@ -103,15 +141,13 @@ proptest! {
 
     /// Parity distributes over disjoint bit partitions (the paper's
     /// "update the parity as word portions are dropped" scheme).
-    #[test]
-    fn parity_partition(w in any::<u32>(), mask in any::<u32>()) {
+    fn parity_partition(w in any_u32(), mask in any_u32()) {
         prop_assert_eq!(parity32(w), parity32(w & mask) ^ parity32(w & !mask));
     }
 
     /// Sparse memory is byte-exact against a HashMap reference model.
-    #[test]
-    fn memory_matches_reference(ops in prop::collection::vec(
-        (0u64..0x4_0000, any::<u64>(), prop::sample::select(vec![1u64, 2, 4, 8])), 1..60)
+    fn memory_matches_reference(
+        ops in vecs((ints(0u64..0x4_0000), any_u64(), select(vec![1u64, 2, 4, 8])), 1..60)
     ) {
         let mut mem = SparseMemory::new();
         let mut reference = std::collections::HashMap::new();
@@ -130,8 +166,7 @@ proptest! {
     }
 
     /// Page sets cover exactly the inserted ranges.
-    #[test]
-    fn pageset_covers_inserted(addr in 0u64..0x10_0000, len in 1u64..0x8000) {
+    fn pageset_covers_inserted(addr in ints(0u64..0x10_0000), len in ints(1u64..0x8000)) {
         let mut s = PageSet::new();
         s.insert_range(addr, len);
         prop_assert!(s.covers(addr, 1));
@@ -143,8 +178,7 @@ proptest! {
 
     /// Free lists conserve registers across arbitrary pop/push/unpop
     /// sequences that respect stack discipline for unpop.
-    #[test]
-    fn freelist_conservation(ops in prop::collection::vec(0u8..3, 1..200)) {
+    fn freelist_conservation(ops in vecs(ints(0u8..3), 1..200)) {
         let mut fl = FreeList::new(Category::SpecFreelist, false);
         let mut popped: Vec<u64> = Vec::new();
         let mut retired: Vec<u64> = Vec::new();
@@ -186,8 +220,7 @@ proptest! {
 
     /// `li` materializes arbitrary constants exactly (validated through the
     /// functional simulator, end to end).
-    #[test]
-    fn li_materializes_any_constant(v in any::<u64>()) {
+    fn li_materializes_any_constant(v in any_u64()) {
         let mut a = Asm::new(0x1_0000);
         a.li(Reg::R1, v);
         a.li(Reg::R2, 0x2_0000);
