@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Campaign-throughput benchmark runner.
+#
+# Builds the perf binary in release mode, runs the injection benchmarks
+# (or any other filter passed as $1), prints the human-readable table to
+# stderr, and records the machine-readable results — one JSON object per
+# line — to BENCH_campaign.json.
+#
+#   ./bench.sh                 # inject/ benches -> BENCH_campaign.json
+#   ./bench.sh pipeline/       # any other filter, same output file
+#
+# TFSIM_BENCH_SAMPLES / TFSIM_BENCH_SAMPLE_MS tune the measurement (see
+# crates/check/src/bench.rs). The headline number is the ratio of the
+# `inject/snapshot-ladder-vs-naive/{naive,ladder}` medians: both run the
+# same 25-trial plan, so naive_median_ns / ladder_median_ns is the
+# fast-path speedup in trials/sec.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+filter="${1:-inject/}"
+out=BENCH_campaign.json
+
+cargo run --release --offline -q -p tfsim-bench --bin perf -- "$filter" --json \
+  | tee /dev/stderr | grep '^{' > "$out"
+echo "wrote $out" >&2

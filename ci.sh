@@ -14,4 +14,12 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "==> perf smoke (non-gating)"
+# One minimal sample through the injection benches so the bench binary and
+# bench.sh's data source can never bit-rot. Timings from a 1-sample run are
+# meaningless; only the exit status matters, and even that does not gate.
+TFSIM_BENCH_SAMPLES=1 TFSIM_BENCH_SAMPLE_MS=1 \
+    cargo run --release --offline -q -p tfsim-bench --bin perf -- inject/ \
+    || echo "==> perf smoke FAILED (non-gating)"
+
 echo "==> tier-1 gate passed"

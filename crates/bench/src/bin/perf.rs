@@ -15,10 +15,17 @@
 use tfsim_arch::FuncSim;
 use tfsim_bitstate::{fingerprint_of, InjectionMask};
 use tfsim_check::Bench;
-use tfsim_inject::StartPoint;
+use tfsim_inject::{StartPoint, TrialSpec};
 use tfsim_isa::decode;
 use tfsim_protect::{regfile_code, Decoded};
 use tfsim_uarch::{Pipeline, PipelineConfig};
+
+/// Whether `name` survives the bench filter. `Bench` itself skips filtered
+/// benchmarks, but expensive setup (warm-up + golden precomputation) should
+/// be skipped too when nothing downstream will run.
+fn wants(b: &Bench, name: &str) -> bool {
+    b.filter.as_ref().is_none_or(|f| name.contains(f))
+}
 
 fn warmed_pipeline(name: &str, cycles: u64) -> Pipeline {
     let w = tfsim_workloads::by_name(name).expect("workload");
@@ -70,6 +77,49 @@ fn bench_trial(b: &mut Bench) {
     });
 }
 
+/// A deterministic trial plan shaped like one `default_scale` start point:
+/// targets strided across the eligible-bit space, injection cycles strided
+/// (unsorted, with repeats) across the injection window.
+fn campaign_plan(sp: &StartPoint, trials: u64, window: u64) -> Vec<TrialSpec> {
+    (0..trials)
+        .map(|i| TrialSpec {
+            target: i.wrapping_mul(7_919) % sp.bit_count(),
+            inject_cycle: i.wrapping_mul(97) % window,
+        })
+        .collect()
+}
+
+/// Campaign-throughput benches at the `default_scale` shape (warm-up 2,000
+/// cycles, injection window 250, monitor 10,000):
+///
+/// * `inject/trials-per-sec` — one full start-point batch (100 trials)
+///   through the fast path; trials/sec = 100e9 / median_ns.
+/// * `inject/snapshot-ladder-vs-naive/{naive,ladder}` — the same 25-trial
+///   plan through per-trial `run_trial` (replay + flat fingerprints) and
+///   batched `run_trials` (snapshot ladder + cached fingerprints). The
+///   naive/ladder median ratio is the fast-path speedup.
+fn bench_campaign(b: &mut Bench) {
+    const WINDOW: u64 = 250;
+    const MONITOR: u64 = 10_000;
+    const MASK: InjectionMask = InjectionMask::LatchesAndRams;
+    if !wants(b, "inject/trials-per-sec") && !wants(b, "inject/snapshot-ladder-vs-naive") {
+        return;
+    }
+    let cpu = warmed_pipeline("gzip-like", 2_000);
+    let sp = StartPoint::prepare(&cpu, WINDOW + MONITOR, MASK);
+
+    let plan = campaign_plan(&sp, 100, WINDOW);
+    b.bench("inject/trials-per-sec", || sp.run_trials(MASK, &plan, MONITOR));
+
+    let duel = campaign_plan(&sp, 25, WINDOW);
+    b.bench("inject/snapshot-ladder-vs-naive/naive", || {
+        duel.iter()
+            .map(|s| sp.run_trial(MASK, s.target, s.inject_cycle, MONITOR))
+            .collect::<Vec<_>>()
+    });
+    b.bench("inject/snapshot-ladder-vs-naive/ladder", || sp.run_trials(MASK, &duel, MONITOR));
+}
+
 fn bench_codecs(b: &mut Bench) {
     let code = regfile_code();
     let mut v = 0x0123_4567_89ab_cdefu128;
@@ -118,6 +168,7 @@ fn main() {
     bench_funcsim(&mut bench);
     bench_fingerprint(&mut bench);
     bench_trial(&mut bench);
+    bench_campaign(&mut bench);
     bench_codecs(&mut bench);
     bench_decoder(&mut bench);
 

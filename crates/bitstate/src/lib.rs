@@ -196,6 +196,104 @@ impl FieldMeta {
     }
 }
 
+/// A named subtree of machine state used for hierarchical fingerprinting.
+///
+/// [`VisitState`] implementations may bracket groups of fields between
+/// [`StateVisitor::enter_unit`] / [`StateVisitor::exit_unit`] calls. Each
+/// unit carries a monotonic *generation stamp*: a counter the machine
+/// advances whenever the unit's content may have changed. Fingerprint
+/// visitors use the stamp to skip rehashing units that provably did not
+/// change since the last walk; all other visitors ignore units entirely,
+/// so field order, bit numbering, and injection targets are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnitId {
+    /// Front-end latches: fetch control, fetch stages/queue, decode and
+    /// rename pipe slots.
+    Front,
+    /// Register rename state: speculative and architectural RATs and free
+    /// lists.
+    Rename,
+    /// Issue scheduler (instruction queue) entries.
+    Sched,
+    /// Reorder buffer entries.
+    Rob,
+    /// Load/store queue entries.
+    Lsq,
+    /// Functional-unit pipeline latches.
+    Fus,
+    /// Physical register file (and its ECC shadow when enabled).
+    Regfile,
+    /// Architectural bookkeeping: speculative-ready bits, miss handling
+    /// registers, retire PC, watchdog.
+    ArchCtrl,
+    /// Branch direction predictor tables and global history.
+    Bpred,
+    /// Branch target buffer.
+    Btb,
+    /// Return address stack.
+    Ras,
+    /// Instruction cache tag/valid/LRU arrays.
+    Icache,
+    /// Data cache tag/valid/LRU arrays.
+    Dcache,
+    /// Store-set memory dependence predictor.
+    StoreSets,
+}
+
+impl UnitId {
+    /// Every unit, in the fixed order `Pipeline::visit_state` emits them.
+    pub const ALL: [UnitId; 14] = [
+        UnitId::Front,
+        UnitId::Rename,
+        UnitId::Sched,
+        UnitId::Rob,
+        UnitId::Lsq,
+        UnitId::Fus,
+        UnitId::Regfile,
+        UnitId::ArchCtrl,
+        UnitId::Bpred,
+        UnitId::Btb,
+        UnitId::Ras,
+        UnitId::Icache,
+        UnitId::Dcache,
+        UnitId::StoreSets,
+    ];
+
+    /// Number of units.
+    pub const COUNT: usize = UnitId::ALL.len();
+
+    /// Position of this unit in [`UnitId::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitId::Front => "front",
+            UnitId::Rename => "rename",
+            UnitId::Sched => "sched",
+            UnitId::Rob => "rob",
+            UnitId::Lsq => "lsq",
+            UnitId::Fus => "fus",
+            UnitId::Regfile => "regfile",
+            UnitId::ArchCtrl => "archctrl",
+            UnitId::Bpred => "bpred",
+            UnitId::Btb => "btb",
+            UnitId::Ras => "ras",
+            UnitId::Icache => "icache",
+            UnitId::Dcache => "dcache",
+            UnitId::StoreSets => "storesets",
+        }
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A visitor over every bit of machine state.
 ///
 /// Implementations receive each field exactly once per walk, in a fixed
@@ -214,6 +312,24 @@ pub trait StateVisitor {
             self.field(meta, entry_width, e);
         }
     }
+
+    /// Marks the start of fingerprint unit `unit`, whose content is
+    /// summarized by the machine-provided generation stamp `gen` (a counter
+    /// that advances whenever the unit's bits may have changed).
+    ///
+    /// Returning `false` asks the machine to skip the unit's fields and not
+    /// call [`StateVisitor::exit_unit`]: the visitor already knows the
+    /// unit's contribution (e.g. a cached subhash for an unchanged `gen`).
+    /// Visitors that must see every field — censuses, bit counts, fault
+    /// injection, snapshots — keep this default, which visits everything.
+    /// Units never nest.
+    fn enter_unit(&mut self, _unit: UnitId, _gen: u64) -> bool {
+        true
+    }
+
+    /// Marks the end of unit `unit`. Only called when the matching
+    /// [`StateVisitor::enter_unit`] returned `true`.
+    fn exit_unit(&mut self, _unit: UnitId) {}
 }
 
 /// A structure exposing its state bits to visitors.
@@ -449,9 +565,20 @@ impl StateVisitor for FlipBit {
 /// 128-bit FNV-1a style fingerprint over every visited bit (including
 /// non-injectable shadow state). Two machines with equal fingerprints are
 /// treated as microarchitecturally identical.
+///
+/// The hash is *hierarchical*: each [`UnitId`] unit the machine brackets is
+/// hashed into its own 128-bit subhash (starting from the FNV offset), and
+/// the root mixes stray (non-unit) words and completed unit subhashes in
+/// visit order. This makes the root reconstructible from cached subhashes —
+/// see [`CachedFingerprint`] — and lets a golden-run ladder store per-unit
+/// hashes for first-divergence attribution. Machines that declare no units
+/// hash exactly as a flat FNV over their words.
 #[derive(Debug, Clone, Copy)]
 pub struct Fingerprint {
     h: u128,
+    sub: u128,
+    in_unit: bool,
+    units: [u128; UnitId::COUNT],
 }
 
 const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
@@ -460,17 +587,28 @@ const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 impl Fingerprint {
     /// Creates a fresh fingerprint accumulator.
     pub fn new() -> Fingerprint {
-        Fingerprint { h: FNV128_OFFSET }
+        Fingerprint { h: FNV128_OFFSET, sub: FNV128_OFFSET, in_unit: false, units: [0; UnitId::COUNT] }
     }
 
-    /// The accumulated 128-bit hash.
+    /// The accumulated 128-bit root hash.
     pub fn value(&self) -> u128 {
         self.h
     }
 
+    /// Subhash of one unit (0 if the machine never visited it).
+    pub fn unit(&self, unit: UnitId) -> u128 {
+        self.units[unit.index()]
+    }
+
+    /// All unit subhashes, indexed by [`UnitId::index`].
+    pub fn unit_hashes(&self) -> &[u128; UnitId::COUNT] {
+        &self.units
+    }
+
     fn mix(&mut self, word: u64) {
-        self.h ^= word as u128;
-        self.h = self.h.wrapping_mul(FNV128_PRIME);
+        let acc = if self.in_unit { &mut self.sub } else { &mut self.h };
+        *acc ^= word as u128;
+        *acc = acc.wrapping_mul(FNV128_PRIME);
     }
 }
 
@@ -491,6 +629,21 @@ impl StateVisitor for Fingerprint {
             self.mix(*e);
         }
     }
+
+    fn enter_unit(&mut self, _unit: UnitId, _gen: u64) -> bool {
+        debug_assert!(!self.in_unit, "fingerprint units must not nest");
+        self.sub = FNV128_OFFSET;
+        self.in_unit = true;
+        true
+    }
+
+    fn exit_unit(&mut self, unit: UnitId) {
+        debug_assert!(self.in_unit, "exit_unit without enter_unit");
+        self.in_unit = false;
+        self.units[unit.index()] = self.sub;
+        self.h ^= self.sub;
+        self.h = self.h.wrapping_mul(FNV128_PRIME);
+    }
 }
 
 /// Computes the fingerprint of a [`VisitState`] machine.
@@ -498,6 +651,213 @@ pub fn fingerprint_of(machine: &mut dyn VisitState) -> u128 {
     let mut fp = Fingerprint::new();
     machine.visit_state(&mut fp);
     fp.value()
+}
+
+/// An incremental fingerprint engine that caches per-unit subhashes keyed
+/// by the generation stamps machines pass to [`StateVisitor::enter_unit`].
+///
+/// On a walk, a unit whose stamp matches the cached one is *skipped*
+/// (`enter_unit` returns `false`) and its cached subhash is mixed into the
+/// root, so the root always equals what [`fingerprint_of`] would compute —
+/// without rehashing unchanged predictor and cache arrays.
+///
+/// # Correctness contract
+///
+/// A cache is valid for **one machine instance**, and only while every
+/// state change between [`CachedFingerprint::fingerprint`] calls goes
+/// through the machine's mutation API (which advances the generation
+/// stamps). After out-of-band mutation — e.g. a [`FlipBit`] walk — call
+/// [`CachedFingerprint::invalidate`] or use a fresh engine.
+#[derive(Debug, Clone)]
+pub struct CachedFingerprint {
+    h: u128,
+    sub: u128,
+    active: Option<(UnitId, u64)>,
+    cache: [Option<(u64, u128)>; UnitId::COUNT],
+    units: [u128; UnitId::COUNT],
+    seen: u16, // units visited this walk (duplicates would poison the cache)
+    probe: Option<UnitId>, // walk only this unit (see `matches`)
+    suspect: Option<UnitId>, // unit that mismatched golden on the last `matches`
+    hits: u64,
+    misses: u64,
+}
+
+impl CachedFingerprint {
+    /// Creates an engine with an empty cache.
+    pub fn new() -> CachedFingerprint {
+        CachedFingerprint {
+            h: FNV128_OFFSET,
+            sub: FNV128_OFFSET,
+            active: None,
+            cache: [None; UnitId::COUNT],
+            units: [0; UnitId::COUNT],
+            seen: 0,
+            probe: None,
+            suspect: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fingerprints `machine`, reusing cached subhashes for units whose
+    /// generation stamp is unchanged since the previous call. Equals
+    /// [`fingerprint_of`] on the same machine.
+    pub fn fingerprint(&mut self, machine: &mut dyn VisitState) -> u128 {
+        self.h = FNV128_OFFSET;
+        self.active = None;
+        self.seen = 0;
+        machine.visit_state(self);
+        debug_assert!(self.active.is_none(), "unclosed fingerprint unit");
+        self.h
+    }
+
+    /// Compares `machine` against a golden fingerprint row — the root hash
+    /// plus the per-unit subhashes it was folded from — returning whether
+    /// they match. Semantically this is `self.fingerprint(machine) ==
+    /// golden_root`, but a diverged machine usually stays diverged *in the
+    /// same unit* (a latent flip sits where it landed), so the unit that
+    /// mismatched on the previous call is re-probed first, skipping the
+    /// rest of the walk entirely while the divergence persists. This is
+    /// what makes monitoring a latent fault cheap: steady-state checks hash
+    /// one unit instead of the machine.
+    ///
+    /// The short-circuit decides "mismatch" from a single unequal subhash
+    /// where the root comparison folds all of them; the two disagree only
+    /// if distinct states collide in the 128-bit hash — the same exposure
+    /// the root equality check itself always had.
+    pub fn matches(
+        &mut self,
+        machine: &mut dyn VisitState,
+        golden_root: u128,
+        golden_units: &[u128; UnitId::COUNT],
+    ) -> bool {
+        if let Some(suspect) = self.suspect {
+            if self.probe_unit(machine, suspect) != golden_units[suspect.index()] {
+                return false;
+            }
+            // The old divergence healed (or was never in a unit): fall
+            // through to the authoritative full walk.
+            self.suspect = None;
+        }
+        if self.fingerprint(machine) == golden_root {
+            return true;
+        }
+        self.suspect = UnitId::ALL
+            .iter()
+            .copied()
+            .find(|u| self.units[u.index()] != golden_units[u.index()]);
+        false
+    }
+
+    /// Rehashes only `unit` (cache rules unchanged) and returns its
+    /// subhash; every other unit is skipped without being touched.
+    fn probe_unit(&mut self, machine: &mut dyn VisitState, unit: UnitId) -> u128 {
+        self.h = FNV128_OFFSET;
+        self.active = None;
+        self.seen = 0;
+        self.probe = Some(unit);
+        machine.visit_state(self);
+        self.probe = None;
+        debug_assert!(self.active.is_none(), "unclosed fingerprint unit");
+        debug_assert!(
+            self.seen & (1 << unit.index()) != 0,
+            "probed unit {unit} was never visited by the machine"
+        );
+        self.units[unit.index()]
+    }
+
+    /// Drops every cached subhash. Required after mutating the machine
+    /// behind the generation stamps' back (e.g. [`FlipBit`]).
+    pub fn invalidate(&mut self) {
+        self.cache = [None; UnitId::COUNT];
+        self.suspect = None;
+    }
+
+    /// Subhash of one unit as of the last [`CachedFingerprint::fingerprint`]
+    /// call (0 if the machine never visited it).
+    pub fn unit(&self, unit: UnitId) -> u128 {
+        self.units[unit.index()]
+    }
+
+    /// All unit subhashes from the last walk, indexed by [`UnitId::index`].
+    pub fn unit_hashes(&self) -> &[u128; UnitId::COUNT] {
+        &self.units
+    }
+
+    /// Units served from cache across all walks.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Units rehashed across all walks.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn mix(&mut self, word: u64) {
+        let acc = if self.active.is_some() { &mut self.sub } else { &mut self.h };
+        *acc ^= word as u128;
+        *acc = acc.wrapping_mul(FNV128_PRIME);
+    }
+
+    fn mix_unit(&mut self, sub: u128) {
+        self.h ^= sub;
+        self.h = self.h.wrapping_mul(FNV128_PRIME);
+    }
+}
+
+impl Default for CachedFingerprint {
+    fn default() -> Self {
+        CachedFingerprint::new()
+    }
+}
+
+impl StateVisitor for CachedFingerprint {
+    fn field(&mut self, _meta: FieldMeta, width: u32, bits: &mut u64) {
+        debug_assert_eq!(*bits & !width_mask(width), 0, "field exceeds declared width {width}");
+        self.mix(*bits);
+    }
+
+    fn array(&mut self, _meta: FieldMeta, _entry_width: u32, entries: &mut [u64]) {
+        for e in entries.iter() {
+            self.mix(*e);
+        }
+    }
+
+    fn enter_unit(&mut self, unit: UnitId, gen: u64) -> bool {
+        debug_assert!(self.active.is_none(), "fingerprint units must not nest");
+        debug_assert_eq!(
+            self.seen & (1 << unit.index()),
+            0,
+            "unit {unit} visited twice in one walk — its cache entry would go stale"
+        );
+        self.seen |= 1 << unit.index();
+        if self.probe.is_some_and(|p| p != unit) {
+            // Probe walk for another unit: skip without touching the cache
+            // (entries stay keyed by their recorded generations).
+            return false;
+        }
+        if let Some((g, h)) = self.cache[unit.index()] {
+            if g == gen {
+                self.hits += 1;
+                self.units[unit.index()] = h;
+                self.mix_unit(h);
+                return false;
+            }
+        }
+        self.misses += 1;
+        self.active = Some((unit, gen));
+        self.sub = FNV128_OFFSET;
+        true
+    }
+
+    fn exit_unit(&mut self, unit: UnitId) {
+        let (active, gen) = self.active.take().expect("exit_unit without matching enter_unit");
+        debug_assert_eq!(active, unit, "exit_unit for a different unit than enter_unit");
+        self.cache[unit.index()] = Some((gen, self.sub));
+        self.units[unit.index()] = self.sub;
+        self.mix_unit(self.sub);
+    }
 }
 
 #[cfg(test)]
@@ -623,6 +983,181 @@ mod tests {
         t.visit_state(&mut flip);
         assert_eq!(t.pc % 4, 0, "pc must stay 4-byte aligned (62-bit field)");
         assert_eq!(t.pc, 0xabcd0 ^ (1 << 5));
+    }
+
+    /// A machine with two fingerprint units (one stamped by `hot_gen`, one
+    /// by `cold_gen`) plus one stray field outside any unit.
+    struct UnitToy {
+        stray: u64,
+        hot: u64,
+        hot_gen: u64,
+        cold: Vec<u64>,
+        cold_gen: u64,
+    }
+
+    impl UnitToy {
+        fn new() -> UnitToy {
+            UnitToy { stray: 0x5a, hot: 0xdead_beef, hot_gen: 0, cold: vec![1, 2, 3], cold_gen: 0 }
+        }
+
+        fn set_cold(&mut self, i: usize, val: u64) {
+            if self.cold[i] != val {
+                self.cold[i] = val;
+                self.cold_gen += 1;
+            }
+        }
+    }
+
+    impl VisitState for UnitToy {
+        fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+            v.field(FieldMeta::new(Category::Ctrl, StorageKind::Latch), 8, &mut self.stray);
+            if v.enter_unit(UnitId::Front, self.hot_gen) {
+                v.field(FieldMeta::new(Category::Data, StorageKind::Latch), 64, &mut self.hot);
+                v.exit_unit(UnitId::Front);
+            }
+            if v.enter_unit(UnitId::Bpred, self.cold_gen) {
+                v.array(FieldMeta::shadow(Category::Ctrl, StorageKind::Ram), 2, &mut self.cold);
+                v.exit_unit(UnitId::Bpred);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_index_matches_all_order() {
+        for (i, u) in UnitId::ALL.iter().enumerate() {
+            assert_eq!(u.index(), i, "{u} out of place in UnitId::ALL");
+        }
+        assert_eq!(UnitId::COUNT, UnitId::ALL.len());
+    }
+
+    #[test]
+    fn default_visitors_ignore_units() {
+        // Census, BitCount and FlipBit keep the enter_unit default (visit
+        // everything), so unit brackets change neither totals nor bit order.
+        let mut t = UnitToy::new();
+        let mut c = Census::new();
+        t.visit_state(&mut c);
+        assert_eq!(c.total(), 8 + 64);
+        assert_eq!(c.shadow_total(), 6);
+
+        let before = fingerprint_of(&mut t);
+        let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 8);
+        t.visit_state(&mut flip);
+        assert_eq!(flip.flipped.unwrap().category, Category::Data);
+        assert_eq!(t.hot, 0xdead_beef ^ 1);
+        assert_ne!(fingerprint_of(&mut t), before);
+    }
+
+    #[test]
+    fn cached_root_equals_flat_root() {
+        let mut t = UnitToy::new();
+        let mut engine = CachedFingerprint::new();
+        assert_eq!(engine.fingerprint(&mut t), fingerprint_of(&mut t));
+        // Second walk with nothing changed: both units served from cache.
+        assert_eq!(engine.fingerprint(&mut t), fingerprint_of(&mut t));
+        assert_eq!(engine.hits(), 2);
+        assert_eq!(engine.misses(), 2);
+
+        // Mutate through the stamped API: the dirty unit is rehashed, the
+        // clean one is not, and the root still matches the flat walk.
+        t.set_cold(1, 9);
+        assert_eq!(engine.fingerprint(&mut t), fingerprint_of(&mut t));
+        assert_eq!(engine.hits(), 3);
+        assert_eq!(engine.misses(), 3);
+
+        // Stray (non-unit) fields are hashed on every walk.
+        t.stray ^= 0x11;
+        assert_eq!(engine.fingerprint(&mut t), fingerprint_of(&mut t));
+    }
+
+    #[test]
+    fn matches_probes_the_suspect_unit_first() {
+        let mut f = Fingerprint::new();
+        UnitToy::new().visit_state(&mut f);
+        let (root, units) = (f.value(), *f.unit_hashes());
+
+        let mut t = UnitToy::new();
+        let mut engine = CachedFingerprint::new();
+        assert!(engine.matches(&mut t, root, &units));
+
+        // Diverge the hot unit: the mismatch is found by a full walk and
+        // the unit becomes the suspect.
+        t.hot ^= 4;
+        t.hot_gen += 1;
+        assert!(!engine.matches(&mut t, root, &units));
+
+        // While the divergence persists, checks only probe the suspect —
+        // here its generation is unchanged since the last walk, so the
+        // probe is a single cache hit and nothing is rehashed.
+        let (hits, misses) = (engine.hits(), engine.misses());
+        assert!(!engine.matches(&mut t, root, &units));
+        assert_eq!((engine.hits(), engine.misses()), (hits + 1, misses));
+
+        // Heal the divergence: the probe passes and the authoritative full
+        // walk confirms equality.
+        t.hot ^= 4;
+        t.hot_gen += 1;
+        assert!(engine.matches(&mut t, root, &units));
+
+        // A stray-field divergence has no mismatching unit; every check
+        // falls through to the root fold and still reports it.
+        t.stray ^= 1;
+        assert!(!engine.matches(&mut t, root, &units));
+        assert!(!engine.matches(&mut t, root, &units));
+        t.stray ^= 1;
+        assert!(engine.matches(&mut t, root, &units));
+    }
+
+    #[test]
+    fn unit_hashes_localize_a_difference() {
+        let mut a = UnitToy::new();
+        let mut b = UnitToy::new();
+        b.set_cold(0, 8);
+        let mut fa = Fingerprint::new();
+        a.visit_state(&mut fa);
+        let mut fb = Fingerprint::new();
+        b.visit_state(&mut fb);
+        assert_ne!(fa.value(), fb.value());
+        assert_eq!(fa.unit(UnitId::Front), fb.unit(UnitId::Front));
+        assert_ne!(fa.unit(UnitId::Bpred), fb.unit(UnitId::Bpred));
+        assert_eq!(fa.unit(UnitId::Dcache), 0, "unvisited units stay zero");
+        assert_eq!(fa.unit_hashes()[UnitId::Front.index()], fa.unit(UnitId::Front));
+    }
+
+    #[test]
+    fn cached_engine_agrees_with_flat_on_unit_hashes() {
+        let mut t = UnitToy::new();
+        let mut flat = Fingerprint::new();
+        t.visit_state(&mut flat);
+        let mut engine = CachedFingerprint::new();
+        engine.fingerprint(&mut t);
+        engine.fingerprint(&mut t); // second walk: both units from cache
+        assert_eq!(engine.unit_hashes(), flat.unit_hashes());
+        assert_eq!(engine.unit(UnitId::Front), flat.unit(UnitId::Front));
+    }
+
+    #[test]
+    fn invalidate_recovers_from_out_of_band_mutation() {
+        let mut t = UnitToy::new();
+        let mut engine = CachedFingerprint::new();
+        engine.fingerprint(&mut t);
+        // Mutate a unit WITHOUT advancing its stamp: the cache is now stale
+        // and the root is wrong — exactly what the contract forbids.
+        t.cold[2] ^= 1;
+        assert_ne!(engine.fingerprint(&mut t), fingerprint_of(&mut t));
+        // invalidate() drops the cache and the next walk is correct again.
+        engine.invalidate();
+        assert_eq!(engine.fingerprint(&mut t), fingerprint_of(&mut t));
+    }
+
+    #[test]
+    fn unitless_machines_hash_flat() {
+        // A machine with no units hashes exactly as the historical flat FNV
+        // chain; the cached engine degenerates to the same thing.
+        let mut t = toy();
+        let mut engine = CachedFingerprint::new();
+        assert_eq!(engine.fingerprint(&mut t), fingerprint_of(&mut t));
+        assert_eq!(engine.hits() + engine.misses(), 0);
     }
 
     #[test]

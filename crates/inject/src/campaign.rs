@@ -12,7 +12,7 @@ use tfsim_isa::Program;
 use tfsim_uarch::PipelineConfig;
 use tfsim_workloads::Workload;
 
-use crate::trial::{warm_pipeline, FailureMode, Outcome, StartPoint, TrialRecord};
+use crate::trial::{warm_pipeline, FailureMode, Outcome, StartPoint, TrialRecord, TrialSpec};
 
 /// Campaign parameters. The defaults mirror the paper's methodology at a
 /// reduced scale; [`CampaignConfig::paper_scale`] approaches the paper's
@@ -121,10 +121,7 @@ impl OutcomeCounts {
         match outcome {
             Outcome::MicroArchMatch => self.matched += 1,
             Outcome::GrayArea => self.gray += 1,
-            Outcome::Failure(mode) => {
-                let idx = FailureMode::ALL.iter().position(|m| *m == mode).expect("mode");
-                self.failures[idx] += 1;
-            }
+            Outcome::Failure(mode) => self.failures[mode.index()] += 1,
         }
     }
 
@@ -139,8 +136,7 @@ impl OutcomeCounts {
 
     /// Count for a specific failure mode.
     pub fn failure(&self, mode: FailureMode) -> u64 {
-        let idx = FailureMode::ALL.iter().position(|m| *m == mode).expect("mode");
-        self.failures[idx]
+        self.failures[mode.index()]
     }
 
     /// All failures (SDC + Terminated).
@@ -262,9 +258,15 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
         bench: usize,
         start_point: u32,
     }
-    let tasks: Vec<Task> = (0..workloads.len())
+    let mut tasks: Vec<Task> = (0..workloads.len())
         .flat_map(|b| (0..config.start_points).map(move |s| Task { bench: b, start_point: s }))
         .collect();
+    // Workers take tasks with `pop()`, so order the list to serve the
+    // longest warm-ups (highest start point) first: scheduling the most
+    // expensive tasks early keeps the pool from stranding one worker on
+    // them at the tail. Aggregation is order-independent, so schedules
+    // cannot change results.
+    tasks.sort_by_key(|t| (t.start_point, std::cmp::Reverse(t.bench)));
     let work = Mutex::new(tasks);
 
     struct TaskOutput {
@@ -305,18 +307,24 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
                     config.seed,
                     (task.bench as u64) << 32 | task.start_point as u64,
                 );
-                let mut records = Vec::with_capacity(config.trials_per_start_point as usize);
+                // Draw the whole trial plan first (target then cycle per
+                // trial — the exact draw order of the historical per-trial
+                // loop, so seeds reproduce the same campaigns), then run it
+                // through the batched snapshot-ladder path.
+                let specs: Vec<TrialSpec> = (0..config.trials_per_start_point)
+                    .map(|_| TrialSpec {
+                        target: rng.gen_range(0..sp.bit_count()),
+                        inject_cycle: rng.gen_range(0..config.inject_window),
+                    })
+                    .collect();
+                let records = sp.run_trials(config.mask, &specs, config.monitor_cycles);
                 let mut benign = 0u64;
                 let mut valid_sum = 0u64;
-                for _ in 0..config.trials_per_start_point {
-                    let target = rng.gen_range(0..sp.bit_count());
-                    let cycle = rng.gen_range(0..config.inject_window);
-                    let rec = sp.run_trial(config.mask, target, cycle, config.monitor_cycles);
+                for rec in &records {
                     if !rec.outcome.is_failure() {
                         benign += 1;
                     }
                     valid_sum += rec.valid_instructions as u64;
-                    records.push(rec);
                 }
                 let n = records.len().max(1) as f64;
                 let scatter = ScatterPoint {
@@ -351,6 +359,18 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
             by_category_kind.entry((rec.category, rec.kind)).or_default().add(rec.outcome);
         }
         scatter.push(out.scatter);
+        // Same mask + same machine model ⇒ every task must count the same
+        // eligible-bit population. A mismatch means the model diverged
+        // between tasks (e.g. configuration-dependent state walk) and the
+        // per-bit rates would be wrong — fail loudly, never keep one
+        // arbitrary winner.
+        assert!(
+            eligible_bits == 0 || eligible_bits == out.eligible_bits,
+            "eligible-bit count disagrees across campaign tasks: {} vs {} (benchmark {})",
+            eligible_bits,
+            out.eligible_bits,
+            out.bench,
+        );
         eligible_bits = out.eligible_bits;
     }
     scatter.sort_by(|a, b| {

@@ -44,4 +44,4 @@ pub use campaign::{
     run_campaign, run_campaign_on, BenchmarkResult, CampaignConfig, CampaignResult, OutcomeCounts,
     ScatterPoint,
 };
-pub use trial::{FailureMode, Outcome, StartPoint, TrialRecord};
+pub use trial::{FailureMode, Outcome, StartPoint, TrialRecord, TrialSpec};

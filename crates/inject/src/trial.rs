@@ -1,8 +1,23 @@
-//! Start-point preparation and single-trial execution.
+//! Start-point preparation and trial execution.
+//!
+//! Two equivalent execution paths classify trials:
+//!
+//! * [`StartPoint::run_trial`] — the naive reference: clone the checkpoint,
+//!   replay fault-free to the injection cycle, flip, monitor with flat
+//!   whole-machine fingerprints. Deliberately simple; the baseline every
+//!   optimization is measured and verified against.
+//! * [`StartPoint::run_trials`] — the campaign fast path: trials of one
+//!   start point are sorted by injection cycle and served from a single
+//!   fault-free *walker* advanced monotonically through the injection
+//!   window (one clone per trial instead of a replay per trial), and
+//!   µArch-Match checks use a [`CachedFingerprint`] that only rehashes
+//!   dirty units. Produces bit-identical [`TrialRecord`]s — pinned by a
+//!   property test.
 
 use tfsim_arch::RetireRecord;
 use tfsim_bitstate::{
-    fingerprint_of, BitCount, Category, FlipBit, InjectionMask, StorageKind, VisitState,
+    fingerprint_of, BitCount, CachedFingerprint, Category, FlipBit, InjectionMask, StorageKind,
+    UnitId, VisitState,
 };
 use tfsim_isa::{decode, Program};
 use tfsim_uarch::{ExcCode, FlowEvent, Pipeline, RetireEvent};
@@ -38,6 +53,12 @@ impl FailureMode {
         FailureMode::Mem,
         FailureMode::Regfile,
     ];
+
+    /// Position of this mode in [`FailureMode::ALL`] (the declaration
+    /// order matches, so this is a cast, not a scan).
+    pub fn index(self) -> usize {
+        self as usize
+    }
 
     /// Whether this mode is a `Terminated` outcome (vs. SDC).
     pub fn is_termination(self) -> bool {
@@ -77,8 +98,18 @@ impl Outcome {
     }
 }
 
+/// One planned trial for the batched [`StartPoint::run_trials`] path:
+/// which eligible bit to flip and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Eligible-bit index under the campaign mask.
+    pub target: u64,
+    /// Injection cycle relative to the checkpoint.
+    pub inject_cycle: u64,
+}
+
 /// One completed trial.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrialRecord {
     /// The classification.
     pub outcome: Outcome,
@@ -100,6 +131,10 @@ pub struct StartPoint {
     /// Per-cycle fingerprints, `fps[i]` = state after `i` steps (index 0
     /// is the checkpoint itself).
     fps: Vec<u128>,
+    /// Per-cycle, per-unit subhashes aligned with `fps` (row `i` indexed
+    /// by [`UnitId::index`]): lets a diverging trial name the units that
+    /// differ from golden at a given cycle.
+    unit_fps: Vec<[u128; UnitId::COUNT]>,
     /// Cumulative retirements after `i` steps.
     instret: Vec<u64>,
     /// The golden retirement trace (index = commit number since the
@@ -127,11 +162,17 @@ impl StartPoint {
         let mut golden = warmed.clone();
 
         let mut fps = Vec::with_capacity(horizon as usize + 1);
+        let mut unit_fps = Vec::with_capacity(horizon as usize + 1);
         let mut instret = Vec::with_capacity(horizon as usize + 1);
         let mut records = Vec::new();
         let mut halted_at = None;
         let base_instret = golden.instret();
-        fps.push(fingerprint_of(&mut golden));
+        // The golden ladder is hashed with the cached engine: the golden
+        // machine mutates only through `step()`, so unit stamps are exact
+        // and unchanged predictor/cache arrays hash for free.
+        let mut engine = CachedFingerprint::new();
+        fps.push(engine.fingerprint(&mut golden));
+        unit_fps.push(*engine.unit_hashes());
         instret.push(0);
         for step in 1..=horizon {
             let report = golden.step();
@@ -146,15 +187,18 @@ impl StartPoint {
                     }
                 }
             }
-            fps.push(fingerprint_of(&mut golden));
+            fps.push(engine.fingerprint(&mut golden));
+            unit_fps.push(*engine.unit_hashes());
             instret.push(golden.instret() - base_instret);
             if !golden.running() && halted_at.is_some() {
                 // Freeze: replicate the terminal state for the remaining
                 // horizon so comparisons stay index-aligned.
                 let last_fp = *fps.last().expect("nonempty");
+                let last_units = *unit_fps.last().expect("nonempty");
                 let last_ir = *instret.last().expect("nonempty");
                 while fps.len() <= horizon as usize {
                     fps.push(last_fp);
+                    unit_fps.push(last_units);
                     instret.push(last_ir);
                 }
                 break;
@@ -210,6 +254,7 @@ impl StartPoint {
         StartPoint {
             checkpoint,
             fps,
+            unit_fps,
             instret,
             records,
             halted_at,
@@ -228,8 +273,29 @@ impl StartPoint {
         self.valid_counts.get(cycle as usize).copied().unwrap_or(0)
     }
 
+    /// Units whose subhash differs from the golden run at relative cycle
+    /// `cycle`, given a trial machine's unit hashes (e.g. from the
+    /// [`CachedFingerprint`] of a diverging µArch-Match check). First-
+    /// divergence attribution for debugging and reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is beyond the prepared horizon.
+    pub fn diverging_units(&self, cycle: u64, units: &[u128; UnitId::COUNT]) -> Vec<UnitId> {
+        let golden = &self.unit_fps[cycle as usize];
+        UnitId::ALL
+            .iter()
+            .copied()
+            .filter(|u| golden[u.index()] != units[u.index()])
+            .collect()
+    }
+
     /// Runs one trial: flip eligible bit number `target` at `inject_cycle`
     /// (relative to the checkpoint) and monitor for `monitor` cycles.
+    ///
+    /// This is the naive reference path: it replays fault-free from the
+    /// checkpoint and hashes the whole machine at every µArch-Match check.
+    /// Campaigns use the equivalent-but-fast [`StartPoint::run_trials`].
     pub fn run_trial(
         &self,
         mask: InjectionMask,
@@ -238,7 +304,6 @@ impl StartPoint {
         monitor: u64,
     ) -> TrialRecord {
         let mut cpu = self.checkpoint.clone();
-        let base_instret = cpu.instret();
 
         // Advance fault-free to the injection cycle.
         for _ in 0..inject_cycle {
@@ -247,6 +312,69 @@ impl StartPoint {
             }
             cpu.step();
         }
+
+        self.classify(mask, cpu, target, inject_cycle, monitor, false)
+    }
+
+    /// Runs a batch of trials against this start point, equivalent to
+    /// calling [`StartPoint::run_trial`] per spec (results are returned in
+    /// input order) but without the per-trial fault-free replay:
+    ///
+    /// * Trials are processed in ascending `inject_cycle` order while one
+    ///   *walker* clone of the checkpoint advances monotonically through
+    ///   the injection window — each trial costs one `Pipeline::clone`
+    ///   instead of an `inject_cycle`-step replay. Equivalence holds
+    ///   because the walker is deterministic, stepping a halted machine is
+    ///   a no-op, and cloning is exact.
+    /// * µArch-Match checks use a fresh per-trial [`CachedFingerprint`]
+    ///   (created after the flip, so the flip cannot stale the cache; the
+    ///   flip itself can only land in injectable state, which lives in the
+    ///   cycle-stamped units).
+    pub fn run_trials(
+        &self,
+        mask: InjectionMask,
+        specs: &[TrialSpec],
+        monitor: u64,
+    ) -> Vec<TrialRecord> {
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        order.sort_by_key(|&i| specs[i].inject_cycle);
+
+        let mut walker = self.checkpoint.clone();
+        let mut walked = 0u64;
+        let mut out: Vec<Option<TrialRecord>> = vec![None; specs.len()];
+        for i in order {
+            let spec = specs[i];
+            while walked < spec.inject_cycle && walker.running() {
+                walker.step();
+                walked += 1;
+            }
+            out[i] = Some(self.classify(
+                mask,
+                walker.clone(),
+                spec.target,
+                spec.inject_cycle,
+                monitor,
+                true,
+            ));
+        }
+        out.into_iter().map(|r| r.expect("every spec classified")).collect()
+    }
+
+    /// The shared classification loop: takes a machine already advanced
+    /// fault-free to `inject_cycle`, flips the bit, and monitors. With
+    /// `cached_fp` the µArch-Match checks run on a [`CachedFingerprint`]
+    /// (fast path); without, on flat [`fingerprint_of`] (reference path).
+    /// Both hash definitions are identical by construction.
+    fn classify(
+        &self,
+        mask: InjectionMask,
+        mut cpu: Pipeline,
+        target: u64,
+        inject_cycle: u64,
+        monitor: u64,
+        cached_fp: bool,
+    ) -> TrialRecord {
+        let base_instret = self.checkpoint.instret();
 
         // Flip the bit.
         let mut flip = FlipBit::new(mask, target);
@@ -271,6 +399,9 @@ impl StartPoint {
         let mut last_retire_cycle = inject_cycle;
         let mut flushes_without_retire = 0u32;
         let horizon = (self.fps.len() as u64 - 1).min(inject_cycle + monitor);
+        // Created after the flip: the cache starts cold, so the flip (which
+        // bypasses generation stamps) can never be hidden by a stale entry.
+        let mut engine = cached_fp.then(CachedFingerprint::new);
 
         for step in (inject_cycle + 1)..=horizon {
             let report = cpu.step();
@@ -362,8 +493,18 @@ impl StartPoint {
                 && self.instret[step as usize] == cpu.instret() - base_instret
                 && matched_records as u64 == cpu.instret() - base_instret
             {
-                let fp = fingerprint_of(&mut cpu);
-                if fp == self.fps[step as usize] {
+                let eq = match engine.as_mut() {
+                    // Fast path: per-unit comparison against the golden
+                    // row, short-circuiting on the unit a latent fault
+                    // keeps diverged.
+                    Some(e) => e.matches(
+                        &mut cpu,
+                        self.fps[step as usize],
+                        &self.unit_fps[step as usize],
+                    ),
+                    None => fingerprint_of(&mut cpu) == self.fps[step as usize],
+                };
+                if eq {
                     return make(Outcome::MicroArchMatch);
                 }
             }
@@ -537,6 +678,77 @@ mod tests {
         assert!(terminated > 0, "no Terminated failure in sweep");
         // The paper's headline result at pipeline level: most flips mask.
         assert!(matched >= 60, "masking should dominate: {matched}/120");
+    }
+
+    #[test]
+    fn batched_trials_match_the_naive_path() {
+        // The snapshot ladder must reproduce run_trial record-for-record,
+        // including unsorted plans, duplicate injection cycles, and cycles
+        // at the window edges.
+        let sp = start_point();
+        let specs: Vec<TrialSpec> = (0..24u64)
+            .map(|t| TrialSpec {
+                target: (t * 9_491) % sp.bit_count(),
+                inject_cycle: [40, 3, 117, 3, 0, 249, 60, 117][t as usize % 8] + (t / 8),
+            })
+            .collect();
+        let batched = sp.run_trials(InjectionMask::LatchesAndRams, &specs, 1_200);
+        assert_eq!(batched.len(), specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let naive =
+                sp.run_trial(InjectionMask::LatchesAndRams, spec.target, spec.inject_cycle, 1_200);
+            assert_eq!(batched[i], naive, "spec {i} ({spec:?}) diverged");
+        }
+    }
+
+    #[test]
+    fn batched_trials_handle_a_halting_golden_run() {
+        // Injection cycles past the golden halt: the walker parks on the
+        // halted machine and every such trial is a µArch Match, exactly as
+        // the naive path reports.
+        let sp = halting_start_point();
+        let (halt_step, _) = sp.halted_at.expect("short workload halts");
+        let specs: Vec<TrialSpec> = (0..8u64)
+            .map(|t| TrialSpec { target: 1_000 + t * 777, inject_cycle: halt_step + 20 + t })
+            .collect();
+        let batched = sp.run_trials(InjectionMask::LatchesAndRams, &specs, 400);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(batched[i].outcome, Outcome::MicroArchMatch);
+            let naive =
+                sp.run_trial(InjectionMask::LatchesAndRams, spec.target, spec.inject_cycle, 400);
+            assert_eq!(batched[i], naive, "spec {i} diverged");
+        }
+    }
+
+    #[test]
+    fn diverging_units_name_the_faulty_subtree() {
+        let sp = start_point();
+        // Walk a fault-free clone to some cycle: no unit diverges.
+        let k = 37u64;
+        let mut cpu = sp.checkpoint.clone();
+        for _ in 0..k {
+            cpu.step();
+        }
+        let mut engine = CachedFingerprint::new();
+        let fp = engine.fingerprint(&mut cpu);
+        assert_eq!(fp, sp.fps[k as usize], "fault-free clone must match golden");
+        assert!(sp.diverging_units(k, engine.unit_hashes()).is_empty());
+
+        // Flip a bit: the root diverges and at least one unit is named.
+        let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 12_345);
+        cpu.visit_state(&mut flip);
+        let mut fresh = CachedFingerprint::new();
+        let fp = fresh.fingerprint(&mut cpu);
+        assert_ne!(fp, sp.fps[k as usize]);
+        let diverged = sp.diverging_units(k, fresh.unit_hashes());
+        assert!(!diverged.is_empty(), "a flipped machine must name a diverging unit");
+    }
+
+    #[test]
+    fn failure_mode_index_matches_table_order() {
+        for (i, m) in FailureMode::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i, "{m:?} out of place in FailureMode::ALL");
+        }
     }
 
     #[test]

@@ -39,6 +39,17 @@ pub struct BranchPredictor {
     choose_lg: Vec<u64>,   // 2-bit: local (low) vs global (high)
     choose_hb: Vec<u64>,   // 2-bit: bimodal (low) vs hybrid (high)
     ghr: u64,
+    gen: u64, // generation stamp: advances on every content change
+}
+
+/// Writes `new` into `slot` and records whether the value changed. Keeps
+/// generation stamps quiet when training saturated counters or re-shifting
+/// an unchanged history — the common steady-state case.
+fn set_changed(slot: &mut u64, new: u64, changed: &mut bool) {
+    if *slot != new {
+        *slot = new;
+        *changed = true;
+    }
 }
 
 impl BranchPredictor {
@@ -52,7 +63,14 @@ impl BranchPredictor {
             choose_lg: vec![1; GLOBAL_ENTRIES],
             choose_hb: vec![2; GLOBAL_ENTRIES],
             ghr: 0,
+            gen: 0,
         }
+    }
+
+    /// Generation stamp for cached fingerprinting: unchanged stamp ⇒
+    /// unchanged predictor content.
+    pub fn state_gen(&self) -> u64 {
+        self.gen
     }
 
     /// Predicts the direction of the conditional branch at `pc`.
@@ -82,13 +100,18 @@ impl BranchPredictor {
 
     /// Restores the global history after a squash.
     pub fn restore_ghr(&mut self, ghr: u64) {
-        self.ghr = ghr & ((1 << GHR_BITS) - 1);
+        let mut changed = false;
+        set_changed(&mut self.ghr, ghr & ((1 << GHR_BITS) - 1), &mut changed);
+        self.gen += changed as u64;
     }
 
     /// Speculatively shifts a predicted direction into the global history
     /// (called at fetch for every conditional branch).
     pub fn speculate(&mut self, taken: bool) {
-        self.ghr = ((self.ghr << 1) | taken as u64) & ((1 << GHR_BITS) - 1);
+        let mut changed = false;
+        let new = ((self.ghr << 1) | taken as u64) & ((1 << GHR_BITS) - 1);
+        set_changed(&mut self.ghr, new, &mut changed);
+        self.gen += changed as u64;
     }
 
     /// Trains all components with the resolved outcome. `ghr_at_fetch` is
@@ -105,20 +128,27 @@ impl BranchPredictor {
         let g_correct = (self.global_pred[gi] >= 2) == taken;
         let hybrid_correct = if self.choose_lg[gi] >= 2 { g_correct } else { l_correct };
 
+        let mut changed = false;
         // Choosers move toward the component that was right.
         if g_correct != l_correct {
-            self.choose_lg[gi] = bump(self.choose_lg[gi], g_correct, 3);
+            let new = bump(self.choose_lg[gi], g_correct, 3);
+            set_changed(&mut self.choose_lg[gi], new, &mut changed);
         }
         if hybrid_correct != b_correct {
             let hi = pc_index(pc, GLOBAL_ENTRIES);
-            self.choose_hb[hi] = bump(self.choose_hb[hi], hybrid_correct, 3);
+            let new = bump(self.choose_hb[hi], hybrid_correct, 3);
+            set_changed(&mut self.choose_hb[hi], new, &mut changed);
         }
 
-        self.bimodal[bi] = bump(self.bimodal[bi], taken, 3);
-        self.local_pred[lh] = bump(self.local_pred[lh], taken, 7);
-        self.global_pred[gi] = bump(self.global_pred[gi], taken, 3);
-        self.local_hist[li] =
-            ((self.local_hist[li] << 1) | taken as u64) & ((1 << LOCAL_HIST_BITS) - 1);
+        let new = bump(self.bimodal[bi], taken, 3);
+        set_changed(&mut self.bimodal[bi], new, &mut changed);
+        let new = bump(self.local_pred[lh], taken, 7);
+        set_changed(&mut self.local_pred[lh], new, &mut changed);
+        let new = bump(self.global_pred[gi], taken, 3);
+        set_changed(&mut self.global_pred[gi], new, &mut changed);
+        let new = ((self.local_hist[li] << 1) | taken as u64) & ((1 << LOCAL_HIST_BITS) - 1);
+        set_changed(&mut self.local_hist[li], new, &mut changed);
+        self.gen += changed as u64;
     }
 }
 
@@ -151,6 +181,7 @@ pub struct Btb {
     tags: Vec<u64>,
     targets: Vec<u64>,
     lru: Vec<u64>, // 2-bit round-robin pointer per set
+    gen: u64,      // generation stamp: advances on every content change
 }
 
 const BTB_SETS: usize = 256;
@@ -164,7 +195,15 @@ impl Btb {
             tags: vec![0; BTB_SETS * BTB_WAYS],
             targets: vec![0; BTB_SETS * BTB_WAYS],
             lru: vec![0; BTB_SETS],
+            gen: 0,
         }
+    }
+
+    /// Generation stamp for cached fingerprinting: unchanged stamp ⇒
+    /// unchanged BTB content. Re-recording an already-stored target does
+    /// not advance it.
+    pub fn state_gen(&self) -> u64 {
+        self.gen
     }
 
     fn set_and_tag(pc: u64) -> (usize, u64) {
@@ -191,17 +230,21 @@ impl Btb {
         for w in 0..BTB_WAYS {
             let i = set * BTB_WAYS + w;
             if self.valid[i] == 1 && self.tags[i] == tag {
-                self.targets[i] = target >> 2;
+                if self.targets[i] != target >> 2 {
+                    self.targets[i] = target >> 2;
+                    self.gen += 1;
+                }
                 return;
             }
         }
-        // Miss: round-robin replacement.
+        // Miss: round-robin replacement (the LRU pointer always moves).
         let w = (self.lru[set] as usize) % BTB_WAYS;
         let i = set * BTB_WAYS + w;
         self.valid[i] = 1;
         self.tags[i] = tag;
         self.targets[i] = target >> 2;
         self.lru[set] = (self.lru[set] + 1) % BTB_WAYS as u64;
+        self.gen += 1;
     }
 }
 
@@ -227,6 +270,7 @@ impl VisitState for Btb {
 pub struct Ras {
     stack: Vec<u64>, // 8 x 62-bit return addresses
     tos: u64,        // 3-bit pointer to the next free slot
+    gen: u64,        // generation stamp: advances on every content change
 }
 
 const RAS_ENTRIES: u64 = 8;
@@ -234,7 +278,13 @@ const RAS_ENTRIES: u64 = 8;
 impl Ras {
     /// Creates an empty stack.
     pub fn new() -> Ras {
-        Ras { stack: vec![0; RAS_ENTRIES as usize], tos: 0 }
+        Ras { stack: vec![0; RAS_ENTRIES as usize], tos: 0, gen: 0 }
+    }
+
+    /// Generation stamp for cached fingerprinting: unchanged stamp ⇒
+    /// unchanged stack and pointer.
+    pub fn state_gen(&self) -> u64 {
+        self.gen
     }
 
     /// Pushes a return address (calls: `BSR`/`JSR`). Wraps on overflow, as
@@ -242,11 +292,13 @@ impl Ras {
     pub fn push(&mut self, return_addr: u64) {
         self.stack[(self.tos % RAS_ENTRIES) as usize] = return_addr >> 2;
         self.tos = (self.tos + 1) % RAS_ENTRIES;
+        self.gen += 1; // the pointer always moves
     }
 
     /// Pops the predicted return target (`RET`).
     pub fn pop(&mut self) -> u64 {
         self.tos = (self.tos + RAS_ENTRIES - 1) % RAS_ENTRIES;
+        self.gen += 1; // the pointer always moves
         self.stack[(self.tos % RAS_ENTRIES) as usize] << 2
     }
 
@@ -257,7 +309,10 @@ impl Ras {
 
     /// Pointer recovery after a squash.
     pub fn restore_pointer(&mut self, tos: u64) {
-        self.tos = tos % RAS_ENTRIES;
+        if self.tos != tos % RAS_ENTRIES {
+            self.tos = tos % RAS_ENTRIES;
+            self.gen += 1;
+        }
     }
 }
 

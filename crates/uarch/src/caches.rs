@@ -21,6 +21,7 @@ pub struct TagCache {
     tags: Vec<u64>,
     lru: Vec<u64>, // 1 bit per set: way to replace next
     sets: u64,
+    gen: u64, // generation stamp: advances on every content change
 }
 
 impl TagCache {
@@ -34,7 +35,15 @@ impl TagCache {
             tags: vec![0; (sets * 2) as usize],
             lru: vec![0; sets as usize],
             sets,
+            gen: 0,
         }
+    }
+
+    /// Generation stamp for cached fingerprinting: unchanged stamp ⇒
+    /// unchanged tag/valid/LRU content. Steady-state hits that re-confirm
+    /// an already-correct LRU bit do not advance it.
+    pub fn state_gen(&self) -> u64 {
+        self.gen
     }
 
     fn set_and_tag(&self, addr: u64) -> (u64, u64) {
@@ -49,7 +58,10 @@ impl TagCache {
             let i = (set * 2 + way) as usize;
             if self.valid[i] == 1 && self.tags[i] == tag {
                 // LRU points at the way to replace: the other one.
-                self.lru[set as usize] = 1 - way;
+                if self.lru[set as usize] != 1 - way {
+                    self.lru[set as usize] = 1 - way;
+                    self.gen += 1;
+                }
                 return true;
             }
         }
@@ -76,6 +88,7 @@ impl TagCache {
         self.valid[i] = 1;
         self.tags[i] = tag;
         self.lru[set as usize] = 1 - way;
+        self.gen += 1;
     }
 }
 

@@ -263,6 +263,32 @@ fn deterministic_and_clonable() {
 }
 
 #[test]
+fn cached_fingerprint_tracks_a_live_pipeline() {
+    use tfsim_bitstate::{CachedFingerprint, Fingerprint, UnitId};
+    let mut a = Asm::new(0x1_0000);
+    lcg_kernel(&mut a);
+    let mut cpu = pipeline_with_tlbs(&Program::new("cachefp", a), PipelineConfig::baseline());
+    let mut engine = CachedFingerprint::new();
+    for _ in 0..40 {
+        for _ in 0..25 {
+            cpu.step();
+        }
+        // The cached root must equal the flat hash at every check, and the
+        // per-unit subhashes must agree with a flat hierarchical walk.
+        assert_eq!(engine.fingerprint(&mut cpu), fingerprint_of(&mut cpu));
+        let mut flat = Fingerprint::new();
+        cpu.visit_state(&mut flat);
+        assert_eq!(engine.unit_hashes(), flat.unit_hashes());
+        for u in UnitId::ALL {
+            assert_ne!(flat.unit(u), 0, "unit {u} never visited");
+        }
+    }
+    // In steady state the big shadow arrays are mostly clean: the cache
+    // must actually be earning its keep.
+    assert!(engine.hits() > 0, "no unit was ever served from cache");
+}
+
+#[test]
 fn state_walk_is_stable_and_sized() {
     let mut cpu = Pipeline::new(&exit_program(0), PipelineConfig::baseline());
     let mut census = Census::new();

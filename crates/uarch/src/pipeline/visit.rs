@@ -1,8 +1,19 @@
 //! The full-machine state walk: every latch bit and RAM cell of the
 //! pipeline, in a fixed deterministic order, categorized per Table 1.
+//!
+//! The walk is bracketed into [`UnitId`] fingerprint units so cached
+//! fingerprint engines can skip unchanged subtrees. The brackets change
+//! nothing for census/injection visitors (they keep the `enter_unit`
+//! default and see the identical field order). Latch-dense units that
+//! plausibly change every cycle (`Front` … `ArchCtrl`) are stamped with the
+//! cycle counter — safe because all pipeline mutation happens inside
+//! `step()`, which advances it. The big shadow arrays (predictors, cache
+//! tags) are stamped with per-structure generation counters that only
+//! advance on a real content change; in steady state those units are clean
+//! for long stretches and dominate the fingerprint savings.
 
 use tfsim_bitstate::{
-    visit_bool, visit_pc, Category, FieldMeta, StateVisitor, StorageKind, VisitState,
+    visit_bool, visit_pc, Category, FieldMeta, StateVisitor, StorageKind, UnitId, VisitState,
 };
 
 use super::Pipeline;
@@ -13,69 +24,117 @@ impl VisitState for Pipeline {
         let ctrl = FieldMeta::new(Category::Ctrl, latch);
         let parity_on = self.config.insn_parity;
         let ptr_ecc = self.config.pointer_ecc;
+        let cyc = self.cycles;
 
-        // Fetch control.
-        visit_pc(v, latch, &mut self.fetch_pc);
-        visit_bool(v, FieldMeta::new(Category::Valid, latch), &mut self.redirect_valid);
-        visit_pc(v, latch, &mut self.redirect_pc);
-        visit_bool(v, FieldMeta::new(Category::Valid, latch), &mut self.ifill_valid);
-        {
-            // The fill address is line-aligned: 58 meaningful bits.
-            let mut line = self.ifill_addr >> 6;
-            v.field(FieldMeta::new(Category::Addr, latch), 58, &mut line);
-            self.ifill_addr = line << 6;
-        }
-        v.field(ctrl, 4, &mut self.ifill_timer);
+        if v.enter_unit(UnitId::Front, cyc) {
+            // Fetch control.
+            visit_pc(v, latch, &mut self.fetch_pc);
+            visit_bool(v, FieldMeta::new(Category::Valid, latch), &mut self.redirect_valid);
+            visit_pc(v, latch, &mut self.redirect_pc);
+            visit_bool(v, FieldMeta::new(Category::Valid, latch), &mut self.ifill_valid);
+            {
+                // The fill address is line-aligned: 58 meaningful bits.
+                let mut line = self.ifill_addr >> 6;
+                v.field(FieldMeta::new(Category::Addr, latch), 58, &mut line);
+                self.ifill_addr = line << 6;
+            }
+            v.field(ctrl, 4, &mut self.ifill_timer);
 
-        // Fetch buffers (3 stages x 8 slots of pipeline latches).
-        for stage in self.fstages.iter_mut() {
-            for slot in stage.iter_mut() {
+            // Fetch buffers (3 stages x 8 slots of pipeline latches).
+            for stage in self.fstages.iter_mut() {
+                for slot in stage.iter_mut() {
+                    slot.visit(v, latch, parity_on);
+                }
+            }
+            self.fq.visit(v, parity_on);
+
+            // Decode/rename pipe latches.
+            for slot in self.dec1.iter_mut() {
                 slot.visit(v, latch, parity_on);
             }
-        }
-        self.fq.visit(v, parity_on);
-
-        // Decode/rename pipe latches.
-        for slot in self.dec1.iter_mut() {
-            slot.visit(v, latch, parity_on);
-        }
-        for slot in self.dec2.iter_mut() {
-            slot.visit(v, latch, parity_on);
-        }
-        for slot in self.ren.iter_mut() {
-            slot.visit(v, latch, parity_on);
+            for slot in self.dec2.iter_mut() {
+                slot.visit(v, latch, parity_on);
+            }
+            for slot in self.ren.iter_mut() {
+                slot.visit(v, latch, parity_on);
+            }
+            v.exit_unit(UnitId::Front);
         }
 
-        // Rename state.
-        self.spec_rat.visit(v);
-        self.arch_rat.visit(v);
-        self.spec_fl.visit(v);
-        self.arch_fl.visit(v);
-
-        // Window.
-        self.sched.visit(v, ptr_ecc);
-        self.rob.visit(v, parity_on, ptr_ecc);
-        self.lsq.visit(v, ptr_ecc);
-        self.fus.visit(v, ptr_ecc);
-        self.regfile.visit(v);
-        for b in self.spec_ready.iter_mut() {
-            visit_bool(v, ctrl, b);
+        if v.enter_unit(UnitId::Rename, cyc) {
+            self.spec_rat.visit(v);
+            self.arch_rat.visit(v);
+            self.spec_fl.visit(v);
+            self.arch_fl.visit(v);
+            v.exit_unit(UnitId::Rename);
         }
-        self.mhrs.visit_state(v);
 
-        // Architectural bookkeeping latches.
-        visit_pc(v, latch, &mut self.arch_pc);
-        if self.config.timeout_counter {
-            v.field(ctrl, 10, &mut self.watchdog.count);
+        if v.enter_unit(UnitId::Sched, cyc) {
+            self.sched.visit(v, ptr_ecc);
+            v.exit_unit(UnitId::Sched);
+        }
+        if v.enter_unit(UnitId::Rob, cyc) {
+            self.rob.visit(v, parity_on, ptr_ecc);
+            v.exit_unit(UnitId::Rob);
+        }
+        if v.enter_unit(UnitId::Lsq, cyc) {
+            self.lsq.visit(v, ptr_ecc);
+            v.exit_unit(UnitId::Lsq);
+        }
+        if v.enter_unit(UnitId::Fus, cyc) {
+            self.fus.visit(v, ptr_ecc);
+            v.exit_unit(UnitId::Fus);
+        }
+
+        if v.enter_unit(UnitId::Regfile, cyc) {
+            self.regfile.visit(v);
+            v.exit_unit(UnitId::Regfile);
+        }
+
+        // Each unit may appear at most once per walk, and the regfile sits
+        // between the out-of-order-window units and these fields in the
+        // (frozen) field order, so the speculative-ready bits and MHRs ride
+        // in the ArchCtrl bracket.
+        if v.enter_unit(UnitId::ArchCtrl, cyc) {
+            for b in self.spec_ready.iter_mut() {
+                visit_bool(v, ctrl, b);
+            }
+            self.mhrs.visit_state(v);
+
+            // Architectural bookkeeping latches.
+            visit_pc(v, latch, &mut self.arch_pc);
+            if self.config.timeout_counter {
+                v.field(ctrl, 10, &mut self.watchdog.count);
+            }
+            v.exit_unit(UnitId::ArchCtrl);
         }
 
         // Shadow state: prediction and cache tag arrays (fingerprinted for
-        // the µArch Match comparison, excluded from injection).
-        self.bpred.visit_state(v);
-        self.btb.visit_state(v);
-        self.ras.visit_state(v);
-        self.icache.visit_state(v);
-        self.dcache.visit_state(v);
-        self.storesets.visit_state(v);
+        // the µArch Match comparison, excluded from injection), each with
+        // its own content-change generation stamp.
+        if v.enter_unit(UnitId::Bpred, self.bpred.state_gen()) {
+            self.bpred.visit_state(v);
+            v.exit_unit(UnitId::Bpred);
+        }
+        if v.enter_unit(UnitId::Btb, self.btb.state_gen()) {
+            self.btb.visit_state(v);
+            v.exit_unit(UnitId::Btb);
+        }
+        if v.enter_unit(UnitId::Ras, self.ras.state_gen()) {
+            self.ras.visit_state(v);
+            v.exit_unit(UnitId::Ras);
+        }
+        if v.enter_unit(UnitId::Icache, self.icache.state_gen()) {
+            self.icache.visit_state(v);
+            v.exit_unit(UnitId::Icache);
+        }
+        if v.enter_unit(UnitId::Dcache, self.dcache.state_gen()) {
+            self.dcache.visit_state(v);
+            v.exit_unit(UnitId::Dcache);
+        }
+        if v.enter_unit(UnitId::StoreSets, self.storesets.state_gen()) {
+            self.storesets.visit_state(v);
+            v.exit_unit(UnitId::StoreSets);
+        }
     }
 }

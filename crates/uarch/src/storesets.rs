@@ -28,6 +28,7 @@ pub struct StoreSets {
     ssit_id: Vec<u64>, // 6-bit set ids
     lfst_valid: Vec<u64>,
     lfst_sq: Vec<u64>, // store queue slot of the last fetched store
+    gen: u64, // generation stamp: advances on every content change
 }
 
 impl StoreSets {
@@ -38,7 +39,16 @@ impl StoreSets {
             ssit_id: vec![0; SSIT_ENTRIES],
             lfst_valid: vec![0; LFST_ENTRIES],
             lfst_sq: vec![0; LFST_ENTRIES],
+            gen: 0,
         }
+    }
+
+    /// Generation stamp for cached fingerprinting: unchanged stamp ⇒
+    /// unchanged SSIT/LFST content. Writes that restate the stored value
+    /// (retraining an existing association, clearing an empty LFST) do not
+    /// advance it.
+    pub fn state_gen(&self) -> u64 {
+        self.gen
     }
 
     fn set_of(&self, pc: u64) -> Option<u64> {
@@ -52,8 +62,11 @@ impl StoreSets {
     pub fn store_dispatched(&mut self, pc: u64, sq: u64) -> Option<u64> {
         let set = self.set_of(pc)?;
         let prev = (self.lfst_valid[set as usize] == 1).then(|| self.lfst_sq[set as usize]);
-        self.lfst_valid[set as usize] = 1;
-        self.lfst_sq[set as usize] = sq & 0xf;
+        if self.lfst_valid[set as usize] != 1 || self.lfst_sq[set as usize] != sq & 0xf {
+            self.lfst_valid[set as usize] = 1;
+            self.lfst_sq[set as usize] = sq & 0xf;
+            self.gen += 1;
+        }
         prev
     }
 
@@ -69,11 +82,14 @@ impl StoreSets {
     /// dependence is now resolvable through forwarding): clears matching
     /// LFST entries.
     pub fn store_resolved(&mut self, sq: u64) {
+        let mut changed = false;
         for i in 0..LFST_ENTRIES {
             if self.lfst_valid[i] == 1 && self.lfst_sq[i] == (sq & 0xf) {
                 self.lfst_valid[i] = 0;
+                changed = true;
             }
         }
+        self.gen += changed as u64;
     }
 
     /// Trains the predictor after a memory-order violation between the
@@ -90,17 +106,25 @@ impl StoreSets {
             // Allocate: hash the store PC into a set id.
             (store_pc >> 2) & 0x3f
         };
-        self.ssit_valid[li] = 1;
-        self.ssit_id[li] = set & 0x3f;
-        self.ssit_valid[si] = 1;
-        self.ssit_id[si] = set & 0x3f;
+        let mut changed = false;
+        for i in [li, si] {
+            if self.ssit_valid[i] != 1 || self.ssit_id[i] != set & 0x3f {
+                self.ssit_valid[i] = 1;
+                self.ssit_id[i] = set & 0x3f;
+                changed = true;
+            }
+        }
+        self.gen += changed as u64;
     }
 
     /// Clears the LFST (every squash invalidates its SQ slot references).
     pub fn clear_lfst(&mut self) {
+        let mut changed = false;
         for v in self.lfst_valid.iter_mut() {
+            changed |= *v != 0;
             *v = 0;
         }
+        self.gen += changed as u64;
     }
 }
 

@@ -1,0 +1,127 @@
+//! Property tests pinning the campaign fast path to the naive reference:
+//!
+//! * `StartPoint::run_trials` (snapshot ladder + cached fingerprints) must
+//!   return exactly the same `TrialRecord` sequence as per-trial
+//!   `StartPoint::run_trial` over random trial plans.
+//! * The hierarchical root fingerprint (`CachedFingerprint`) must equal
+//!   the flat `fingerprint_of` on a live pipeline after random bit flips
+//!   and random stepping.
+//!
+//! Together these are the proof obligations that let the campaign use the
+//! fast path without ever changing an outcome census. A failing property
+//! prints its `(seed, case)` pair; rerun with `TFSIM_PROP_SEED=<seed>`.
+
+use std::sync::OnceLock;
+
+use tfsim::bitstate::{
+    fingerprint_of, BitCount, CachedFingerprint, FlipBit, InjectionMask, VisitState,
+};
+use tfsim::check::prop::{self, any_u64, ints, vecs, Config};
+use tfsim::inject::{StartPoint, TrialSpec};
+use tfsim::isa::{Asm, Program, Reg};
+use tfsim::uarch::{Pipeline, PipelineConfig};
+use tfsim_check::prop_assert_eq;
+
+const MASK: InjectionMask = InjectionMask::LatchesAndRams;
+
+/// A store/branch-heavy loop kernel, warmed past the cold-start phase with
+/// the flow log on (the shape `StartPoint::prepare` expects).
+fn warmed_pipeline() -> Pipeline {
+    let mut a = Asm::new(0x1_0000);
+    a.li(Reg::R10, 0x9e3779b97f4a7c15u64);
+    a.li(Reg::R1, 0x10_0000);
+    a.li(Reg::R7, 50_000);
+    a.li(Reg::R9, 0);
+    let top = a.here_label();
+    a.mulq_i(Reg::R10, 33, Reg::R10);
+    a.addq_i(Reg::R10, 7, Reg::R10);
+    a.srl_i(Reg::R10, 20, Reg::R4);
+    a.and_i(Reg::R4, 0xf8, Reg::R5);
+    a.addq(Reg::R1, Reg::R5, Reg::R5);
+    a.stq(Reg::R4, Reg::R5, 0);
+    a.ldq(Reg::R6, Reg::R5, 0);
+    a.addq(Reg::R9, Reg::R6, Reg::R9);
+    a.subq_i(Reg::R7, 1, Reg::R7);
+    a.bne(Reg::R7, top);
+    a.li(Reg::V0, tfsim::isa::syscall::EXIT);
+    a.mov(Reg::R9, Reg::A0);
+    a.callsys();
+    let p = Program::new("fastpath-bed", a).with_data(0x10_0000, vec![0u8; 256]);
+    let mut probe = tfsim::arch::FuncSim::new(&p);
+    probe.run(50_000_000);
+    let mut cpu = Pipeline::new(&p, PipelineConfig::baseline());
+    cpu.set_tlbs(probe.code_pages().clone(), probe.data_pages().clone());
+    cpu.enable_flow_log();
+    for _ in 0..400 {
+        cpu.step();
+    }
+    cpu
+}
+
+fn start_point() -> &'static StartPoint {
+    static SP: OnceLock<StartPoint> = OnceLock::new();
+    SP.get_or_init(|| StartPoint::prepare(&warmed_pipeline(), 700, MASK))
+}
+
+fn base_pipeline() -> &'static Pipeline {
+    static CPU: OnceLock<Pipeline> = OnceLock::new();
+    CPU.get_or_init(warmed_pipeline)
+}
+
+#[test]
+fn batched_run_trials_equals_per_trial_run_trial() {
+    // Random plans: unsorted injection cycles with duplicates, random
+    // targets. Each case cross-checks the whole batch against the naive
+    // path, so a handful of cases covers hundreds of trials — and trials
+    // are expensive in debug builds, hence the reduced case count.
+    let mut cfg = Config::from_env();
+    cfg.cases = cfg.cases.min(24);
+    let sp = start_point();
+    assert!(sp.bit_count() > 40_000, "plan generator assumes ≥40k eligible bits");
+    let gen = (vecs((ints(0u64..40_000), ints(0u64..64)), 1..5),);
+    prop::run(&cfg, "batched_run_trials_equals_per_trial_run_trial", &gen, |val| {
+        let (plan,) = val.clone();
+        let specs: Vec<TrialSpec> =
+            plan.iter().map(|&(target, inject_cycle)| TrialSpec { target, inject_cycle }).collect();
+        let monitor = 400;
+        let batched = sp.run_trials(MASK, &specs, monitor);
+        prop_assert_eq!(batched.len(), specs.len());
+        for (i, s) in specs.iter().enumerate() {
+            let naive = sp.run_trial(MASK, s.target, s.inject_cycle, monitor);
+            prop_assert_eq!(batched[i], naive);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn hierarchical_root_equals_flat_fingerprint_after_flips() {
+    let cfg = Config::from_env();
+    let base = base_pipeline();
+    let mut count = BitCount::new(MASK);
+    base.clone().visit_state(&mut count);
+    let bits = count.count;
+    let gen = (vecs(any_u64(), 0..6), ints(0u64..40));
+    prop::run(&cfg, "hierarchical_root_equals_flat_fingerprint_after_flips", &gen, move |val| {
+        let (flips, steps) = val.clone();
+        let mut cpu = base.clone();
+        for _ in 0..steps {
+            cpu.step();
+        }
+        for f in &flips {
+            let mut flip = FlipBit::new(MASK, f % bits);
+            cpu.visit_state(&mut flip);
+        }
+        // A fresh engine after out-of-band mutation (the contract the
+        // trial classifier follows): root must equal the flat hash.
+        let mut engine = CachedFingerprint::new();
+        prop_assert_eq!(engine.fingerprint(&mut cpu), fingerprint_of(&mut cpu));
+        // And reusing the same engine across further in-API mutation
+        // (stepping) must stay in lockstep with the flat hash.
+        for _ in 0..10 {
+            cpu.step();
+            prop_assert_eq!(engine.fingerprint(&mut cpu), fingerprint_of(&mut cpu));
+        }
+        Ok(())
+    });
+}
