@@ -14,6 +14,11 @@
 # `inject/snapshot-ladder-vs-naive/{naive,ladder}` medians: both run the
 # same 25-trial plan, so naive_median_ns / ladder_median_ns is the
 # fast-path speedup in trials/sec.
+#
+# The default filter also records the telemetry-overhead pair:
+# `inject/trials-per-sec` (untraced, the zero-overhead contract's pinned
+# number) vs `inject/trials-per-sec-traced` (per-trial spans on), both
+# over the identical 100-trial plan.
 set -euo pipefail
 cd "$(dirname "$0")"
 

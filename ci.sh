@@ -14,12 +14,23 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-echo "==> perf smoke (non-gating)"
+echo "==> perf smoke (timings non-gating, exit status gating)"
 # One minimal sample through the injection benches so the bench binary and
 # bench.sh's data source can never bit-rot. Timings from a 1-sample run are
-# meaningless; only the exit status matters, and even that does not gate.
+# meaningless and are NOT compared against anything, but a bench binary
+# that crashes is a real regression, so its exit status gates.
 TFSIM_BENCH_SAMPLES=1 TFSIM_BENCH_SAMPLE_MS=1 \
-    cargo run --release --offline -q -p tfsim-bench --bin perf -- inject/ \
-    || echo "==> perf smoke FAILED (non-gating)"
+    cargo run --release --offline -q -p tfsim-bench --bin perf -- inject/
+
+echo "==> telemetry report smoke (gating)"
+# A tiny traced campaign must produce a JSONL trace that the report
+# subcommand can parse, cross-check against its footer, and render.
+trace=target/ci_trace.jsonl
+cargo run --release --offline -q -p tfsim-bench --bin tfsim-run -- \
+    campaign --quick --seed 7 --start-points 1 --trials 10 --monitor 1500 \
+    --scale 1 --workloads gzip-like,twolf-like --trace "$trace" >/dev/null 2>&1
+cargo run --release --offline -q -p tfsim-bench --bin tfsim-run -- \
+    report "$trace" > target/ci_report.txt
+grep -q "outcome census" target/ci_report.txt
 
 echo "==> tier-1 gate passed"

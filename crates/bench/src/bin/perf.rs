@@ -94,6 +94,11 @@ fn campaign_plan(sp: &StartPoint, trials: u64, window: u64) -> Vec<TrialSpec> {
 ///
 /// * `inject/trials-per-sec` — one full start-point batch (100 trials)
 ///   through the fast path; trials/sec = 100e9 / median_ns.
+/// * `inject/trials-per-sec-traced` — the identical batch through the
+///   traced path (per-trial spans + phase timing). The median ratio to
+///   the untraced bench is the telemetry overhead; the untraced bench
+///   itself must not move, which is the zero-overhead-when-disabled
+///   contract pinned by `BENCH_campaign.json`.
 /// * `inject/snapshot-ladder-vs-naive/{naive,ladder}` — the same 25-trial
 ///   plan through per-trial `run_trial` (replay + flat fingerprints) and
 ///   batched `run_trials` (snapshot ladder + cached fingerprints). The
@@ -102,7 +107,10 @@ fn bench_campaign(b: &mut Bench) {
     const WINDOW: u64 = 250;
     const MONITOR: u64 = 10_000;
     const MASK: InjectionMask = InjectionMask::LatchesAndRams;
-    if !wants(b, "inject/trials-per-sec") && !wants(b, "inject/snapshot-ladder-vs-naive") {
+    if !wants(b, "inject/trials-per-sec")
+        && !wants(b, "inject/trials-per-sec-traced")
+        && !wants(b, "inject/snapshot-ladder-vs-naive")
+    {
         return;
     }
     let cpu = warmed_pipeline("gzip-like", 2_000);
@@ -110,6 +118,7 @@ fn bench_campaign(b: &mut Bench) {
 
     let plan = campaign_plan(&sp, 100, WINDOW);
     b.bench("inject/trials-per-sec", || sp.run_trials(MASK, &plan, MONITOR));
+    b.bench("inject/trials-per-sec-traced", || sp.run_trials_traced(MASK, &plan, MONITOR));
 
     let duel = campaign_plan(&sp, 25, WINDOW);
     b.bench("inject/snapshot-ladder-vs-naive/naive", || {

@@ -1,17 +1,238 @@
-//! Run an assembly file (or a named built-in workload) on the simulators.
+//! Run an assembly file (or a named built-in workload) on the simulators,
+//! drive an injection campaign, or render a report from a campaign trace.
 //!
 //! ```text
 //! tfsim-run <file.s | workload-name> [--config baseline|protected]
 //!           [--max-cycles N] [--disasm] [--trace N] [--dump N] [--arch-only]
+//! tfsim-run campaign [--quick|--default-scale|--paper] [--seed N]
+//!           [--threads N] [--scale N] [--start-points N] [--trials N]
+//!           [--monitor N] [--workloads a,b,...] [--trace PATH]
+//! tfsim-run report PATH [--top N]
 //! ```
 //!
 //! `--disasm` prints the program listing; `--trace N` prints a per-cycle
 //! pipeline trace for the first N cycles; otherwise the program runs to
 //! completion and a summary (exit code, output, IPC, stats) is printed.
+//!
+//! `campaign` runs a fault-injection campaign and prints the outcome
+//! census. With `--trace PATH` it streams the per-trial JSONL event
+//! stream to `PATH` (plus metrics and a live progress meter on stderr);
+//! without it the campaign takes the untraced zero-overhead path. The
+//! census is rendered through the same `tfsim_stats::census_rows` builder
+//! either way, so traced and untraced runs of the same seed print
+//! byte-identical censuses.
+//!
+//! `report` parses a JSONL trace back and renders the full
+//! fault-propagation report (census, per-category/per-unit vulnerability,
+//! propagation pairs, latency histograms, phase timings).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use tfsim_arch::FuncSim;
+use tfsim_inject::{
+    run_campaign_observed, run_campaign_on, CampaignConfig, CampaignMetrics, CampaignObs,
+    FailureMode, OutcomeCounts,
+};
 use tfsim_isa::{text, Program};
+use tfsim_obs::{parse_trace, EventSink, JsonlSink, Progress};
+use tfsim_stats::{census_rows, render_census, TelemetryReport};
 use tfsim_uarch::{Pipeline, PipelineConfig};
+
+/// Renders campaign outcome totals through the canonical census builder.
+fn census(counts: &OutcomeCounts) -> String {
+    let rows = census_rows(
+        counts.matched,
+        counts.gray,
+        FailureMode::ALL.iter().map(|m| (m.label(), counts.failure(*m))),
+    );
+    render_census(&rows)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a numeric argument");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_campaign(args: &[String]) {
+    let mut preset: fn(u64) -> CampaignConfig = CampaignConfig::quick;
+    let mut seed = 2004u64;
+    let mut threads = None::<usize>;
+    let mut scale = None::<u32>;
+    let mut start_points = None::<u32>;
+    let mut trials = None::<u32>;
+    let mut monitor = None::<u64>;
+    let mut trace = None::<PathBuf>;
+    let mut workload_list = None::<String>;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                preset = CampaignConfig::quick;
+                i += 1;
+            }
+            "--default-scale" => {
+                preset = CampaignConfig::default_scale;
+                i += 1;
+            }
+            "--paper" => {
+                preset = CampaignConfig::paper_scale;
+                i += 1;
+            }
+            "--seed" => {
+                seed = parse_num(args, i, "--seed");
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(parse_num(args, i, "--threads"));
+                i += 2;
+            }
+            "--scale" => {
+                scale = Some(parse_num(args, i, "--scale"));
+                i += 2;
+            }
+            "--start-points" => {
+                start_points = Some(parse_num(args, i, "--start-points"));
+                i += 2;
+            }
+            "--trials" => {
+                trials = Some(parse_num(args, i, "--trials"));
+                i += 2;
+            }
+            "--monitor" => {
+                monitor = Some(parse_num(args, i, "--monitor"));
+                i += 2;
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(args.get(i + 1).map(String::as_str).unwrap_or_else(
+                    || {
+                        eprintln!("--trace needs a file path");
+                        std::process::exit(2);
+                    },
+                )));
+                i += 2;
+            }
+            "--workloads" => {
+                workload_list = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            eprintln!("--workloads needs a comma-separated list");
+                            std::process::exit(2);
+                        }),
+                );
+                i += 2;
+            }
+            other => {
+                eprintln!("campaign: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut config = preset(seed);
+    if let Some(n) = threads {
+        config.threads = n;
+    }
+    if let Some(n) = scale {
+        config.scale = n;
+    }
+    if let Some(n) = start_points {
+        config.start_points = n;
+    }
+    if let Some(n) = trials {
+        config.trials_per_start_point = n;
+    }
+    if let Some(n) = monitor {
+        config.monitor_cycles = n;
+    }
+    let workloads = match &workload_list {
+        None => tfsim_workloads::all(),
+        Some(csv) => csv
+            .split(',')
+            .map(|name| {
+                tfsim_workloads::by_name(name.trim()).unwrap_or_else(|| {
+                    eprintln!("unknown workload {name:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+
+    let result = match &trace {
+        Some(path) => {
+            let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let metrics = CampaignMetrics::new();
+            let progress = Progress::new();
+            let finished = AtomicBool::new(false);
+            let result = std::thread::scope(|scope| {
+                let meter = scope.spawn(|| {
+                    while !finished.load(Ordering::Relaxed) {
+                        eprint!("\r{}", progress.render());
+                        std::thread::sleep(Duration::from_millis(200));
+                    }
+                    eprintln!("\r{}", progress.render());
+                });
+                let obs = CampaignObs {
+                    sink: &sink,
+                    metrics: Some(&metrics),
+                    progress: Some(&progress),
+                };
+                let result = run_campaign_observed(&config, &workloads, &obs);
+                finished.store(true, Ordering::Relaxed);
+                let _ = meter.join();
+                result
+            });
+            sink.flush();
+            eprintln!("trace written to {}", path.display());
+            print!("{}", metrics.render());
+            println!();
+            result
+        }
+        None => run_campaign_on(&config, &workloads),
+    };
+    print!("{}", census(&result.totals()));
+    println!("eligible bits: {}", result.eligible_bits);
+}
+
+fn cmd_report(args: &[String]) {
+    let Some(path) = args.first() else {
+        eprintln!("usage: tfsim-run report PATH [--top N]");
+        std::process::exit(2);
+    };
+    let mut top = 10usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                top = parse_num(args, i, "--top");
+                i += 2;
+            }
+            other => {
+                eprintln!("report: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let text = std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let events = parse_trace(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let report = TelemetryReport::from_events(&events).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", report.render(top));
+}
 
 fn load_program(spec: &str) -> Program {
     if let Some(w) = tfsim_workloads::by_name(spec) {
@@ -37,6 +258,14 @@ fn main() {
         std::process::exit(2);
     }
     let spec = &args[0];
+    if spec == "campaign" {
+        cmd_campaign(&args[1..]);
+        return;
+    }
+    if spec == "report" {
+        cmd_report(&args[1..]);
+        return;
+    }
     let mut config = PipelineConfig::baseline();
     let mut max_cycles = 10_000_000u64;
     let mut disasm = false;

@@ -172,6 +172,22 @@ pub enum StorageKind {
     Ram,
 }
 
+impl StorageKind {
+    /// Short lowercase label for reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageKind::Latch => "latch",
+            StorageKind::Ram => "ram",
+        }
+    }
+}
+
+impl fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Metadata attached to every visited field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FieldMeta {
@@ -506,6 +522,9 @@ pub struct FlippedBit {
     pub bit: u32,
     /// Field width.
     pub width: u32,
+    /// Fingerprint unit enclosing the field at flip time, if any — the
+    /// injection site for per-unit vulnerability attribution.
+    pub unit: Option<UnitId>,
 }
 
 /// Flips the `target`-th eligible bit (in visit order) under a mask.
@@ -514,6 +533,7 @@ pub struct FlipBit {
     mask: InjectionMask,
     target: u64,
     pos: u64,
+    in_unit: Option<UnitId>,
     /// Set once the target bit has been flipped.
     pub flipped: Option<FlippedBit>,
 }
@@ -521,7 +541,7 @@ pub struct FlipBit {
 impl FlipBit {
     /// Creates a visitor that will flip eligible bit number `target`.
     pub fn new(mask: InjectionMask, target: u64) -> FlipBit {
-        FlipBit { mask, target, pos: 0, flipped: None }
+        FlipBit { mask, target, pos: 0, in_unit: None, flipped: None }
     }
 }
 
@@ -535,7 +555,13 @@ impl StateVisitor for FlipBit {
             let bit = (self.target - self.pos) as u32;
             *bits ^= 1u64 << bit;
             *bits &= width_mask(width);
-            self.flipped = Some(FlippedBit { category: meta.category, kind: meta.kind, bit, width });
+            self.flipped = Some(FlippedBit {
+                category: meta.category,
+                kind: meta.kind,
+                bit,
+                width,
+                unit: self.in_unit,
+            });
         }
         self.pos += w;
     }
@@ -556,9 +582,21 @@ impl StateVisitor for FlipBit {
                 kind: meta.kind,
                 bit,
                 width: entry_width,
+                unit: self.in_unit,
             });
         }
         self.pos += total;
+    }
+
+    fn enter_unit(&mut self, unit: UnitId, _gen: u64) -> bool {
+        // Track the enclosing unit for injection-site attribution, but keep
+        // visiting everything: bit numbering must not depend on units.
+        self.in_unit = Some(unit);
+        true
+    }
+
+    fn exit_unit(&mut self, _unit: UnitId) {
+        self.in_unit = None;
     }
 }
 
@@ -773,6 +811,15 @@ impl CachedFingerprint {
         self.suspect = None;
     }
 
+    /// The unit whose subhash mismatched golden on the last failed
+    /// [`CachedFingerprint::matches`] call, if the divergence was inside a
+    /// unit. Cleared when a check passes (or when a suspect probe heals).
+    /// This is the cheapest available first-divergence attribution: the
+    /// engine already localized the mismatch while short-circuiting.
+    pub fn suspect(&self) -> Option<UnitId> {
+        self.suspect
+    }
+
     /// Subhash of one unit as of the last [`CachedFingerprint::fingerprint`]
     /// call (0 if the machine never visited it).
     pub fn unit(&self, unit: UnitId) -> u128 {
@@ -936,7 +983,9 @@ mod tests {
         let mut t = toy();
         let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 0);
         t.visit_state(&mut flip);
-        assert_eq!(flip.flipped.unwrap().category, Category::Pc);
+        let hit = flip.flipped.unwrap();
+        assert_eq!(hit.category, Category::Pc);
+        assert_eq!(hit.unit, None, "toy declares no units");
         let mut t = toy();
         let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 127 + 10);
         t.visit_state(&mut flip);
@@ -1043,9 +1092,18 @@ mod tests {
         let before = fingerprint_of(&mut t);
         let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 8);
         t.visit_state(&mut flip);
-        assert_eq!(flip.flipped.unwrap().category, Category::Data);
+        let hit = flip.flipped.unwrap();
+        assert_eq!(hit.category, Category::Data);
+        assert_eq!(hit.unit, Some(UnitId::Front), "flip attributed to enclosing unit");
         assert_eq!(t.hot, 0xdead_beef ^ 1);
         assert_ne!(fingerprint_of(&mut t), before);
+
+        // A flip landing outside any unit reports no attribution even on a
+        // machine that declares units.
+        let mut t = UnitToy::new();
+        let mut flip = FlipBit::new(InjectionMask::LatchesAndRams, 0);
+        t.visit_state(&mut flip);
+        assert_eq!(flip.flipped.unwrap().unit, None);
     }
 
     #[test]
@@ -1085,6 +1143,7 @@ mod tests {
         t.hot ^= 4;
         t.hot_gen += 1;
         assert!(!engine.matches(&mut t, root, &units));
+        assert_eq!(engine.suspect(), Some(UnitId::Front));
 
         // While the divergence persists, checks only probe the suspect —
         // here its generation is unchanged since the last walk, so the
@@ -1098,11 +1157,13 @@ mod tests {
         t.hot ^= 4;
         t.hot_gen += 1;
         assert!(engine.matches(&mut t, root, &units));
+        assert_eq!(engine.suspect(), None, "suspect cleared once healed");
 
         // A stray-field divergence has no mismatching unit; every check
         // falls through to the root fold and still reports it.
         t.stray ^= 1;
         assert!(!engine.matches(&mut t, root, &units));
+        assert_eq!(engine.suspect(), None, "stray divergence has no unit");
         assert!(!engine.matches(&mut t, root, &units));
         t.stray ^= 1;
         assert!(engine.matches(&mut t, root, &units));

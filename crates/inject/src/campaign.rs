@@ -1,18 +1,39 @@
 //! Campaign orchestration: many trials across benchmarks and start
 //! points, executed on a thread pool, aggregated per benchmark and per
 //! state category.
+//!
+//! # Telemetry
+//!
+//! [`run_campaign_observed`] threads a [`CampaignObs`] through the run:
+//! per-trial events into an [`EventSink`], counters and latency histograms
+//! into a [`CampaignMetrics`], and task completions into a
+//! [`tfsim_obs::Progress`] gauge. With [`CampaignObs::disabled`] (what
+//! [`run_campaign`] / [`run_campaign_on`] use) the workers take the exact
+//! pre-telemetry code path — no timing calls, no trace slots.
+//!
+//! Event streams are deterministic: workers buffer per-task results, and
+//! events are emitted *after* the thread pool drains, in canonical
+//! (benchmark, start point) order. Two identical-seed campaigns produce
+//! identical streams modulo the wall-clock fields, regardless of thread
+//! count.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use tfsim_check::Rng;
 
 use tfsim_bitstate::{Category, InjectionMask, StorageKind};
 use tfsim_isa::Program;
+use tfsim_obs::{
+    CounterId, Event, EventSink, HistogramId, MetricsRegistry, NoopSink, Progress, SCHEMA_VERSION,
+};
 use tfsim_uarch::PipelineConfig;
 use tfsim_workloads::Workload;
 
-use crate::trial::{warm_pipeline, FailureMode, Outcome, StartPoint, TrialRecord, TrialSpec};
+use crate::trial::{
+    warm_pipeline, FailureMode, Outcome, StartPoint, TrialRecord, TrialSpec, TrialTrace,
+};
 
 /// Campaign parameters. The defaults mirror the paper's methodology at a
 /// reduced scale; [`CampaignConfig::paper_scale`] approaches the paper's
@@ -246,6 +267,104 @@ impl CampaignResult {
     }
 }
 
+/// Campaign instruments pre-registered on a [`MetricsRegistry`].
+///
+/// Workers record into thread-local [`tfsim_obs::LocalMetrics`] scratchpads
+/// and merge once per (benchmark, start point) task, so the per-trial hot
+/// path touches plain integers only.
+pub struct CampaignMetrics {
+    registry: MetricsRegistry,
+    trials: CounterId,
+    matched: CounterId,
+    gray: CounterId,
+    failed: CounterId,
+    warmup_ns: CounterId,
+    prepare_ns: CounterId,
+    advance_ns: CounterId,
+    monitor_ns: CounterId,
+    fail_latency: HistogramId,
+    match_latency: HistogramId,
+}
+
+impl CampaignMetrics {
+    /// Creates the standard campaign instrument set.
+    pub fn new() -> CampaignMetrics {
+        let mut registry = MetricsRegistry::new();
+        CampaignMetrics {
+            trials: registry.counter("trials"),
+            matched: registry.counter("matched"),
+            gray: registry.counter("gray"),
+            failed: registry.counter("failed"),
+            warmup_ns: registry.counter("phase/warmup_ns"),
+            prepare_ns: registry.counter("phase/prepare_ns"),
+            advance_ns: registry.counter("phase/advance_ns"),
+            monitor_ns: registry.counter("phase/monitor_ns"),
+            fail_latency: registry.histogram("cycles-to-failure-detection"),
+            match_latency: registry.histogram("cycles-to-reconvergence"),
+            registry,
+        }
+    }
+
+    /// Total trials recorded so far.
+    pub fn trials(&self) -> u64 {
+        self.registry.counter_value(self.trials)
+    }
+
+    /// Trials that ended in a known failure so far.
+    pub fn failed(&self) -> u64 {
+        self.registry.counter_value(self.failed)
+    }
+
+    /// Snapshot of the failure-detection latency histogram (cycles from
+    /// injection to the decision).
+    pub fn fail_latency(&self) -> tfsim_obs::Histogram {
+        self.registry.histogram_value(self.fail_latency)
+    }
+
+    /// Renders every instrument as text.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+impl Default for CampaignMetrics {
+    fn default() -> Self {
+        CampaignMetrics::new()
+    }
+}
+
+/// Observability hooks for one campaign run.
+///
+/// All three channels are optional in effect: [`CampaignObs::disabled`]
+/// yields a run whose workers execute the pre-telemetry code path (no
+/// per-trial trace collection, no timing syscalls) — the zero-overhead-
+/// when-disabled contract, pinned by the `inject/trials-per-sec` bench.
+pub struct CampaignObs<'a> {
+    /// Destination for the per-trial event stream.
+    pub sink: &'a dyn EventSink,
+    /// Counters and latency histograms, if wanted.
+    pub metrics: Option<&'a CampaignMetrics>,
+    /// Live task-completion gauge, if wanted.
+    pub progress: Option<&'a Progress>,
+}
+
+impl CampaignObs<'static> {
+    /// No sink, no metrics, no progress: campaigns run exactly as if the
+    /// telemetry layer did not exist.
+    pub fn disabled() -> CampaignObs<'static> {
+        static NOOP: NoopSink = NoopSink;
+        CampaignObs { sink: &NOOP, metrics: None, progress: None }
+    }
+}
+
+fn outcome_strings(outcome: Outcome) -> (&'static str, Option<&'static str>) {
+    match outcome {
+        Outcome::MicroArchMatch => ("match", None),
+        Outcome::GrayArea => ("gray", None),
+        Outcome::Failure(mode) => ("fail", Some(mode.label())),
+    }
+}
+
 /// Runs a campaign over the ten standard workloads.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     let workloads = tfsim_workloads::all();
@@ -254,6 +373,15 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
 
 /// Runs a campaign over an explicit workload list.
 pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> CampaignResult {
+    run_campaign_observed(config, workloads, &CampaignObs::disabled())
+}
+
+/// Runs a campaign over an explicit workload list with telemetry.
+pub fn run_campaign_observed(
+    config: &CampaignConfig,
+    workloads: &[Workload],
+    obs: &CampaignObs<'_>,
+) -> CampaignResult {
     struct Task {
         bench: usize,
         start_point: u32,
@@ -267,13 +395,41 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
     // them at the tail. Aggregation is order-independent, so schedules
     // cannot change results.
     tasks.sort_by_key(|t| (t.start_point, std::cmp::Reverse(t.bench)));
+    let task_count = tasks.len() as u64;
     let work = Mutex::new(tasks);
+
+    // Trace collection is active if anything downstream consumes it; the
+    // untraced path must stay byte-for-byte the pre-telemetry machine code.
+    let traced = obs.sink.enabled() || obs.metrics.is_some();
+    let campaign_t0 = traced.then(Instant::now);
+    if let Some(p) = obs.progress {
+        p.set_total(task_count);
+    }
+    if obs.sink.enabled() {
+        obs.sink.emit(&Event::CampaignStart {
+            schema: SCHEMA_VERSION,
+            seed: config.seed,
+            benchmarks: workloads.iter().map(|w| w.name.to_string()).collect(),
+            start_points: config.start_points as u64,
+            trials_per_start_point: config.trials_per_start_point as u64,
+            inject_window: config.inject_window,
+            monitor_cycles: config.monitor_cycles,
+        });
+    }
 
     struct TaskOutput {
         bench: usize,
+        start_point: u32,
         records: Vec<TrialRecord>,
         scatter: ScatterPoint,
         eligible_bits: u64,
+        // Telemetry (empty / zero on the untraced path).
+        specs: Vec<TrialSpec>,
+        traces: Vec<TrialTrace>,
+        warmup_ns: u64,
+        prepare_ns: u64,
+        advance_ns: u64,
+        monitor_ns: u64,
     }
     let outputs: Mutex<Vec<TaskOutput>> = Mutex::new(Vec::new());
 
@@ -296,8 +452,11 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
                 let w = &workloads[task.bench];
                 let program: Program = w.build(config.scale);
                 let warm = config.warmup_cycles + config.spacing_cycles * task.start_point as u64;
+                let t0 = traced.then(Instant::now);
                 let pipeline = warm_pipeline(&program, config.pipeline, warm);
+                let t1 = traced.then(Instant::now);
                 let sp = StartPoint::prepare(&pipeline, config.horizon(), config.mask);
+                let t2 = traced.then(Instant::now);
 
                 // Every (benchmark, start point) task owns PRNG substream
                 // `bench << 32 | start_point` of the campaign seed, so the
@@ -317,7 +476,50 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
                         inject_cycle: rng.gen_range(0..config.inject_window),
                     })
                     .collect();
-                let records = sp.run_trials(config.mask, &specs, config.monitor_cycles);
+                let (records, traces, advance_ns, monitor_ns) = if traced {
+                    let batch = sp.run_trials_traced(config.mask, &specs, config.monitor_cycles);
+                    (batch.records, batch.traces, batch.advance_ns, batch.monitor_ns)
+                } else {
+                    (sp.run_trials(config.mask, &specs, config.monitor_cycles), Vec::new(), 0, 0)
+                };
+                let warmup_ns = match (t0, t1) {
+                    (Some(a), Some(b)) => b.duration_since(a).as_nanos() as u64,
+                    _ => 0,
+                };
+                let prepare_ns = match (t1, t2) {
+                    (Some(a), Some(b)) => b.duration_since(a).as_nanos() as u64,
+                    _ => 0,
+                };
+
+                if let Some(metrics) = obs.metrics {
+                    // One scratchpad per task, merged under one short lock:
+                    // the per-trial recording below is lock- and atomic-free.
+                    let mut local = metrics.registry.local();
+                    local.add(metrics.trials, records.len() as u64);
+                    local.add(metrics.warmup_ns, warmup_ns);
+                    local.add(metrics.prepare_ns, prepare_ns);
+                    local.add(metrics.advance_ns, advance_ns);
+                    local.add(metrics.monitor_ns, monitor_ns);
+                    for (rec, tr) in records.iter().zip(traces.iter()) {
+                        let latency = tr.detect_cycle - rec.inject_cycle;
+                        match rec.outcome {
+                            Outcome::MicroArchMatch => {
+                                local.add(metrics.matched, 1);
+                                local.observe(metrics.match_latency, latency);
+                            }
+                            Outcome::GrayArea => local.add(metrics.gray, 1),
+                            Outcome::Failure(_) => {
+                                local.add(metrics.failed, 1);
+                                local.observe(metrics.fail_latency, latency);
+                            }
+                        }
+                    }
+                    metrics.registry.absorb(&local);
+                }
+                if let Some(p) = obs.progress {
+                    p.add(1);
+                }
+
                 let mut benign = 0u64;
                 let mut valid_sum = 0u64;
                 for rec in &records {
@@ -335,13 +537,24 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
                 };
                 outputs.lock().expect("outputs").push(TaskOutput {
                     bench: task.bench,
+                    start_point: task.start_point,
                     records,
                     scatter,
                     eligible_bits: sp.bit_count(),
+                    specs,
+                    traces,
+                    warmup_ns,
+                    prepare_ns,
+                    advance_ns,
+                    monitor_ns,
                 });
             });
         }
     });
+
+    // Canonical task order: events must not depend on worker scheduling.
+    let mut outputs = outputs.into_inner().expect("outputs");
+    outputs.sort_by_key(|o| (o.bench, o.start_point));
 
     // Aggregate.
     let mut benchmarks: Vec<BenchmarkResult> = workloads
@@ -352,7 +565,7 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
     let mut by_category_kind: BTreeMap<(Category, StorageKind), OutcomeCounts> = BTreeMap::new();
     let mut scatter = Vec::new();
     let mut eligible_bits = 0;
-    for out in outputs.into_inner().expect("outputs") {
+    for out in &outputs {
         for rec in &out.records {
             benchmarks[out.bench].counts.add(rec.outcome);
             by_category.entry(rec.category).or_default().add(rec.outcome);
@@ -379,7 +592,59 @@ pub fn run_campaign_on(config: &CampaignConfig, workloads: &[Workload]) -> Campa
             .then(a.valid_instructions.total_cmp(&b.valid_instructions))
     });
 
-    CampaignResult { benchmarks, by_category, by_category_kind, scatter, eligible_bits }
+    let result = CampaignResult { benchmarks, by_category, by_category_kind, scatter, eligible_bits };
+
+    if obs.sink.enabled() {
+        for out in &outputs {
+            let (bench, sp) = (out.bench as u64, out.start_point as u64);
+            for (phase, ns) in [
+                ("warmup", out.warmup_ns),
+                ("prepare", out.prepare_ns),
+                ("advance", out.advance_ns),
+                ("monitor", out.monitor_ns),
+            ] {
+                obs.sink.emit(&Event::Phase {
+                    benchmark: bench,
+                    start_point: sp,
+                    phase: phase.to_string(),
+                    wall_ns: ns,
+                });
+            }
+            for (i, ((rec, spec), tr)) in
+                out.records.iter().zip(out.specs.iter()).zip(out.traces.iter()).enumerate()
+            {
+                let (outcome, mode) = outcome_strings(rec.outcome);
+                obs.sink.emit(&Event::Trial {
+                    benchmark: bench,
+                    start_point: sp,
+                    trial: i as u64,
+                    target: spec.target,
+                    inject_cycle: rec.inject_cycle,
+                    category: rec.category.label().to_string(),
+                    kind: rec.kind.label().to_string(),
+                    unit: rec.unit.map(|u| u.label().to_string()),
+                    outcome: outcome.to_string(),
+                    mode: mode.map(str::to_string),
+                    detect_cycle: tr.detect_cycle,
+                    divergence_cycle: tr.divergence_cycle,
+                    diverged_unit: tr.diverged_unit.map(|u| u.label().to_string()),
+                    valid_instructions: rec.valid_instructions as u64,
+                });
+            }
+        }
+        let totals = result.totals();
+        obs.sink.emit(&Event::CampaignEnd {
+            trials: totals.total(),
+            matched: totals.matched,
+            gray: totals.gray,
+            failed: totals.failed(),
+            eligible_bits,
+            wall_ns: campaign_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+        });
+        obs.sink.flush();
+    }
+
+    result
 }
 
 #[cfg(test)]
@@ -431,6 +696,54 @@ mod tests {
         // Category attribution covered every trial.
         let cat_total: u64 = result.by_category.values().map(|c| c.total()).sum();
         assert_eq!(cat_total, 60);
+    }
+
+    #[test]
+    fn observed_campaign_matches_unobserved_and_emits_events() {
+        let mut config = CampaignConfig::quick(5);
+        config.start_points = 1;
+        config.trials_per_start_point = 12;
+        config.monitor_cycles = 800;
+        config.scale = 1;
+        let workloads: Vec<_> = tfsim_workloads::all()
+            .into_iter()
+            .filter(|w| w.name == "gzip-like")
+            .collect();
+
+        let plain = run_campaign_on(&config, &workloads);
+
+        let sink = tfsim_obs::RingSink::new(10_000);
+        let metrics = CampaignMetrics::new();
+        let progress = Progress::new();
+        let obs = CampaignObs { sink: &sink, metrics: Some(&metrics), progress: Some(&progress) };
+        let observed = run_campaign_observed(&config, &workloads, &obs);
+
+        // Observation must not change science.
+        assert_eq!(observed.totals(), plain.totals());
+        assert_eq!(observed.eligible_bits, plain.eligible_bits);
+
+        // Event stream: header, 4 phase events, 12 trials, footer.
+        let events = sink.events();
+        assert_eq!(events.len(), 1 + 4 + 12 + 1);
+        assert!(matches!(events[0], Event::CampaignStart { seed: 5, .. }));
+        let trials = events
+            .iter()
+            .filter(|e| matches!(e, Event::Trial { .. }))
+            .count();
+        assert_eq!(trials, 12);
+        match events.last().unwrap() {
+            Event::CampaignEnd { trials, matched, gray, failed, .. } => {
+                let t = observed.totals();
+                assert_eq!((*trials, *matched, *gray, *failed), (12, t.matched, t.gray, t.failed()));
+            }
+            other => panic!("expected campaign_end, got {other:?}"),
+        }
+
+        // Metrics and progress agree with the result.
+        assert_eq!(metrics.trials(), 12);
+        assert_eq!(metrics.failed(), observed.totals().failed());
+        assert_eq!(progress.snapshot(), (1, 1));
+        assert!(metrics.render().contains("trials"));
     }
 
     #[test]

@@ -27,21 +27,38 @@
 //! flushes land in the Gray Area rather than being counted as failures —
 //! matching the paper's semantics.
 //!
+//! Campaigns are observable via [`run_campaign_observed`]: per-trial events
+//! into a `tfsim_obs::EventSink` (JSONL traces for the `tfsim-run report`
+//! subcommand), counters and latency histograms into [`CampaignMetrics`],
+//! and a live progress gauge. Telemetry is strictly pay-for-what-you-use:
+//! [`run_campaign`] uses [`CampaignObs::disabled`] and runs the
+//! pre-telemetry code path.
+//!
 //! ```no_run
-//! use tfsim_inject::{CampaignConfig, run_campaign};
+//! use tfsim_inject::{run_campaign, run_campaign_observed, CampaignConfig, CampaignObs};
 //! use tfsim_bitstate::InjectionMask;
+//! use tfsim_obs::RingSink;
 //!
 //! let mut config = CampaignConfig::quick(7);
 //! config.mask = InjectionMask::LatchesOnly;
 //! let result = run_campaign(&config);
 //! println!("masked: {:.1}%", 100.0 * result.totals().masked_fraction());
+//!
+//! // The same campaign with the trial-event stream kept in memory:
+//! let sink = RingSink::new(4096);
+//! let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+//! let traced = run_campaign_observed(&config, &tfsim_workloads::all(), &obs);
+//! assert_eq!(traced.totals(), result.totals());
+//! println!("{} events captured", sink.events().len());
 //! ```
 
 mod campaign;
 mod trial;
 
 pub use campaign::{
-    run_campaign, run_campaign_on, BenchmarkResult, CampaignConfig, CampaignResult, OutcomeCounts,
-    ScatterPoint,
+    run_campaign, run_campaign_observed, run_campaign_on, BenchmarkResult, CampaignConfig,
+    CampaignMetrics, CampaignObs, CampaignResult, OutcomeCounts, ScatterPoint,
 };
-pub use trial::{FailureMode, Outcome, StartPoint, TrialRecord, TrialSpec};
+pub use trial::{
+    FailureMode, Outcome, StartPoint, TracedBatch, TrialRecord, TrialSpec, TrialTrace,
+};

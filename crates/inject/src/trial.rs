@@ -14,10 +14,12 @@
 //!   dirty units. Produces bit-identical [`TrialRecord`]s — pinned by a
 //!   property test.
 
+use std::time::Instant;
+
 use tfsim_arch::RetireRecord;
 use tfsim_bitstate::{
-    fingerprint_of, BitCount, CachedFingerprint, Category, FlipBit, InjectionMask, StorageKind,
-    UnitId, VisitState,
+    fingerprint_of, BitCount, CachedFingerprint, Category, Fingerprint, FlipBit, InjectionMask,
+    StorageKind, UnitId, VisitState,
 };
 use tfsim_isa::{decode, Program};
 use tfsim_uarch::{ExcCode, FlowEvent, Pipeline, RetireEvent};
@@ -117,11 +119,50 @@ pub struct TrialRecord {
     pub category: Category,
     /// Storage kind of the flipped bit.
     pub kind: StorageKind,
+    /// Fingerprint unit the flipped bit landed in (the injection site),
+    /// when the machine brackets that state into a unit.
+    pub unit: Option<UnitId>,
     /// Cycle (relative to the checkpoint) at which the flip occurred.
     pub inject_cycle: u64,
     /// Number of in-flight instructions at injection time that eventually
     /// commit in the golden run (Figure 6's x-axis).
     pub valid_instructions: u32,
+}
+
+/// Telemetry gathered alongside a [`TrialRecord`] on the traced path.
+///
+/// Separate from the record so the untraced campaign path carries no extra
+/// state: [`TrialRecord`] equality (pinned by the batched-vs-naive property
+/// test) stays the scientific result, and this is pure observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrialTrace {
+    /// Cycle (relative to the checkpoint) at which the outcome was decided:
+    /// the failure-detection cycle, the re-convergence cycle for a µArch
+    /// Match, or the end of the monitoring window for the Gray Area.
+    pub detect_cycle: u64,
+    /// First cycle at which a µArch-Match check observed the machine
+    /// diverged from golden (sampled at the classifier's check cadence),
+    /// if any check ran before the outcome was decided.
+    pub divergence_cycle: Option<u64>,
+    /// Unit whose fingerprint subhash differed from golden at
+    /// `divergence_cycle` — where the fault was first architecturally
+    /// visible. `None` when the divergence sits outside any unit.
+    pub diverged_unit: Option<UnitId>,
+}
+
+/// Output of [`StartPoint::run_trials_traced`]: records plus per-trial
+/// traces and the batch's phase timing.
+#[derive(Debug, Clone)]
+pub struct TracedBatch {
+    /// One record per input spec, in input order (identical to what
+    /// [`StartPoint::run_trials`] returns for the same specs).
+    pub records: Vec<TrialRecord>,
+    /// One trace per input spec, aligned with `records`.
+    pub traces: Vec<TrialTrace>,
+    /// Wall-clock time spent advancing the fault-free walker.
+    pub advance_ns: u64,
+    /// Wall-clock time spent flipping, monitoring, and classifying.
+    pub monitor_ns: u64,
 }
 
 /// A prepared start point: a warmed checkpoint plus everything the
@@ -313,7 +354,7 @@ impl StartPoint {
             cpu.step();
         }
 
-        self.classify(mask, cpu, target, inject_cycle, monitor, false)
+        self.classify(mask, cpu, TrialSpec { target, inject_cycle }, monitor, false, None)
     }
 
     /// Runs a batch of trials against this start point, equivalent to
@@ -336,44 +377,97 @@ impl StartPoint {
         specs: &[TrialSpec],
         monitor: u64,
     ) -> Vec<TrialRecord> {
+        self.run_trials_core::<false>(mask, specs, monitor).records
+    }
+
+    /// [`StartPoint::run_trials`] with telemetry: additionally returns a
+    /// [`TrialTrace`] per spec (detection cycle, first observed divergence
+    /// and its unit) and the batch's advance/monitor wall-clock split.
+    ///
+    /// Records are identical to the untraced path; the traced walk only
+    /// *observes* decisions the classifier already made, plus — for trials
+    /// that fail or gray out without any µArch check having seen the
+    /// divergence — one extra fingerprint walk at the decision state to
+    /// attribute the divergence to a unit. That walk happens after the
+    /// outcome is sealed, so it cannot perturb classification.
+    pub fn run_trials_traced(
+        &self,
+        mask: InjectionMask,
+        specs: &[TrialSpec],
+        monitor: u64,
+    ) -> TracedBatch {
+        self.run_trials_core::<true>(mask, specs, monitor)
+    }
+
+    /// The shared batched ladder. `TRACED` is a compile-time switch: the
+    /// `false` instantiation contains no timing calls and passes no trace
+    /// slots, so the campaign hot path is the pre-telemetry machine code.
+    fn run_trials_core<const TRACED: bool>(
+        &self,
+        mask: InjectionMask,
+        specs: &[TrialSpec],
+        monitor: u64,
+    ) -> TracedBatch {
         let mut order: Vec<usize> = (0..specs.len()).collect();
         order.sort_by_key(|&i| specs[i].inject_cycle);
 
         let mut walker = self.checkpoint.clone();
         let mut walked = 0u64;
         let mut out: Vec<Option<TrialRecord>> = vec![None; specs.len()];
+        let mut traces = vec![TrialTrace::default(); if TRACED { specs.len() } else { 0 }];
+        let mut advance_ns = 0u64;
+        let mut monitor_ns = 0u64;
         for i in order {
             let spec = specs[i];
+            let t0 = TRACED.then(Instant::now);
             while walked < spec.inject_cycle && walker.running() {
                 walker.step();
                 walked += 1;
             }
+            let t1 = TRACED.then(Instant::now);
+            if let (Some(t0), Some(t1)) = (t0, t1) {
+                advance_ns += t1.duration_since(t0).as_nanos() as u64;
+            }
             out[i] = Some(self.classify(
                 mask,
                 walker.clone(),
-                spec.target,
-                spec.inject_cycle,
+                spec,
                 monitor,
                 true,
+                if TRACED { Some(&mut traces[i]) } else { None },
             ));
+            if let Some(t1) = t1 {
+                monitor_ns += t1.elapsed().as_nanos() as u64;
+            }
         }
-        out.into_iter().map(|r| r.expect("every spec classified")).collect()
+        TracedBatch {
+            records: out.into_iter().map(|r| r.expect("every spec classified")).collect(),
+            traces,
+            advance_ns,
+            monitor_ns,
+        }
     }
 
     /// The shared classification loop: takes a machine already advanced
-    /// fault-free to `inject_cycle`, flips the bit, and monitors. With
+    /// fault-free to `spec.inject_cycle`, flips the bit, and monitors. With
     /// `cached_fp` the µArch-Match checks run on a [`CachedFingerprint`]
     /// (fast path); without, on flat [`fingerprint_of`] (reference path).
     /// Both hash definitions are identical by construction.
+    ///
+    /// With `trace`, the decision cycle and first observed divergence are
+    /// recorded into it. Tracing never alters the classification: all trace
+    /// work happens off the decision path, after the outcome is sealed.
     fn classify(
         &self,
         mask: InjectionMask,
         mut cpu: Pipeline,
-        target: u64,
-        inject_cycle: u64,
+        spec: TrialSpec,
         monitor: u64,
         cached_fp: bool,
+        trace: Option<&mut TrialTrace>,
     ) -> TrialRecord {
+        let TrialSpec { target, inject_cycle } = spec;
+        let traced = trace.is_some();
         let base_instret = self.checkpoint.instret();
 
         // Flip the bit.
@@ -385,135 +479,184 @@ impl StartPoint {
             outcome,
             category: hit.category,
             kind: hit.kind,
+            unit: hit.unit,
             inject_cycle,
             valid_instructions: self.valid_at(inject_cycle),
         };
 
-        // If the golden run halted before the injection point, the flip
-        // landed in a halted machine: architecturally invisible.
-        if !cpu.running() {
-            return make(Outcome::MicroArchMatch);
-        }
+        // First divergence a µArch check observed: (cycle, unit).
+        let mut divergence: Option<(u64, Option<UnitId>)> = None;
+        let mut last_step = inject_cycle;
 
-        let mut matched_records = (cpu.instret() - base_instret) as usize;
-        let mut last_retire_cycle = inject_cycle;
-        let mut flushes_without_retire = 0u32;
-        let horizon = (self.fps.len() as u64 - 1).min(inject_cycle + monitor);
-        // Created after the flip: the cache starts cold, so the flip (which
-        // bypasses generation stamps) can never be hidden by a stale entry.
-        let mut engine = cached_fp.then(CachedFingerprint::new);
-
-        for step in (inject_cycle + 1)..=horizon {
-            let report = cpu.step();
-            if report.retired > 0 {
-                last_retire_cycle = step;
-                flushes_without_retire = 0;
-            }
-            if report.protective_flush {
-                // The timeout watchdog attempted a recovery: give it time
-                // to refill the pipeline before declaring deadlock — but a
-                // machine that keeps flushing without ever retiring is
-                // wedged beyond the watchdog's reach (the paper's
-                // store-buffer example).
-                flushes_without_retire += 1;
-                if flushes_without_retire >= 3 {
-                    return make(Outcome::Failure(FailureMode::Locked));
-                }
-                last_retire_cycle = step;
-            }
-            for ev in report.events {
-                match ev {
-                    RetireEvent::Retired(rec) => {
-                        match self.records.get(matched_records) {
-                            Some(g) => {
-                                // Architectural-state comparison. The
-                                // record's `pc`/`raw` fields (and the
-                                // next_pc of non-branches, which is pc+4
-                                // by wiring) are ROB metadata, not
-                                // architectural state: flips there leave
-                                // execution untouched. The checker
-                                // compares the resolved flow of control
-                                // transfers, register writes, and stores
-                                // — any wrong-instruction commit diverges
-                                // in those.
-                                if decode(g.raw).is_control() && rec.next_pc != g.next_pc {
-                                    return make(Outcome::Failure(FailureMode::Ctrl));
-                                }
-                                if rec.dst != g.dst {
-                                    return make(Outcome::Failure(FailureMode::Regfile));
-                                }
-                                if rec.store != g.store {
-                                    return make(Outcome::Failure(FailureMode::Mem));
-                                }
-                            }
-                            None => {
-                                // The injected machine ran ahead of the
-                                // golden horizon; nothing left to verify.
-                                return make(Outcome::GrayArea);
-                            }
-                        }
-                        matched_records += 1;
-                    }
-                    RetireEvent::Halted { code } => {
-                        // Correct only if the golden run also halts having
-                        // retired exactly the same stream.
-                        let golden_total = self.records.len();
-                        return match self.halted_at {
-                            Some((_, gcode))
-                                if gcode == code && matched_records == golden_total =>
-                            {
-                                make(Outcome::MicroArchMatch)
-                            }
-                            _ => make(Outcome::Failure(FailureMode::Ctrl)),
-                        };
-                    }
-                    RetireEvent::Exception(e) => {
-                        let mode = match e {
-                            ExcCode::Itlb => FailureMode::Itlb,
-                            ExcCode::Dtlb => FailureMode::Dtlb,
-                            _ => FailureMode::Except,
-                        };
-                        return make(Outcome::Failure(mode));
-                    }
-                }
-            }
-
-            // Deadlock/livelock detection (Section 4.1: 100 cycles without
-            // retirement).
-            if cpu.running() && step - last_retire_cycle >= 100 {
-                return make(Outcome::Failure(FailureMode::Locked));
-            }
-
-            // µArch Match: full-state fingerprint equality at the same
-            // cycle with the same retirement count. Once equal, the two
-            // deterministic machines stay equal, so sparse checking after
-            // an initial dense window loses nothing.
-            let dense = step - inject_cycle <= 64;
-            if (dense || step % 8 == 0)
-                && self.instret[step as usize] == cpu.instret() - base_instret
-                && matched_records as u64 == cpu.instret() - base_instret
-            {
-                let eq = match engine.as_mut() {
-                    // Fast path: per-unit comparison against the golden
-                    // row, short-circuiting on the unit a latent fault
-                    // keeps diverged.
-                    Some(e) => e.matches(
-                        &mut cpu,
-                        self.fps[step as usize],
-                        &self.unit_fps[step as usize],
-                    ),
-                    None => fingerprint_of(&mut cpu) == self.fps[step as usize],
-                };
-                if eq {
-                    return make(Outcome::MicroArchMatch);
-                }
-            }
-
+        let (outcome, decided_at) = 'decide: {
+            // If the golden run halted before the injection point, the flip
+            // landed in a halted machine: architecturally invisible.
             if !cpu.running() {
-                break;
+                break 'decide (Outcome::MicroArchMatch, inject_cycle);
+            }
+
+            let mut matched_records = (cpu.instret() - base_instret) as usize;
+            let mut last_retire_cycle = inject_cycle;
+            let mut flushes_without_retire = 0u32;
+            let horizon = (self.fps.len() as u64 - 1).min(inject_cycle + monitor);
+            // Created after the flip: the cache starts cold, so the flip
+            // (which bypasses generation stamps) can never be hidden by a
+            // stale entry.
+            let mut engine = cached_fp.then(CachedFingerprint::new);
+
+            for step in (inject_cycle + 1)..=horizon {
+                last_step = step;
+                let report = cpu.step();
+                if report.retired > 0 {
+                    last_retire_cycle = step;
+                    flushes_without_retire = 0;
+                }
+                if report.protective_flush {
+                    // The timeout watchdog attempted a recovery: give it
+                    // time to refill the pipeline before declaring deadlock
+                    // — but a machine that keeps flushing without ever
+                    // retiring is wedged beyond the watchdog's reach (the
+                    // paper's store-buffer example).
+                    flushes_without_retire += 1;
+                    if flushes_without_retire >= 3 {
+                        break 'decide (Outcome::Failure(FailureMode::Locked), step);
+                    }
+                    last_retire_cycle = step;
+                }
+                for ev in report.events {
+                    match ev {
+                        RetireEvent::Retired(rec) => {
+                            match self.records.get(matched_records) {
+                                Some(g) => {
+                                    // Architectural-state comparison. The
+                                    // record's `pc`/`raw` fields (and the
+                                    // next_pc of non-branches, which is
+                                    // pc+4 by wiring) are ROB metadata, not
+                                    // architectural state: flips there
+                                    // leave execution untouched. The
+                                    // checker compares the resolved flow of
+                                    // control transfers, register writes,
+                                    // and stores — any wrong-instruction
+                                    // commit diverges in those.
+                                    if decode(g.raw).is_control() && rec.next_pc != g.next_pc {
+                                        break 'decide (
+                                            Outcome::Failure(FailureMode::Ctrl),
+                                            step,
+                                        );
+                                    }
+                                    if rec.dst != g.dst {
+                                        break 'decide (
+                                            Outcome::Failure(FailureMode::Regfile),
+                                            step,
+                                        );
+                                    }
+                                    if rec.store != g.store {
+                                        break 'decide (
+                                            Outcome::Failure(FailureMode::Mem),
+                                            step,
+                                        );
+                                    }
+                                }
+                                None => {
+                                    // The injected machine ran ahead of the
+                                    // golden horizon; nothing left to
+                                    // verify.
+                                    break 'decide (Outcome::GrayArea, step);
+                                }
+                            }
+                            matched_records += 1;
+                        }
+                        RetireEvent::Halted { code } => {
+                            // Correct only if the golden run also halts
+                            // having retired exactly the same stream.
+                            let golden_total = self.records.len();
+                            let outcome = match self.halted_at {
+                                Some((_, gcode))
+                                    if gcode == code && matched_records == golden_total =>
+                                {
+                                    Outcome::MicroArchMatch
+                                }
+                                _ => Outcome::Failure(FailureMode::Ctrl),
+                            };
+                            break 'decide (outcome, step);
+                        }
+                        RetireEvent::Exception(e) => {
+                            let mode = match e {
+                                ExcCode::Itlb => FailureMode::Itlb,
+                                ExcCode::Dtlb => FailureMode::Dtlb,
+                                _ => FailureMode::Except,
+                            };
+                            break 'decide (Outcome::Failure(mode), step);
+                        }
+                    }
+                }
+
+                // Deadlock/livelock detection (Section 4.1: 100 cycles
+                // without retirement).
+                if cpu.running() && step - last_retire_cycle >= 100 {
+                    break 'decide (Outcome::Failure(FailureMode::Locked), step);
+                }
+
+                // µArch Match: full-state fingerprint equality at the same
+                // cycle with the same retirement count. Once equal, the two
+                // deterministic machines stay equal, so sparse checking
+                // after an initial dense window loses nothing.
+                let dense = step - inject_cycle <= 64;
+                if (dense || step % 8 == 0)
+                    && self.instret[step as usize] == cpu.instret() - base_instret
+                    && matched_records as u64 == cpu.instret() - base_instret
+                {
+                    let eq = match engine.as_mut() {
+                        // Fast path: per-unit comparison against the golden
+                        // row, short-circuiting on the unit a latent fault
+                        // keeps diverged.
+                        Some(e) => e.matches(
+                            &mut cpu,
+                            self.fps[step as usize],
+                            &self.unit_fps[step as usize],
+                        ),
+                        None => fingerprint_of(&mut cpu) == self.fps[step as usize],
+                    };
+                    if eq {
+                        break 'decide (Outcome::MicroArchMatch, step);
+                    }
+                    if traced && divergence.is_none() {
+                        // The check already localized the mismatch while
+                        // short-circuiting: reading the suspect is free.
+                        divergence =
+                            Some((step, engine.as_ref().and_then(|e| e.suspect())));
+                    }
+                }
+
+                if !cpu.running() {
+                    break;
+                }
+            }
+            (Outcome::GrayArea, last_step)
+        };
+
+        if let Some(tr) = trace {
+            tr.detect_cycle = decided_at;
+            if divergence.is_none() && outcome != Outcome::MicroArchMatch {
+                // The outcome was decided without any µArch check observing
+                // the divergence (e.g. an architectural mismatch in the
+                // retire stream): attribute it with one hierarchical walk
+                // at the decision state. Happens after the outcome is
+                // sealed, so it cannot perturb classification.
+                let at = last_step.min(self.fps.len() as u64 - 1);
+                let mut fp = Fingerprint::new();
+                cpu.visit_state(&mut fp);
+                if fp.value() != self.fps[at as usize] {
+                    let units = self.diverging_units(at, fp.unit_hashes());
+                    divergence = Some((at, units.first().copied()));
+                }
+            }
+            if let Some((cycle, unit)) = divergence {
+                tr.divergence_cycle = Some(cycle);
+                tr.diverged_unit = unit;
             }
         }
-        make(Outcome::GrayArea)
+        make(outcome)
     }
 }
 
@@ -718,6 +861,53 @@ mod tests {
                 sp.run_trial(InjectionMask::LatchesAndRams, spec.target, spec.inject_cycle, 400);
             assert_eq!(batched[i], naive, "spec {i} diverged");
         }
+    }
+
+    #[test]
+    fn traced_batch_matches_untraced_records() {
+        // The traced path must be pure observation: identical records, and
+        // traces that are consistent with them.
+        let sp = start_point();
+        let specs: Vec<TrialSpec> = (0..20u64)
+            .map(|t| TrialSpec {
+                target: (t * 13_577) % sp.bit_count(),
+                inject_cycle: (t * 31) % 180,
+            })
+            .collect();
+        let plain = sp.run_trials(InjectionMask::LatchesAndRams, &specs, 1_500);
+        let traced = sp.run_trials_traced(InjectionMask::LatchesAndRams, &specs, 1_500);
+        assert_eq!(traced.records, plain, "tracing must not change classification");
+        assert_eq!(traced.traces.len(), specs.len());
+        assert!(traced.advance_ns > 0 || traced.monitor_ns > 0, "timing was captured");
+        for (rec, tr) in traced.records.iter().zip(traced.traces.iter()) {
+            assert!(
+                tr.detect_cycle >= rec.inject_cycle,
+                "detection cannot precede injection: {tr:?} vs {rec:?}"
+            );
+            if let Some(div) = tr.divergence_cycle {
+                assert!(div > rec.inject_cycle, "divergence is observed after the flip");
+                assert!(div <= tr.detect_cycle, "divergence observed at or before decision");
+            }
+            match rec.outcome {
+                // A failure means the machine diverged; the traced path
+                // must have attributed it (divergence cycle known, though
+                // the unit may be None for stray state).
+                Outcome::Failure(_) => assert!(
+                    tr.divergence_cycle.is_some(),
+                    "failure without divergence attribution: {rec:?} {tr:?}"
+                ),
+                Outcome::MicroArchMatch => {}
+                Outcome::GrayArea => {}
+            }
+        }
+        // The sweep is wide enough that at least one trial names a unit.
+        assert!(
+            traced.traces.iter().any(|t| t.diverged_unit.is_some()),
+            "no trial attributed a divergence to a unit"
+        );
+        // Injection sites are attributed too (the machine brackets all
+        // injectable state into units).
+        assert!(traced.records.iter().all(|r| r.unit.is_some()));
     }
 
     #[test]

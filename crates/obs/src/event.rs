@@ -1,0 +1,445 @@
+//! The versioned trial-event schema for campaign traces.
+//!
+//! A trace is a JSONL stream: one event per line, first line always a
+//! `CampaignStart` carrying [`SCHEMA_VERSION`]. Readers reject traces whose
+//! version they do not understand, so the format can evolve without silent
+//! misinterpretation.
+//!
+//! Determinism contract: for a fixed campaign seed and configuration the
+//! event stream is identical across runs and thread counts *except* for the
+//! `wall_ns` fields, which carry real elapsed time. [`strip_wall_clock`]
+//! normalizes those away for stream comparison.
+
+use crate::json::{obj, parse, Json};
+
+/// Version stamp written into every `CampaignStart` event.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One telemetry event in a campaign trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Campaign header: configuration needed to interpret the rest.
+    CampaignStart {
+        /// Trace schema version ([`SCHEMA_VERSION`] at write time).
+        schema: u64,
+        /// Campaign master seed.
+        seed: u64,
+        /// Workload names, in campaign order.
+        benchmarks: Vec<String>,
+        /// Start points sampled per benchmark.
+        start_points: u64,
+        /// Trials injected per start point.
+        trials_per_start_point: u64,
+        /// Width of the injection window, in cycles.
+        inject_window: u64,
+        /// Post-injection monitoring horizon, in cycles.
+        monitor_cycles: u64,
+    },
+    /// Per-phase wall-clock timing for one (benchmark, start point) task.
+    Phase {
+        /// Benchmark index into the `CampaignStart` workload list.
+        benchmark: u64,
+        /// Start-point index within the benchmark.
+        start_point: u64,
+        /// Phase name: `warmup`, `prepare`, `advance`, or `monitor`.
+        phase: String,
+        /// Elapsed wall-clock nanoseconds (zeroed by [`strip_wall_clock`]).
+        wall_ns: u64,
+    },
+    /// One completed injection trial.
+    Trial {
+        /// Benchmark index into the `CampaignStart` workload list.
+        benchmark: u64,
+        /// Start-point index within the benchmark.
+        start_point: u64,
+        /// Trial index within the start point.
+        trial: u64,
+        /// Injected bit index in the eligible-bit enumeration.
+        target: u64,
+        /// Cycle (relative to the start point) at which the bit was flipped.
+        inject_cycle: u64,
+        /// `Category` label of the injected field.
+        category: String,
+        /// `StorageKind` label of the injected field (`latch` or `ram`).
+        kind: String,
+        /// Pipeline unit owning the injected field, when attributable.
+        unit: Option<String>,
+        /// Outcome class: `match`, `gray`, or `fail`.
+        outcome: String,
+        /// Failure mode label when `outcome == "fail"`.
+        mode: Option<String>,
+        /// Cycle at which the outcome was decided.
+        detect_cycle: u64,
+        /// Cycle of the first microarchitectural divergence, if observed.
+        divergence_cycle: Option<u64>,
+        /// Unit whose fingerprint first diverged, if observed.
+        diverged_unit: Option<String>,
+        /// Architecturally valid instructions retired before the outcome.
+        valid_instructions: u64,
+    },
+    /// Campaign footer: aggregate counts for cheap sanity checks.
+    CampaignEnd {
+        /// Total trials recorded.
+        trials: u64,
+        /// Trials classified microarchitectural match.
+        matched: u64,
+        /// Trials classified gray area.
+        gray: u64,
+        /// Trials classified failure (any mode).
+        failed: u64,
+        /// Eligible bits in the injection mask.
+        eligible_bits: u64,
+        /// Campaign wall-clock nanoseconds (zeroed by [`strip_wall_clock`]).
+        wall_ns: u64,
+    },
+}
+
+fn opt_str(v: &Option<String>) -> Json {
+    match v {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    }
+}
+
+fn opt_u64(v: &Option<u64>) -> Json {
+    match v {
+        Some(n) => Json::Int(*n as i128),
+        None => Json::Null,
+    }
+}
+
+impl Event {
+    /// Serializes the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let int = |n: u64| Json::Int(n as i128);
+        let value = match self {
+            Event::CampaignStart {
+                schema,
+                seed,
+                benchmarks,
+                start_points,
+                trials_per_start_point,
+                inject_window,
+                monitor_cycles,
+            } => obj([
+                ("ev", Json::Str("campaign_start".to_string())),
+                ("schema", int(*schema)),
+                ("seed", int(*seed)),
+                (
+                    "benchmarks",
+                    Json::Arr(benchmarks.iter().map(|b| Json::Str(b.clone())).collect()),
+                ),
+                ("start_points", int(*start_points)),
+                ("trials_per_start_point", int(*trials_per_start_point)),
+                ("inject_window", int(*inject_window)),
+                ("monitor_cycles", int(*monitor_cycles)),
+            ]),
+            Event::Phase { benchmark, start_point, phase, wall_ns } => obj([
+                ("ev", Json::Str("phase".to_string())),
+                ("benchmark", int(*benchmark)),
+                ("start_point", int(*start_point)),
+                ("phase", Json::Str(phase.clone())),
+                ("wall_ns", int(*wall_ns)),
+            ]),
+            Event::Trial {
+                benchmark,
+                start_point,
+                trial,
+                target,
+                inject_cycle,
+                category,
+                kind,
+                unit,
+                outcome,
+                mode,
+                detect_cycle,
+                divergence_cycle,
+                diverged_unit,
+                valid_instructions,
+            } => obj([
+                ("ev", Json::Str("trial".to_string())),
+                ("benchmark", int(*benchmark)),
+                ("start_point", int(*start_point)),
+                ("trial", int(*trial)),
+                ("target", int(*target)),
+                ("inject_cycle", int(*inject_cycle)),
+                ("category", Json::Str(category.clone())),
+                ("kind", Json::Str(kind.clone())),
+                ("unit", opt_str(unit)),
+                ("outcome", Json::Str(outcome.clone())),
+                ("mode", opt_str(mode)),
+                ("detect_cycle", int(*detect_cycle)),
+                ("divergence_cycle", opt_u64(divergence_cycle)),
+                ("diverged_unit", opt_str(diverged_unit)),
+                ("valid_instructions", int(*valid_instructions)),
+            ]),
+            Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, wall_ns } => obj([
+                ("ev", Json::Str("campaign_end".to_string())),
+                ("trials", int(*trials)),
+                ("matched", int(*matched)),
+                ("gray", int(*gray)),
+                ("failed", int(*failed)),
+                ("eligible_bits", int(*eligible_bits)),
+                ("wall_ns", int(*wall_ns)),
+            ]),
+        };
+        value.render()
+    }
+
+    /// Parses one JSON line back into an event.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let v = parse(line)?;
+        let kind = v.get("ev").and_then(Json::as_str).ok_or("missing \"ev\" tag")?;
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{kind}: missing or non-integer {name:?}"))
+        };
+        let text = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{kind}: missing or non-string {name:?}"))
+        };
+        let opt_text = |name: &str| -> Result<Option<String>, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Str(s)) => Ok(Some(s.clone())),
+                Some(_) => Err(format!("{kind}: non-string {name:?}")),
+            }
+        };
+        let opt_field = |name: &str| -> Result<Option<u64>, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(x) => {
+                    x.as_u64().map(Some).ok_or_else(|| format!("{kind}: non-integer {name:?}"))
+                }
+            }
+        };
+        match kind {
+            "campaign_start" => {
+                let benchmarks = match v.get("benchmarks") {
+                    Some(Json::Arr(xs)) => xs
+                        .iter()
+                        .map(|x| x.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or("campaign_start: non-string benchmark name")?,
+                    _ => return Err("campaign_start: missing \"benchmarks\" array".to_string()),
+                };
+                Ok(Event::CampaignStart {
+                    schema: field("schema")?,
+                    seed: field("seed")?,
+                    benchmarks,
+                    start_points: field("start_points")?,
+                    trials_per_start_point: field("trials_per_start_point")?,
+                    inject_window: field("inject_window")?,
+                    monitor_cycles: field("monitor_cycles")?,
+                })
+            }
+            "phase" => Ok(Event::Phase {
+                benchmark: field("benchmark")?,
+                start_point: field("start_point")?,
+                phase: text("phase")?,
+                wall_ns: field("wall_ns")?,
+            }),
+            "trial" => Ok(Event::Trial {
+                benchmark: field("benchmark")?,
+                start_point: field("start_point")?,
+                trial: field("trial")?,
+                target: field("target")?,
+                inject_cycle: field("inject_cycle")?,
+                category: text("category")?,
+                kind: text("kind")?,
+                unit: opt_text("unit")?,
+                outcome: text("outcome")?,
+                mode: opt_text("mode")?,
+                detect_cycle: field("detect_cycle")?,
+                divergence_cycle: opt_field("divergence_cycle")?,
+                diverged_unit: opt_text("diverged_unit")?,
+                valid_instructions: field("valid_instructions")?,
+            }),
+            "campaign_end" => Ok(Event::CampaignEnd {
+                trials: field("trials")?,
+                matched: field("matched")?,
+                gray: field("gray")?,
+                failed: field("failed")?,
+                eligible_bits: field("eligible_bits")?,
+                wall_ns: field("wall_ns")?,
+            }),
+            other => Err(format!("unknown event tag {other:?}")),
+        }
+    }
+}
+
+/// Parses a whole JSONL trace, validating the header.
+///
+/// The first non-empty line must be a `CampaignStart` with a schema version
+/// this reader understands.
+pub fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = Event::from_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if events.is_empty() {
+            match ev {
+                Event::CampaignStart { schema, .. } if schema == SCHEMA_VERSION => {}
+                Event::CampaignStart { schema, .. } => {
+                    return Err(format!(
+                        "unsupported schema version {schema} (reader understands {SCHEMA_VERSION})"
+                    ));
+                }
+                _ => return Err("trace does not begin with a campaign_start event".to_string()),
+            }
+        }
+        events.push(ev);
+    }
+    if events.is_empty() {
+        return Err("empty trace".to_string());
+    }
+    Ok(events)
+}
+
+/// Returns the events with all wall-clock fields zeroed.
+///
+/// Two identical-seed campaigns must produce equal streams after this
+/// normalization, regardless of thread count or machine speed.
+pub fn strip_wall_clock(events: &[Event]) -> Vec<Event> {
+    events
+        .iter()
+        .cloned()
+        .map(|ev| match ev {
+            Event::Phase { benchmark, start_point, phase, .. } => {
+                Event::Phase { benchmark, start_point, phase, wall_ns: 0 }
+            }
+            Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, .. } => {
+                Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, wall_ns: 0 }
+            }
+            other => other,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::CampaignStart {
+                schema: SCHEMA_VERSION,
+                seed: 7,
+                benchmarks: vec!["gzip-like".to_string(), "twolf-like".to_string()],
+                start_points: 2,
+                trials_per_start_point: 40,
+                inject_window: 200,
+                monitor_cycles: 3000,
+            },
+            Event::Phase { benchmark: 0, start_point: 0, phase: "warmup".to_string(), wall_ns: 12345 },
+            Event::Trial {
+                benchmark: 0,
+                start_point: 0,
+                trial: 3,
+                target: 991,
+                inject_cycle: 57,
+                category: "rob".to_string(),
+                kind: "latch".to_string(),
+                unit: Some("rob".to_string()),
+                outcome: "fail".to_string(),
+                mode: Some("ctrl".to_string()),
+                detect_cycle: 99,
+                divergence_cycle: Some(60),
+                diverged_unit: Some("rename".to_string()),
+                valid_instructions: 14,
+            },
+            Event::Trial {
+                benchmark: 1,
+                start_point: 1,
+                trial: 0,
+                target: 4,
+                inject_cycle: 0,
+                category: "bpred".to_string(),
+                kind: "ram".to_string(),
+                unit: None,
+                outcome: "match".to_string(),
+                mode: None,
+                detect_cycle: 31,
+                divergence_cycle: None,
+                diverged_unit: None,
+                valid_instructions: 8,
+            },
+            Event::CampaignEnd {
+                trials: 2,
+                matched: 1,
+                gray: 0,
+                failed: 1,
+                eligible_bits: 4096,
+                wall_ns: 1_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for ev in sample_events() {
+            let line = ev.to_json();
+            assert_eq!(Event::from_json(&line).unwrap(), ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let events = sample_events();
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn header_is_enforced() {
+        assert!(parse_trace("").is_err());
+        let trial_first = sample_events()[2].to_json();
+        assert!(parse_trace(&trial_first).is_err());
+        let bad_version = Event::CampaignStart {
+            schema: SCHEMA_VERSION + 1,
+            seed: 0,
+            benchmarks: vec![],
+            start_points: 0,
+            trials_per_start_point: 0,
+            inject_window: 0,
+            monitor_cycles: 0,
+        };
+        assert!(parse_trace(&bad_version.to_json()).unwrap_err().contains("schema version"));
+    }
+
+    #[test]
+    fn strip_wall_clock_zeroes_only_timing() {
+        let events = sample_events();
+        let stripped = strip_wall_clock(&events);
+        assert_eq!(stripped.len(), events.len());
+        assert_eq!(stripped[2], events[2]); // trials untouched
+        match &stripped[1] {
+            Event::Phase { wall_ns, .. } => assert_eq!(*wall_ns, 0),
+            _ => panic!("expected phase"),
+        }
+        match &stripped[4] {
+            Event::CampaignEnd { wall_ns, trials, .. } => {
+                assert_eq!(*wall_ns, 0);
+                assert_eq!(*trials, 2);
+            }
+            _ => panic!("expected campaign_end"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        assert!(Event::from_json("{}").is_err());
+        assert!(Event::from_json("{\"ev\":\"mystery\"}").is_err());
+        assert!(Event::from_json("{\"ev\":\"phase\",\"benchmark\":0}").is_err());
+        assert!(Event::from_json(
+            "{\"ev\":\"campaign_end\",\"trials\":\"three\",\"matched\":0,\"gray\":0,\"failed\":0,\"eligible_bits\":0,\"wall_ns\":0}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Campaign telemetry for the transient-fault pipeline simulator.
+//!
+//! Hermetic (zero external dependencies) observability primitives, in the
+//! spirit of `tfsim-check`:
+//!
+//! - [`event`] — the versioned per-trial event schema and its JSONL
+//!   encoding ([`Event`], [`parse_trace`], [`SCHEMA_VERSION`]).
+//! - [`sink`] — where events go: [`NoopSink`] (disabled — instrumented code
+//!   must add no measurable overhead), [`RingSink`] (in-memory, for tests),
+//!   [`JsonlSink`] (line-buffered trace files).
+//! - [`metrics`] — monotonic counters and log2-bucketed latency histograms
+//!   that workers update locally and merge once per task, so the hot path
+//!   takes no locks and touches no atomics.
+//! - [`progress`] — a lock-free done/total gauge for live one-line meters.
+//!
+//! The crate knows nothing about pipelines or faults: producers (the
+//! `tfsim-inject` campaign engine) fill in the event fields, consumers
+//! (`tfsim-stats` reports, the `tfsim-run report` subcommand) interpret
+//! them. That keeps the dependency arrow pointing one way and the schema in
+//! a single place.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod progress;
+pub mod sink;
+
+pub use event::{parse_trace, strip_wall_clock, Event, SCHEMA_VERSION};
+pub use metrics::{CounterId, Histogram, HistogramId, LocalMetrics, MetricsRegistry};
+pub use progress::Progress;
+pub use sink::{EventSink, JsonlSink, NoopSink, RingSink};

@@ -1,0 +1,341 @@
+//! Monotonic counters and log2-bucketed histograms for campaign workers.
+//!
+//! The contention model: the hot path (a worker recording per-trial samples)
+//! touches only its own [`LocalMetrics`] — plain `u64` arithmetic, no atomics,
+//! no locks. Workers call [`MetricsRegistry::absorb`] once per completed task
+//! (a few dozen trials), which takes one short lock to merge. Merging is
+//! associative and commutative, so the aggregate is independent of worker
+//! scheduling.
+
+use std::sync::Mutex;
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A histogram of `u64` samples with logarithmic (base-2) buckets.
+///
+/// Bucket 0 holds the value 0; bucket `k >= 1` holds values in
+/// `[2^(k-1), 2^k)`. Every `u64` lands in exactly one bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u128,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { count: 0, sum: 0, buckets: [0; BUCKETS] }
+    }
+
+    /// Index of the bucket that `value` falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `(lo, hi)` value range covered by bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            k => (1 << (k - 1), (1 << k) - 1),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.buckets[Histogram::bucket_of(value)] += 1;
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw per-bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Mean of the recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 <= q <= 1.0`), or `None` if empty.
+    ///
+    /// Bucket resolution means the answer is exact only to within a factor
+    /// of two — adequate for latency distributions spanning decades.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we are after, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Histogram::bucket_bounds(i).1);
+            }
+        }
+        // Unreachable: counts sum to self.count >= rank.
+        Some(u64::MAX)
+    }
+
+    /// Renders the non-empty buckets as an ASCII bar chart.
+    pub fn render(&self, label: &str) -> String {
+        let mut out = format!("{label} (n={}", self.count);
+        if let Some(m) = self.mean() {
+            out.push_str(&format!(", mean={m:.1}"));
+        }
+        out.push_str(")\n");
+        if self.count == 0 {
+            out.push_str("  (no samples)\n");
+            return out;
+        }
+        let peak = *self.buckets.iter().max().expect("nonempty");
+        let first = self.buckets.iter().position(|&n| n > 0).expect("count > 0");
+        let last = self.buckets.iter().rposition(|&n| n > 0).expect("count > 0");
+        for i in first..=last {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            let n = self.buckets[i];
+            let bar = "#".repeat(((n * 40).div_ceil(peak.max(1))) as usize);
+            out.push_str(&format!("  [{lo:>12} .. {hi:>12}] {n:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+/// Handle to a counter registered in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a histogram registered in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A named set of counters and histograms aggregated across workers.
+///
+/// Register instruments up front (requires `&mut self`), hand each worker a
+/// [`LocalMetrics`] scratchpad via [`MetricsRegistry::local`], and merge
+/// completed scratchpads back with [`MetricsRegistry::absorb`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counter_names: Vec<&'static str>,
+    histogram_names: Vec<&'static str>,
+    totals: Mutex<Totals>,
+}
+
+#[derive(Debug, Default)]
+struct Totals {
+    counters: Vec<u64>,
+    histograms: Vec<Histogram>,
+}
+
+/// Per-worker metrics scratchpad: plain integers, no synchronization.
+#[derive(Debug, Clone)]
+pub struct LocalMetrics {
+    counters: Vec<u64>,
+    histograms: Vec<Histogram>,
+}
+
+impl LocalMetrics {
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0] += n;
+    }
+
+    /// Records one histogram sample.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].record(value);
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers a monotonic counter.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.counter_names.push(name);
+        let t = self.totals.get_mut().expect("metrics poisoned");
+        t.counters.push(0);
+        CounterId(self.counter_names.len() - 1)
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        self.histogram_names.push(name);
+        let t = self.totals.get_mut().expect("metrics poisoned");
+        t.histograms.push(Histogram::new());
+        HistogramId(self.histogram_names.len() - 1)
+    }
+
+    /// A zeroed scratchpad matching the registered instruments.
+    pub fn local(&self) -> LocalMetrics {
+        LocalMetrics {
+            counters: vec![0; self.counter_names.len()],
+            histograms: vec![Histogram::new(); self.histogram_names.len()],
+        }
+    }
+
+    /// Merges a scratchpad into the totals (one lock acquisition).
+    pub fn absorb(&self, local: &LocalMetrics) {
+        let mut t = self.totals.lock().expect("metrics poisoned");
+        for (a, b) in t.counters.iter_mut().zip(local.counters.iter()) {
+            *a += *b;
+        }
+        for (a, b) in t.histograms.iter_mut().zip(local.histograms.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.totals.lock().expect("metrics poisoned").counters[id.0]
+    }
+
+    /// Snapshot of a histogram.
+    pub fn histogram_value(&self, id: HistogramId) -> Histogram {
+        self.totals.lock().expect("metrics poisoned").histograms[id.0].clone()
+    }
+
+    /// Renders all instruments: counters as a name/value table, histograms
+    /// as bar charts.
+    pub fn render(&self) -> String {
+        let t = self.totals.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        if !self.counter_names.is_empty() {
+            let width = self.counter_names.iter().map(|n| n.len()).max().unwrap_or(0);
+            for (name, value) in self.counter_names.iter().zip(t.counters.iter()) {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        for (name, h) in self.histogram_names.iter().zip(t.histograms.iter()) {
+            out.push_str(&h.render(name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_of(1 << 63), 64);
+        assert_eq!(Histogram::bucket_of((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        let (lo, hi) = Histogram::bucket_bounds(0);
+        assert_eq!((lo, hi), (0, 0));
+        for k in 1..BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(k);
+            let (_, prev_hi) = Histogram::bucket_bounds(k - 1);
+            assert_eq!(lo, prev_hi + 1, "bucket {k} not contiguous");
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_of(lo), k);
+            assert_eq!(Histogram::bucket_of(hi), k);
+        }
+        assert_eq!(Histogram::bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn mean_and_quantile() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean().unwrap() - 21.2).abs() < 1e-9);
+        // Median sample (rank 3) is 2, in bucket [2, 3].
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.0), Some(0));
+        // Max sample 100 lands in [64, 127].
+        assert_eq!(h.quantile(1.0), Some(127));
+    }
+
+    #[test]
+    fn render_shows_only_occupied_range() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        h.record(40);
+        let text = h.render("latency");
+        assert!(text.contains("latency (n=3"));
+        assert!(text.contains("[           4 ..            7]"));
+        assert!(text.contains("[          32 ..           63]"));
+        assert!(!text.contains("[           0 ..            0]"));
+        assert_eq!(Histogram::new().render("empty"), "empty (n=0)\n  (no samples)\n");
+    }
+
+    #[test]
+    fn registry_absorbs_locals() {
+        let mut reg = MetricsRegistry::new();
+        let trials = reg.counter("trials");
+        let fails = reg.counter("failures");
+        let lat = reg.histogram("latency");
+
+        let mut a = reg.local();
+        a.add(trials, 10);
+        a.observe(lat, 4);
+        let mut b = reg.local();
+        b.add(trials, 5);
+        b.add(fails, 2);
+        b.observe(lat, 9);
+        reg.absorb(&a);
+        reg.absorb(&b);
+
+        assert_eq!(reg.counter_value(trials), 15);
+        assert_eq!(reg.counter_value(fails), 2);
+        let h = reg.histogram_value(lat);
+        assert_eq!(h.count(), 2);
+        let rendered = reg.render();
+        assert!(rendered.contains("trials"));
+        assert!(rendered.contains("15"));
+        assert!(rendered.contains("latency (n=2"));
+    }
+}

@@ -1,0 +1,76 @@
+//! A shared campaign progress gauge.
+//!
+//! Workers bump an atomic as tasks finish; a display thread (or the main
+//! thread between joins) polls [`Progress::render`] for a one-line meter.
+//! No locks, no allocation on the update path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free done/total progress state.
+#[derive(Debug, Default)]
+pub struct Progress {
+    done: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Progress {
+    /// A gauge at 0 / 0.
+    pub fn new() -> Self {
+        Progress::default()
+    }
+
+    /// Sets the number of work items expected.
+    pub fn set_total(&self, total: u64) {
+        self.total.store(total, Ordering::Relaxed);
+    }
+
+    /// Marks `n` more work items complete.
+    pub fn add(&self, n: u64) {
+        self.done.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current `(done, total)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.done.load(Ordering::Relaxed), self.total.load(Ordering::Relaxed))
+    }
+
+    /// One-line text meter, e.g. `[#####.....] 12/24 tasks`.
+    pub fn render(&self) -> String {
+        let (done, total) = self.snapshot();
+        const WIDTH: u64 = 20;
+        let filled = (done.min(total) * WIDTH).checked_div(total).unwrap_or(0);
+        let mut bar = String::with_capacity(WIDTH as usize + 2);
+        bar.push('[');
+        for i in 0..WIDTH {
+            bar.push(if i < filled { '#' } else { '.' });
+        }
+        bar.push(']');
+        format!("{bar} {done}/{total} tasks")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_and_renders() {
+        let p = Progress::new();
+        assert_eq!(p.render(), "[....................] 0/0 tasks");
+        p.set_total(4);
+        p.add(1);
+        p.add(2);
+        assert_eq!(p.snapshot(), (3, 4));
+        assert_eq!(p.render(), "[###############.....] 3/4 tasks");
+        p.add(1);
+        assert_eq!(p.render(), "[####################] 4/4 tasks");
+    }
+
+    #[test]
+    fn overshoot_clamps_bar_not_count() {
+        let p = Progress::new();
+        p.set_total(2);
+        p.add(5);
+        assert_eq!(p.render(), "[####################] 5/2 tasks");
+    }
+}

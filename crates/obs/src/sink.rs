@@ -1,0 +1,180 @@
+//! Event sinks: where campaign telemetry goes.
+//!
+//! The campaign engine emits through `&dyn EventSink`, so the cost model is
+//! set by the sink: [`NoopSink`] reports `enabled() == false` and callers
+//! skip trace construction entirely (the zero-overhead-when-disabled
+//! contract), [`RingSink`] keeps the most recent events in memory for tests
+//! and interactive use, and [`JsonlSink`] streams the versioned schema to a
+//! line-buffered writer.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// A destination for campaign telemetry events.
+///
+/// Sinks must be shareable across campaign worker threads (`Sync`); the
+/// engine serializes emission order itself, so implementations only need
+/// interior mutability, not ordering guarantees.
+pub trait EventSink: Sync {
+    /// Whether emitting to this sink does anything.
+    ///
+    /// When `false`, instrumented code paths skip building events (and any
+    /// per-trial bookkeeping feeding them) entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// A sink that discards everything and reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: &Event) {}
+}
+
+/// An in-memory sink keeping the latest `capacity` events.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (oldest dropped).
+    pub fn new(capacity: usize) -> Self {
+        RingSink { capacity, events: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("ring sink poisoned").iter().cloned().collect()
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut q = self.events.lock().expect("ring sink poisoned");
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(event.clone());
+    }
+}
+
+/// A sink serializing events as JSON lines to a writer.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Opens (truncating) `path` as a line-buffered JSONL trace file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Mutex::new(writer) }
+    }
+
+    /// Consumes the sink, flushing and returning the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().expect("jsonl sink poisoned");
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        // Trace writes are best-effort: a full disk should not abort a
+        // campaign whose scientific output is the aggregate result.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+
+    fn trial(trial: u64) -> Event {
+        Event::Trial {
+            benchmark: 0,
+            start_point: 0,
+            trial,
+            target: trial * 3,
+            inject_cycle: 1,
+            category: "rob".to_string(),
+            kind: "latch".to_string(),
+            unit: None,
+            outcome: "match".to_string(),
+            mode: None,
+            detect_cycle: 2,
+            divergence_cycle: None,
+            diverged_unit: None,
+            valid_instructions: 0,
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.emit(&trial(0));
+        sink.flush();
+    }
+
+    #[test]
+    fn ring_keeps_latest() {
+        let sink = RingSink::new(2);
+        assert!(sink.enabled());
+        for i in 0..5 {
+            sink.emit(&trial(i));
+        }
+        assert_eq!(sink.events(), vec![trial(3), trial(4)]);
+    }
+
+    #[test]
+    fn jsonl_writes_parseable_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        let header = Event::CampaignStart {
+            schema: crate::event::SCHEMA_VERSION,
+            seed: 1,
+            benchmarks: vec!["gzip-like".to_string()],
+            start_points: 1,
+            trials_per_start_point: 2,
+            inject_window: 10,
+            monitor_cycles: 100,
+        };
+        sink.emit(&header);
+        sink.emit(&trial(0));
+        sink.emit(&trial(1));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let events = parse_trace(&text).unwrap();
+        assert_eq!(events, vec![header, trial(0), trial(1)]);
+    }
+}

@@ -16,6 +16,10 @@
 //! assert!(ci.half_width < 0.007);
 //! ```
 
+mod report;
+
+pub use report::{census_rows, render_census, TelemetryReport};
+
 /// Supported confidence levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Confidence {

@@ -1,0 +1,418 @@
+//! Fault-propagation reports rebuilt from campaign telemetry traces.
+//!
+//! The `tfsim-run report` subcommand feeds a parsed JSONL event stream
+//! (`tfsim_obs::Event`) into [`TelemetryReport::from_events`] and renders
+//! the result: outcome census, per-category and per-unit vulnerability
+//! with Wilson confidence intervals, injected-unit → first-diverging-unit
+//! propagation pairs, latency-to-divergence histograms, and per-phase
+//! wall-clock totals.
+//!
+//! The census block is also used by the *untraced* campaign path: both
+//! renderers build their rows through [`census_rows`], which is what
+//! guarantees a traced campaign's census is byte-identical to the
+//! untraced one for the same seed and configuration.
+
+use std::collections::BTreeMap;
+
+use tfsim_obs::{Event, Histogram};
+
+use crate::{pct, wilson_ci, Confidence, Table};
+
+/// Canonical outcome-census rows: `match`, `gray`, then one `fail:<mode>`
+/// row per *observed* failure mode in alphabetical mode order (which is
+/// also the paper's Table 2 order). Zero-count modes are omitted.
+pub fn census_rows<'a>(
+    matched: u64,
+    gray: u64,
+    failures: impl IntoIterator<Item = (&'a str, u64)>,
+) -> Vec<(String, u64)> {
+    let mut rows = vec![("match".to_string(), matched), ("gray".to_string(), gray)];
+    let mut modes: Vec<(&str, u64)> = failures.into_iter().collect();
+    modes.sort_by(|a, b| a.0.cmp(b.0));
+    for (mode, n) in modes {
+        if n > 0 {
+            rows.push((format!("fail:{mode}"), n));
+        }
+    }
+    rows
+}
+
+/// Renders census rows (from [`census_rows`]) as the outcome-census table.
+pub fn render_census(rows: &[(String, u64)]) -> String {
+    let total: u64 = rows.iter().map(|(_, n)| *n).sum();
+    let mut t = Table::new(&["outcome", "trials", "%"]);
+    for (label, n) in rows {
+        t.row_owned(vec![label.clone(), n.to_string(), pct(*n, total)]);
+    }
+    format!("outcome census ({total} trials)\n{}", t.render())
+}
+
+/// Trials and failures for one slice (a category or a unit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Slice {
+    trials: u64,
+    failed: u64,
+}
+
+/// Aggregated view of a campaign trace, ready for rendering.
+///
+/// Build with [`TelemetryReport::from_events`] from a stream already
+/// validated by `tfsim_obs::parse_trace` (header first, known schema).
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    seed: u64,
+    benchmarks: Vec<String>,
+    start_points: u64,
+    trials_per_start_point: u64,
+    inject_window: u64,
+    monitor_cycles: u64,
+    trials: u64,
+    matched: u64,
+    gray: u64,
+    modes: BTreeMap<String, u64>,
+    by_category: BTreeMap<String, Slice>,
+    by_unit: BTreeMap<String, Slice>,
+    propagation: BTreeMap<(String, String), u64>,
+    fail_latency: Histogram,
+    match_latency: Histogram,
+    divergence_latency: Histogram,
+    phase_ns: BTreeMap<String, u64>,
+    eligible_bits: Option<u64>,
+    wall_ns: Option<u64>,
+}
+
+impl TelemetryReport {
+    /// Aggregates an event stream into a report.
+    ///
+    /// Returns an error if the stream lacks a `CampaignStart` header or if
+    /// the `CampaignEnd` footer's totals disagree with the trial events —
+    /// a truncated or corrupted trace fails loudly instead of producing a
+    /// quietly wrong report.
+    pub fn from_events(events: &[Event]) -> Result<TelemetryReport, String> {
+        let header = match events.first() {
+            Some(Event::CampaignStart {
+                seed,
+                benchmarks,
+                start_points,
+                trials_per_start_point,
+                inject_window,
+                monitor_cycles,
+                ..
+            }) => (
+                *seed,
+                benchmarks.clone(),
+                *start_points,
+                *trials_per_start_point,
+                *inject_window,
+                *monitor_cycles,
+            ),
+            _ => return Err("trace does not begin with a campaign_start event".to_string()),
+        };
+        let mut report = TelemetryReport {
+            seed: header.0,
+            benchmarks: header.1,
+            start_points: header.2,
+            trials_per_start_point: header.3,
+            inject_window: header.4,
+            monitor_cycles: header.5,
+            trials: 0,
+            matched: 0,
+            gray: 0,
+            modes: BTreeMap::new(),
+            by_category: BTreeMap::new(),
+            by_unit: BTreeMap::new(),
+            propagation: BTreeMap::new(),
+            fail_latency: Histogram::new(),
+            match_latency: Histogram::new(),
+            divergence_latency: Histogram::new(),
+            phase_ns: BTreeMap::new(),
+            eligible_bits: None,
+            wall_ns: None,
+        };
+        for ev in &events[1..] {
+            match ev {
+                Event::Trial {
+                    inject_cycle,
+                    category,
+                    unit,
+                    outcome,
+                    mode,
+                    detect_cycle,
+                    divergence_cycle,
+                    diverged_unit,
+                    ..
+                } => {
+                    report.trials += 1;
+                    let failed = outcome == "fail";
+                    match outcome.as_str() {
+                        "match" => report.matched += 1,
+                        "gray" => report.gray += 1,
+                        "fail" => {
+                            let label = mode.clone().unwrap_or_else(|| "?".to_string());
+                            *report.modes.entry(label).or_insert(0) += 1;
+                        }
+                        other => return Err(format!("unknown trial outcome {other:?}")),
+                    }
+                    let cat = report.by_category.entry(category.clone()).or_default();
+                    cat.trials += 1;
+                    cat.failed += failed as u64;
+                    let unit_label = unit.clone().unwrap_or_else(|| "(shared)".to_string());
+                    let u = report.by_unit.entry(unit_label.clone()).or_default();
+                    u.trials += 1;
+                    u.failed += failed as u64;
+                    let latency = detect_cycle.saturating_sub(*inject_cycle);
+                    match outcome.as_str() {
+                        "fail" => report.fail_latency.record(latency),
+                        "match" => report.match_latency.record(latency),
+                        _ => {}
+                    }
+                    if let Some(div) = divergence_cycle {
+                        report.divergence_latency.record(div.saturating_sub(*inject_cycle));
+                        let to = diverged_unit.clone().unwrap_or_else(|| "(global)".to_string());
+                        *report.propagation.entry((unit_label, to)).or_insert(0) += 1;
+                    }
+                }
+                Event::Phase { phase, wall_ns, .. } => {
+                    *report.phase_ns.entry(phase.clone()).or_insert(0) += wall_ns;
+                }
+                Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, wall_ns } => {
+                    let failed_seen: u64 = report.modes.values().sum();
+                    if (*trials, *matched, *gray, *failed)
+                        != (report.trials, report.matched, report.gray, failed_seen)
+                    {
+                        return Err(format!(
+                            "campaign_end totals ({trials} trials, {matched}/{gray}/{failed}) \
+                             disagree with the {} trial events seen ({}/{}/{}) — truncated trace?",
+                            report.trials, report.matched, report.gray, failed_seen
+                        ));
+                    }
+                    report.eligible_bits = Some(*eligible_bits);
+                    report.wall_ns = Some(*wall_ns);
+                }
+                Event::CampaignStart { .. } => {
+                    return Err("duplicate campaign_start event".to_string());
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Total trials aggregated.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The outcome census rows (shared shape with the untraced path).
+    pub fn census(&self) -> Vec<(String, u64)> {
+        census_rows(self.matched, self.gray, self.modes.iter().map(|(m, n)| (m.as_str(), *n)))
+    }
+
+    /// Renders the full report; `top_n` bounds the unit and propagation
+    /// tables.
+    pub fn render(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        out.push_str("campaign telemetry report\n");
+        out.push_str(&format!(
+            "  seed {} · {} benchmarks · {} start points × {} trials · inject window {} · monitor {} cycles\n",
+            self.seed,
+            self.benchmarks.len(),
+            self.start_points,
+            self.trials_per_start_point,
+            self.inject_window,
+            self.monitor_cycles,
+        ));
+        if let Some(bits) = self.eligible_bits {
+            out.push_str(&format!("  eligible bits: {bits}\n"));
+        }
+        if let Some(ns) = self.wall_ns {
+            if ns > 0 {
+                out.push_str(&format!("  campaign wall clock: {:.2}s\n", ns as f64 / 1e9));
+            }
+        }
+        out.push('\n');
+        out.push_str(&render_census(&self.census()));
+
+        out.push_str("\nvulnerability by category (95% Wilson CI)\n");
+        out.push_str(&render_slices(&self.by_category, usize::MAX));
+
+        out.push_str(&format!("\ntop {} vulnerable units (95% Wilson CI)\n", top_n));
+        out.push_str(&render_slices(&self.by_unit, top_n));
+
+        if !self.propagation.is_empty() {
+            out.push_str("\nfault propagation (injected unit → first diverging unit)\n");
+            let mut pairs: Vec<(&(String, String), &u64)> = self.propagation.iter().collect();
+            pairs.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            let mut t = Table::new(&["injected", "diverged", "trials"]);
+            for ((from, to), n) in pairs.into_iter().take(top_n) {
+                t.row_owned(vec![from.clone(), to.clone(), n.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+
+        out.push('\n');
+        out.push_str(&self.fail_latency.render("cycles to failure detection"));
+        out.push('\n');
+        out.push_str(&self.match_latency.render("cycles to reconvergence (µarch match)"));
+        out.push('\n');
+        out.push_str(&self.divergence_latency.render("cycles to first µarch divergence"));
+
+        if !self.phase_ns.is_empty() {
+            out.push_str("\nphase wall-clock totals\n");
+            let mut t = Table::new(&["phase", "total ms"]);
+            for phase in ["warmup", "prepare", "advance", "monitor"] {
+                if let Some(ns) = self.phase_ns.get(phase) {
+                    t.row_owned(vec![phase.to_string(), format!("{:.1}", *ns as f64 / 1e6)]);
+                }
+            }
+            for (phase, ns) in &self.phase_ns {
+                if !matches!(phase.as_str(), "warmup" | "prepare" | "advance" | "monitor") {
+                    t.row_owned(vec![phase.clone(), format!("{:.1}", *ns as f64 / 1e6)]);
+                }
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+}
+
+/// Renders a vulnerability table for named slices, most vulnerable first.
+fn render_slices(slices: &BTreeMap<String, Slice>, top_n: usize) -> String {
+    let mut rows: Vec<(&String, &Slice)> = slices.iter().collect();
+    rows.sort_by(|a, b| {
+        let ra = rate(a.1);
+        let rb = rate(b.1);
+        rb.total_cmp(&ra).then_with(|| a.0.cmp(b.0))
+    });
+    let mut t = Table::new(&["slice", "trials", "failed", "fail %", "ci ±"]);
+    for (name, s) in rows.into_iter().take(top_n) {
+        let ci = wilson_ci(s.failed, s.trials, Confidence::P95);
+        t.row_owned(vec![
+            name.clone(),
+            s.trials.to_string(),
+            s.failed.to_string(),
+            pct(s.failed, s.trials),
+            format!("{:.1}", 100.0 * ci.half_width),
+        ]);
+    }
+    t.render()
+}
+
+fn rate(s: &Slice) -> f64 {
+    if s.trials == 0 {
+        0.0
+    } else {
+        s.failed as f64 / s.trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsim_obs::SCHEMA_VERSION;
+
+    fn trial(
+        category: &str,
+        unit: Option<&str>,
+        outcome: &str,
+        mode: Option<&str>,
+        inject: u64,
+        detect: u64,
+        div: Option<(u64, &str)>,
+    ) -> Event {
+        Event::Trial {
+            benchmark: 0,
+            start_point: 0,
+            trial: 0,
+            target: 0,
+            inject_cycle: inject,
+            category: category.to_string(),
+            kind: "latch".to_string(),
+            unit: unit.map(str::to_string),
+            outcome: outcome.to_string(),
+            mode: mode.map(str::to_string),
+            detect_cycle: detect,
+            divergence_cycle: div.map(|(c, _)| c),
+            diverged_unit: div.map(|(_, u)| u.to_string()),
+            valid_instructions: 0,
+        }
+    }
+
+    fn sample_stream() -> Vec<Event> {
+        vec![
+            Event::CampaignStart {
+                schema: SCHEMA_VERSION,
+                seed: 11,
+                benchmarks: vec!["gzip-like".to_string()],
+                start_points: 1,
+                trials_per_start_point: 4,
+                inject_window: 100,
+                monitor_cycles: 2000,
+            },
+            Event::Phase {
+                benchmark: 0,
+                start_point: 0,
+                phase: "warmup".to_string(),
+                wall_ns: 2_000_000,
+            },
+            trial("rob", Some("rob"), "fail", Some("regfile"), 10, 90, Some((12, "rename"))),
+            trial("rob", Some("rob"), "match", None, 5, 40, Some((7, "rob"))),
+            trial("bpred", Some("bpred"), "gray", None, 0, 2000, None),
+            trial("rob", Some("rob"), "fail", Some("ctrl"), 3, 50, Some((4, "rename"))),
+            Event::CampaignEnd {
+                trials: 4,
+                matched: 1,
+                gray: 1,
+                failed: 2,
+                eligible_bits: 512,
+                wall_ns: 9_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn census_rows_omit_zero_modes_in_alphabetical_order() {
+        let rows = census_rows(10, 3, [("regfile", 2), ("ctrl", 1), ("mem", 0)]);
+        let labels: Vec<&str> = rows.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["match", "gray", "fail:ctrl", "fail:regfile"]);
+        assert_eq!(rows[2].1, 1);
+        assert_eq!(rows[3].1, 2);
+    }
+
+    #[test]
+    fn report_aggregates_the_stream() {
+        let report = TelemetryReport::from_events(&sample_stream()).unwrap();
+        assert_eq!(report.trials(), 4);
+        assert_eq!(
+            report.census(),
+            vec![
+                ("match".to_string(), 1),
+                ("gray".to_string(), 1),
+                ("fail:ctrl".to_string(), 1),
+                ("fail:regfile".to_string(), 1),
+            ]
+        );
+        let rendered = report.render(10);
+        assert!(rendered.contains("outcome census (4 trials)"));
+        assert!(rendered.contains("fail:regfile"));
+        assert!(rendered.contains("rename"), "propagation target missing:\n{rendered}");
+        assert!(rendered.contains("cycles to failure detection"));
+        assert!(rendered.contains("warmup"));
+        assert!(rendered.contains("eligible bits: 512"));
+    }
+
+    #[test]
+    fn footer_mismatch_is_rejected() {
+        let mut events = sample_stream();
+        if let Some(Event::CampaignEnd { matched, .. }) = events.last_mut() {
+            *matched = 99;
+        }
+        let err = TelemetryReport::from_events(&events).unwrap_err();
+        assert!(err.contains("disagree"), "got: {err}");
+    }
+
+    #[test]
+    fn headerless_stream_is_rejected() {
+        let events = vec![trial("rob", None, "gray", None, 0, 1, None)];
+        assert!(TelemetryReport::from_events(&events).is_err());
+    }
+}

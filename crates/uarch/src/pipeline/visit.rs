@@ -2,9 +2,13 @@
 //! pipeline, in a fixed deterministic order, categorized per Table 1.
 //!
 //! The walk is bracketed into [`UnitId`] fingerprint units so cached
-//! fingerprint engines can skip unchanged subtrees. The brackets change
-//! nothing for census/injection visitors (they keep the `enter_unit`
-//! default and see the identical field order). Latch-dense units that
+//! fingerprint engines can skip unchanged subtrees, and so injection
+//! telemetry can attribute a flipped bit to the pipeline unit owning it
+//! (`FlipBit` notes the innermost open bracket when its target bit goes
+//! by). The brackets never affect bit numbering: census and injection
+//! visitors see the identical field order whether or not they observe
+//! `enter_unit`, so a trial's target index means the same thing with
+//! tracing on or off. Latch-dense units that
 //! plausibly change every cycle (`Front` … `ArchCtrl`) are stamped with the
 //! cycle counter — safe because all pipeline mutation happens inside
 //! `step()`, which advances it. The big shadow arrays (predictors, cache

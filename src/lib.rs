@@ -17,6 +17,7 @@
 //! * [`inject`] — the fault-injection campaign framework.
 //! * [`workloads`] — ten SPECint-2000-like synthetic kernels.
 //! * [`stats`] — confidence intervals, regression, and tables.
+//! * [`obs`] — campaign telemetry: event sinks, JSONL traces, metrics.
 
 pub use tfsim_arch as arch;
 pub use tfsim_bitstate as bitstate;
@@ -24,6 +25,7 @@ pub use tfsim_check as check;
 pub use tfsim_inject as inject;
 pub use tfsim_isa as isa;
 pub use tfsim_mem as mem;
+pub use tfsim_obs as obs;
 pub use tfsim_protect as protect;
 pub use tfsim_stats as stats;
 pub use tfsim_uarch as uarch;

@@ -1,0 +1,157 @@
+//! End-to-end tests of the campaign telemetry layer: histogram bucket
+//! algebra (property-based), JSONL trace round-tripping through the
+//! report builder, event-stream determinism across thread counts, and
+//! the traced/untraced census byte-identity contract.
+
+use tfsim::check::prop::{any_u64, ints, vecs};
+use tfsim_check::{prop_assert, prop_assert_eq, prop_check};
+
+use tfsim::inject::{
+    run_campaign_observed, run_campaign_on, CampaignConfig, CampaignMetrics, CampaignObs,
+    FailureMode, OutcomeCounts,
+};
+use tfsim::obs::{parse_trace, strip_wall_clock, Event, Histogram, JsonlSink, Progress, RingSink};
+use tfsim::stats::{census_rows, render_census, TelemetryReport};
+use tfsim::workloads;
+
+prop_check! {
+    /// Every value lands in exactly the bucket whose bounds contain it.
+    fn histogram_buckets_contain_their_values(v in any_u64()) {
+        let i = Histogram::bucket_of(v);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+        // Buckets tile the axis: the next bucket starts right after this one.
+        if i + 1 < 65 {
+            let (next_lo, _) = Histogram::bucket_bounds(i + 1);
+            prop_assert_eq!(next_lo, hi + 1);
+        }
+    }
+
+    /// Merging histograms is commutative and associative, and merge of
+    /// recorded streams equals recording the concatenated stream.
+    fn histogram_merge_is_a_commutative_monoid(
+        xs in vecs(ints(0u64..1 << 48), 0..40),
+        ys in vecs(any_u64(), 0..40),
+        zs in vecs(ints(0u64..1000), 0..40),
+    ) {
+        let of = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (of(&xs), of(&ys), of(&zs));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "merge must commute");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "merge must associate");
+
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&ab_c, &of(&all), "merge must equal the concatenated stream");
+        prop_assert_eq!(ab_c.count(), (xs.len() + ys.len() + zs.len()) as u64);
+    }
+}
+
+/// A small two-benchmark campaign: big enough to produce failures and
+/// unit attributions, small enough to run several times in one test.
+fn tiny_config(seed: u64, threads: usize) -> CampaignConfig {
+    let mut config = CampaignConfig::quick(seed);
+    config.scale = 1;
+    config.start_points = 1;
+    config.trials_per_start_point = 16;
+    config.monitor_cycles = 1_500;
+    config.threads = threads;
+    config
+}
+
+fn tiny_workloads() -> Vec<workloads::Workload> {
+    ["gzip-like", "twolf-like"]
+        .iter()
+        .map(|n| workloads::by_name(n).expect("workload"))
+        .collect()
+}
+
+fn campaign_events(seed: u64, threads: usize) -> (OutcomeCounts, Vec<Event>) {
+    let sink = RingSink::new(1 << 16);
+    let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+    let result = run_campaign_observed(&tiny_config(seed, threads), &tiny_workloads(), &obs);
+    (result.totals(), sink.events())
+}
+
+fn census_of(counts: &OutcomeCounts) -> String {
+    let rows = census_rows(
+        counts.matched,
+        counts.gray,
+        FailureMode::ALL.iter().map(|m| (m.label(), counts.failure(*m))),
+    );
+    render_census(&rows)
+}
+
+/// A trace written as JSONL and parsed back yields the identical event
+/// stream and the identical rendered report.
+#[test]
+fn jsonl_trace_round_trips_through_the_report() {
+    let sink = JsonlSink::new(Vec::new());
+    let metrics = CampaignMetrics::new();
+    let progress = Progress::new();
+    let obs = CampaignObs { sink: &sink, metrics: Some(&metrics), progress: Some(&progress) };
+    let result = run_campaign_observed(&tiny_config(3, 0), &tiny_workloads(), &obs);
+    let text = String::from_utf8(sink.into_inner()).expect("utf8 trace");
+
+    let parsed = parse_trace(&text).expect("parseable trace");
+    let (_, direct) = campaign_events(3, 0);
+    assert_eq!(
+        strip_wall_clock(&parsed),
+        strip_wall_clock(&direct),
+        "JSONL round trip must preserve the stream exactly (modulo wall clock)"
+    );
+
+    let report = TelemetryReport::from_events(&parsed).expect("consistent trace");
+    assert_eq!(report.trials(), 32);
+    assert_eq!(report.trials(), metrics.trials());
+    let rendered = report.render(10);
+    let stripped_render = |events: &[Event]| {
+        TelemetryReport::from_events(&strip_wall_clock(events)).expect("consistent").render(10)
+    };
+    assert_eq!(
+        stripped_render(&parsed),
+        stripped_render(&direct),
+        "identical streams must render identically"
+    );
+    assert!(rendered.contains(&census_of(&result.totals())));
+    assert_eq!(progress.snapshot(), (2, 2));
+}
+
+/// Two identical-seed campaigns produce identical event streams modulo
+/// wall-clock, regardless of worker-thread count.
+#[test]
+fn event_stream_is_deterministic_across_thread_counts() {
+    let (totals_a, events_a) = campaign_events(11, 1);
+    let (totals_b, events_b) = campaign_events(11, 2);
+    assert_eq!(totals_a, totals_b);
+    assert_eq!(strip_wall_clock(&events_a), strip_wall_clock(&events_b));
+}
+
+/// The untraced census, the traced census, and the census reconstructed
+/// from the event stream are byte-identical.
+#[test]
+fn traced_and_untraced_census_are_byte_identical() {
+    let untraced = run_campaign_on(&tiny_config(7, 0), &tiny_workloads());
+    let (traced_totals, events) = campaign_events(7, 0);
+    assert_eq!(untraced.totals(), traced_totals);
+
+    let direct = census_of(&untraced.totals());
+    let from_trace = TelemetryReport::from_events(&events).expect("consistent trace");
+    assert_eq!(direct, render_census(&from_trace.census()));
+}
