@@ -33,4 +33,22 @@ cargo run --release --offline -q -p tfsim-bench --bin tfsim-run -- \
     report "$trace" > target/ci_report.txt
 grep -q "outcome census" target/ci_report.txt
 
+echo "==> journal resume smoke (gating)"
+# A journaled quick campaign, interrupted by truncating the journal
+# mid-file, must resume to the byte-identical census of an uninterrupted
+# run (torn-tail recovery + completed-task replay + deterministic re-run).
+run_tfsim="cargo run --release --offline -q -p tfsim-bench --bin tfsim-run --"
+campaign_args="campaign --quick --seed 7 --start-points 2 --trials 8 --monitor 1000 \
+    --scale 1 --workloads gzip-like,twolf-like"
+journal=target/ci_journal.jsonl
+$run_tfsim $campaign_args > target/ci_census_ref.txt 2>/dev/null
+$run_tfsim $campaign_args --journal "$journal" > target/ci_census_full.txt 2>/dev/null
+diff target/ci_census_ref.txt target/ci_census_full.txt
+# Tear the journal mid-file (60% of the bytes, ending inside a line).
+size=$(wc -c < "$journal")
+head -c $((size * 3 / 5)) "$journal" > "$journal.torn" && mv "$journal.torn" "$journal"
+$run_tfsim $campaign_args --journal "$journal" --resume \
+    > target/ci_census_resumed.txt 2>/dev/null
+diff target/ci_census_ref.txt target/ci_census_resumed.txt
+
 echo "==> tier-1 gate passed"

@@ -7,6 +7,7 @@
 //! tfsim-run campaign [--quick|--default-scale|--paper] [--seed N]
 //!           [--threads N] [--scale N] [--start-points N] [--trials N]
 //!           [--monitor N] [--workloads a,b,...] [--trace PATH]
+//!           [--journal PATH [--resume]]
 //! tfsim-run report PATH [--top N]
 //! ```
 //!
@@ -22,6 +23,13 @@
 //! either way, so traced and untraced runs of the same seed print
 //! byte-identical censuses.
 //!
+//! With `--journal PATH` every completed (benchmark, start-point) task is
+//! durably appended to a crash-safe JSONL journal as it finishes;
+//! `--journal PATH --resume` reopens an interrupted journal (recovering a
+//! torn tail), skips the completed tasks, and prints the byte-identical
+//! census of an uninterrupted run. Trials the harness had to quarantine
+//! (contained panics) are listed after the census, never inside it.
+//!
 //! `report` parses a JSONL trace back and renders the full
 //! fault-propagation report (census, per-category/per-unit vulnerability,
 //! propagation pairs, latency histograms, phase timings).
@@ -32,8 +40,8 @@ use std::time::Duration;
 
 use tfsim_arch::FuncSim;
 use tfsim_inject::{
-    run_campaign_observed, run_campaign_on, CampaignConfig, CampaignMetrics, CampaignObs,
-    FailureMode, OutcomeCounts,
+    run_campaign_journaled, CampaignConfig, CampaignJournal, CampaignMetrics, CampaignObs,
+    CampaignResult, FailureMode, JournalMeta, OutcomeCounts,
 };
 use tfsim_isa::{text, Program};
 use tfsim_obs::{parse_trace, EventSink, JsonlSink, Progress};
@@ -67,6 +75,8 @@ fn cmd_campaign(args: &[String]) {
     let mut monitor = None::<u64>;
     let mut trace = None::<PathBuf>;
     let mut workload_list = None::<String>;
+    let mut journal_path = None::<PathBuf>;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -115,6 +125,19 @@ fn cmd_campaign(args: &[String]) {
                 )));
                 i += 2;
             }
+            "--journal" => {
+                journal_path = Some(PathBuf::from(
+                    args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("--journal needs a file path");
+                        std::process::exit(2);
+                    }),
+                ));
+                i += 2;
+            }
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
             "--workloads" => {
                 workload_list = Some(
                     args.get(i + 1)
@@ -161,6 +184,31 @@ fn cmd_campaign(args: &[String]) {
             .collect(),
     };
 
+    if resume && journal_path.is_none() {
+        eprintln!("--resume needs --journal PATH");
+        std::process::exit(2);
+    }
+    // The journal header pins the telemetry decision too: a traced run's
+    // journal carries traces an untraced resume must not mix with.
+    let journal = journal_path.as_ref().map(|path| {
+        let meta = JournalMeta::new(&config, &workloads, trace.is_some());
+        let opened = if resume {
+            CampaignJournal::resume(path, &meta)
+        } else {
+            CampaignJournal::create(path, &meta)
+        };
+        opened.unwrap_or_else(|e| {
+            // InvalidData errors already name the journal path.
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                eprintln!("{e}");
+            } else {
+                eprintln!("journal {}: {e}", path.display());
+            }
+            std::process::exit(2);
+        })
+    });
+    let journal = journal.as_ref();
+
     let result = match &trace {
         Some(path) => {
             let sink = JsonlSink::create(path).unwrap_or_else(|e| {
@@ -183,7 +231,7 @@ fn cmd_campaign(args: &[String]) {
                     metrics: Some(&metrics),
                     progress: Some(&progress),
                 };
-                let result = run_campaign_observed(&config, &workloads, &obs);
+                let result = run_campaign_journaled(&config, &workloads, &obs, journal);
                 finished.store(true, Ordering::Relaxed);
                 let _ = meter.join();
                 result
@@ -194,10 +242,30 @@ fn cmd_campaign(args: &[String]) {
             println!();
             result
         }
-        None => run_campaign_on(&config, &workloads),
+        None => run_campaign_journaled(&config, &workloads, &CampaignObs::disabled(), journal),
     };
     print!("{}", census(&result.totals()));
     println!("eligible bits: {}", result.eligible_bits);
+    print_quarantine_footer(&result);
+}
+
+/// Prints the quarantine footer *after* the census and eligible-bits
+/// lines, so the census block stays byte-identical whether or not the
+/// harness had to contain anything (and silent when it did not).
+fn print_quarantine_footer(result: &CampaignResult) {
+    if result.quarantined.is_empty() {
+        return;
+    }
+    println!(
+        "quarantined trials: {} (harness escapes, excluded from the census above)",
+        result.quarantined.len()
+    );
+    for q in &result.quarantined {
+        println!(
+            "  bench {} sp {} trial {} target {} cycle {}: {}",
+            q.benchmark, q.start_point, q.trial, q.spec.target, q.spec.inject_cycle, q.panic_msg
+        );
+    }
 }
 
 fn cmd_report(args: &[String]) {

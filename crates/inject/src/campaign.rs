@@ -18,7 +18,7 @@
 //! count.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 use tfsim_check::Rng;
@@ -31,9 +31,22 @@ use tfsim_obs::{
 use tfsim_uarch::PipelineConfig;
 use tfsim_workloads::Workload;
 
+use crate::journal::{CampaignJournal, JournaledTask};
 use crate::trial::{
-    warm_pipeline, FailureMode, Outcome, StartPoint, TrialRecord, TrialSpec, TrialTrace,
+    warm_pipeline, FailureMode, Outcome, StartPoint, TrialFault, TrialRecord, TrialSpec, TrialTrace,
 };
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Campaign state behind these locks (the worklist, the output buffer) is
+/// only ever mutated by short, panic-free push/pop sections, so a poisoned
+/// lock means a *different* part of the worker unwound while holding the
+/// guard-free data intact. Recovering the guard keeps the campaign alive
+/// and lets the original panic surface instead of being masked by a
+/// secondary `PoisonError` unwind in every other worker.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Campaign parameters. The defaults mirror the paper's methodology at a
 /// reduced scale; [`CampaignConfig::paper_scale`] approaches the paper's
@@ -63,6 +76,12 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worker threads (0 = all available).
     pub threads: usize,
+    /// Test hook: force the trial at `(benchmark, start_point, trial)` to
+    /// panic mid-run, exercising the containment/quarantine machinery
+    /// end-to-end. Never set by the presets; not part of the experiment
+    /// configuration (and deliberately excluded from the journal header).
+    #[doc(hidden)]
+    pub panic_shim: Option<(usize, u32, u32)>,
 }
 
 impl CampaignConfig {
@@ -80,6 +99,7 @@ impl CampaignConfig {
             monitor_cycles: 3_000,
             seed,
             threads: 0,
+            panic_shim: None,
         }
     }
 
@@ -99,6 +119,7 @@ impl CampaignConfig {
             monitor_cycles: 10_000,
             seed,
             threads: 0,
+            panic_shim: None,
         }
     }
 
@@ -116,6 +137,7 @@ impl CampaignConfig {
             monitor_cycles: 10_000,
             seed,
             threads: 0,
+            panic_shim: None,
         }
     }
 
@@ -235,6 +257,26 @@ pub struct BenchmarkResult {
     pub counts: OutcomeCounts,
 }
 
+/// One quarantined trial: a [`TrialFault`] located within the campaign.
+///
+/// Harness bookkeeping, not science: quarantined trials never enter the
+/// outcome census (`CampaignResult::totals` and friends), they are
+/// reported alongside it so an escaped panic is visible without
+/// contaminating the paper's taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignQuarantine {
+    /// Benchmark index within the campaign.
+    pub benchmark: usize,
+    /// Start point within the benchmark.
+    pub start_point: u32,
+    /// Trial index within the start point (position in the drawn plan).
+    pub trial: usize,
+    /// The spec whose run unwound.
+    pub spec: TrialSpec,
+    /// The panic payload, when it carried a message.
+    pub panic_msg: String,
+}
+
 /// Full campaign results.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -248,6 +290,10 @@ pub struct CampaignResult {
     pub scatter: Vec<ScatterPoint>,
     /// Eligible bits per model instance (constant across a campaign).
     pub eligible_bits: u64,
+    /// Trials contained by the per-trial supervisor, in canonical
+    /// (benchmark, start point, trial) order. Empty unless the hardened
+    /// model has an escape (or the test shim forced one).
+    pub quarantined: Vec<CampaignQuarantine>,
 }
 
 impl CampaignResult {
@@ -382,12 +428,37 @@ pub fn run_campaign_observed(
     workloads: &[Workload],
     obs: &CampaignObs<'_>,
 ) -> CampaignResult {
+    run_campaign_journaled(config, workloads, obs, None)
+}
+
+/// Runs a campaign over an explicit workload list with telemetry and an
+/// optional durable [`CampaignJournal`].
+///
+/// With a journal, every completed (benchmark, start point) task is
+/// appended (and fsync'd) as it finishes, and tasks the journal already
+/// holds — from an interrupted earlier run resumed with
+/// [`CampaignJournal::resume`] — are replayed from it instead of being
+/// re-executed. Because each task's trial plan is a pure function of the
+/// seed (per-task PRNG substreams) and aggregation happens in canonical
+/// task order, a resumed campaign produces results byte-identical to an
+/// uninterrupted run at any thread count.
+pub fn run_campaign_journaled(
+    config: &CampaignConfig,
+    workloads: &[Workload],
+    obs: &CampaignObs<'_>,
+    journal: Option<&CampaignJournal>,
+) -> CampaignResult {
     struct Task {
         bench: usize,
         start_point: u32,
     }
+    let replayed: Vec<JournaledTask> =
+        journal.map(|j| j.completed().to_vec()).unwrap_or_default();
+    let done: std::collections::BTreeSet<(usize, u32)> =
+        replayed.iter().map(|t| (t.bench, t.start_point)).collect();
     let mut tasks: Vec<Task> = (0..workloads.len())
         .flat_map(|b| (0..config.start_points).map(move |s| Task { bench: b, start_point: s }))
+        .filter(|t| !done.contains(&(t.bench, t.start_point)))
         .collect();
     // Workers take tasks with `pop()`, so order the list to serve the
     // longest warm-ups (highest start point) first: scheduling the most
@@ -395,7 +466,7 @@ pub fn run_campaign_observed(
     // them at the tail. Aggregation is order-independent, so schedules
     // cannot change results.
     tasks.sort_by_key(|t| (t.start_point, std::cmp::Reverse(t.bench)));
-    let task_count = tasks.len() as u64;
+    let task_count = (tasks.len() + replayed.len()) as u64;
     let work = Mutex::new(tasks);
 
     // Trace collection is active if anything downstream consumes it; the
@@ -423,6 +494,7 @@ pub fn run_campaign_observed(
         records: Vec<TrialRecord>,
         scatter: ScatterPoint,
         eligible_bits: u64,
+        faults: Vec<TrialFault>,
         // Telemetry (empty / zero on the untraced path).
         specs: Vec<TrialSpec>,
         traces: Vec<TrialTrace>,
@@ -431,7 +503,71 @@ pub fn run_campaign_observed(
         advance_ns: u64,
         monitor_ns: u64,
     }
-    let outputs: Mutex<Vec<TaskOutput>> = Mutex::new(Vec::new());
+
+    /// The Figure 6 scatter point of one task (classified records only;
+    /// the same arithmetic whether the task ran live or was replayed from
+    /// a journal).
+    fn scatter_of(bench: usize, records: &[TrialRecord]) -> ScatterPoint {
+        let mut benign = 0u64;
+        let mut valid_sum = 0u64;
+        for rec in records {
+            if !rec.outcome.is_failure() {
+                benign += 1;
+            }
+            valid_sum += rec.valid_instructions as u64;
+        }
+        let n = records.len().max(1) as f64;
+        ScatterPoint {
+            benchmark: bench,
+            valid_instructions: valid_sum as f64 / n,
+            benign_fraction: benign as f64 / n,
+            trials: records.len() as u64,
+        }
+    }
+
+    // Tasks replayed from the journal become ordinary task outputs (zero
+    // phase timings: no work was re-done). Metrics and progress see them
+    // so a resumed run's counters cover the whole campaign.
+    let mut restored: Vec<TaskOutput> = Vec::with_capacity(replayed.len());
+    for t in replayed {
+        if let Some(metrics) = obs.metrics {
+            let mut local = metrics.registry.local();
+            local.add(metrics.trials, t.records.len() as u64);
+            for (rec, tr) in t.records.iter().zip(t.traces.iter()) {
+                let latency = tr.detect_cycle - rec.inject_cycle;
+                match rec.outcome {
+                    Outcome::MicroArchMatch => {
+                        local.add(metrics.matched, 1);
+                        local.observe(metrics.match_latency, latency);
+                    }
+                    Outcome::GrayArea => local.add(metrics.gray, 1),
+                    Outcome::Failure(_) => {
+                        local.add(metrics.failed, 1);
+                        local.observe(metrics.fail_latency, latency);
+                    }
+                }
+            }
+            metrics.registry.absorb(&local);
+        }
+        if let Some(p) = obs.progress {
+            p.add(1);
+        }
+        restored.push(TaskOutput {
+            bench: t.bench,
+            start_point: t.start_point,
+            scatter: scatter_of(t.bench, &t.records),
+            records: t.records,
+            eligible_bits: t.eligible_bits,
+            faults: t.faults,
+            specs: t.specs,
+            traces: t.traces,
+            warmup_ns: 0,
+            prepare_ns: 0,
+            advance_ns: 0,
+            monitor_ns: 0,
+        });
+    }
+    let outputs: Mutex<Vec<TaskOutput>> = Mutex::new(restored);
 
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -443,7 +579,7 @@ pub fn run_campaign_observed(
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let task = {
-                    let mut q = work.lock().expect("worklist");
+                    let mut q = lock_recover(&work);
                     match q.pop() {
                         Some(t) => t,
                         None => return,
@@ -476,12 +612,16 @@ pub fn run_campaign_observed(
                         inject_cycle: rng.gen_range(0..config.inject_window),
                     })
                     .collect();
-                let (records, traces, advance_ns, monitor_ns) = if traced {
-                    let batch = sp.run_trials_traced(config.mask, &specs, config.monitor_cycles);
-                    (batch.records, batch.traces, batch.advance_ns, batch.monitor_ns)
+                let shim = config.panic_shim.and_then(|(b, s, t)| {
+                    (b == task.bench && s == task.start_point).then_some(t as usize)
+                });
+                let batch = if traced {
+                    sp.run_trials_core::<true>(config.mask, &specs, config.monitor_cycles, shim)
                 } else {
-                    (sp.run_trials(config.mask, &specs, config.monitor_cycles), Vec::new(), 0, 0)
+                    sp.run_trials_core::<false>(config.mask, &specs, config.monitor_cycles, shim)
                 };
+                let (records, traces, faults, advance_ns, monitor_ns) =
+                    (batch.records, batch.traces, batch.faults, batch.advance_ns, batch.monitor_ns);
                 let warmup_ns = match (t0, t1) {
                     (Some(a), Some(b)) => b.duration_since(a).as_nanos() as u64,
                     _ => 0,
@@ -520,27 +660,36 @@ pub fn run_campaign_observed(
                     p.add(1);
                 }
 
-                let mut benign = 0u64;
-                let mut valid_sum = 0u64;
-                for rec in &records {
-                    if !rec.outcome.is_failure() {
-                        benign += 1;
+                let scatter = scatter_of(task.bench, &records);
+                if let Some(j) = journal {
+                    // Durability before visibility: the task joins the
+                    // in-memory aggregation only after its journal line is
+                    // on disk (a crash between the two re-runs the task,
+                    // which is idempotent). Append failures must not kill
+                    // a campaign that can still finish in memory.
+                    let entry = JournaledTask {
+                        bench: task.bench,
+                        start_point: task.start_point,
+                        eligible_bits: sp.bit_count(),
+                        specs: specs.clone(),
+                        records: records.clone(),
+                        traces: traces.clone(),
+                        faults: faults.clone(),
+                    };
+                    if let Err(e) = j.append_task(&entry) {
+                        eprintln!(
+                            "warning: journal append failed for task ({}, {}): {e}",
+                            task.bench, task.start_point
+                        );
                     }
-                    valid_sum += rec.valid_instructions as u64;
                 }
-                let n = records.len().max(1) as f64;
-                let scatter = ScatterPoint {
-                    benchmark: task.bench,
-                    valid_instructions: valid_sum as f64 / n,
-                    benign_fraction: benign as f64 / n,
-                    trials: records.len() as u64,
-                };
-                outputs.lock().expect("outputs").push(TaskOutput {
+                lock_recover(&outputs).push(TaskOutput {
                     bench: task.bench,
                     start_point: task.start_point,
                     records,
                     scatter,
                     eligible_bits: sp.bit_count(),
+                    faults,
                     specs,
                     traces,
                     warmup_ns,
@@ -553,7 +702,7 @@ pub fn run_campaign_observed(
     });
 
     // Canonical task order: events must not depend on worker scheduling.
-    let mut outputs = outputs.into_inner().expect("outputs");
+    let mut outputs = outputs.into_inner().unwrap_or_else(|e| e.into_inner());
     outputs.sort_by_key(|o| (o.bench, o.start_point));
 
     // Aggregate.
@@ -565,11 +714,21 @@ pub fn run_campaign_observed(
     let mut by_category_kind: BTreeMap<(Category, StorageKind), OutcomeCounts> = BTreeMap::new();
     let mut scatter = Vec::new();
     let mut eligible_bits = 0;
+    let mut quarantined = Vec::new();
     for out in &outputs {
         for rec in &out.records {
             benchmarks[out.bench].counts.add(rec.outcome);
             by_category.entry(rec.category).or_default().add(rec.outcome);
             by_category_kind.entry((rec.category, rec.kind)).or_default().add(rec.outcome);
+        }
+        for f in &out.faults {
+            quarantined.push(CampaignQuarantine {
+                benchmark: out.bench,
+                start_point: out.start_point,
+                trial: f.index,
+                spec: f.spec,
+                panic_msg: f.panic_msg.clone(),
+            });
         }
         scatter.push(out.scatter);
         // Same mask + same machine model ⇒ every task must count the same
@@ -592,7 +751,14 @@ pub fn run_campaign_observed(
             .then(a.valid_instructions.total_cmp(&b.valid_instructions))
     });
 
-    let result = CampaignResult { benchmarks, by_category, by_category_kind, scatter, eligible_bits };
+    let result = CampaignResult {
+        benchmarks,
+        by_category,
+        by_category_kind,
+        scatter,
+        eligible_bits,
+        quarantined,
+    };
 
     if obs.sink.enabled() {
         for out in &outputs {
@@ -610,9 +776,26 @@ pub fn run_campaign_observed(
                     wall_ns: ns,
                 });
             }
-            for (i, ((rec, spec), tr)) in
-                out.records.iter().zip(out.specs.iter()).zip(out.traces.iter()).enumerate()
-            {
+            // Trial numbers index the drawn plan (`specs`), so a
+            // quarantined trial keeps its slot — it becomes a `Quarantine`
+            // event — and every surviving trial's number is unchanged vs.
+            // a run without the panic.
+            let mut fault_iter = out.faults.iter().peekable();
+            let mut classified = out.records.iter().zip(out.traces.iter());
+            for (i, spec) in out.specs.iter().enumerate() {
+                if fault_iter.peek().is_some_and(|f| f.index == i) {
+                    let f = fault_iter.next().expect("peeked");
+                    obs.sink.emit(&Event::Quarantine {
+                        benchmark: bench,
+                        start_point: sp,
+                        trial: i as u64,
+                        target: spec.target,
+                        inject_cycle: spec.inject_cycle,
+                        panic_msg: f.panic_msg.clone(),
+                    });
+                    continue;
+                }
+                let (rec, tr) = classified.next().expect("record per surviving spec");
                 let (outcome, mode) = outcome_strings(rec.outcome);
                 obs.sink.emit(&Event::Trial {
                     benchmark: bench,
@@ -638,6 +821,7 @@ pub fn run_campaign_observed(
             matched: totals.matched,
             gray: totals.gray,
             failed: totals.failed(),
+            quarantined: result.quarantined.len() as u64,
             eligible_bits,
             wall_ns: campaign_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
         });

@@ -53,12 +53,15 @@
 //! ```
 
 mod campaign;
+mod journal;
 mod trial;
 
 pub use campaign::{
-    run_campaign, run_campaign_observed, run_campaign_on, BenchmarkResult, CampaignConfig,
-    CampaignMetrics, CampaignObs, CampaignResult, OutcomeCounts, ScatterPoint,
+    run_campaign, run_campaign_journaled, run_campaign_observed, run_campaign_on, BenchmarkResult,
+    CampaignConfig, CampaignMetrics, CampaignObs, CampaignQuarantine, CampaignResult,
+    OutcomeCounts, ScatterPoint,
 };
+pub use journal::{CampaignJournal, JournalMeta, JournaledTask};
 pub use trial::{
-    FailureMode, Outcome, StartPoint, TracedBatch, TrialRecord, TrialSpec, TrialTrace,
+    FailureMode, Outcome, StartPoint, TracedBatch, TrialFault, TrialRecord, TrialSpec, TrialTrace,
 };

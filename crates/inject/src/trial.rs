@@ -14,6 +14,10 @@
 //!   dirty units. Produces bit-identical [`TrialRecord`]s — pinned by a
 //!   property test.
 
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
 use std::time::Instant;
 
 use tfsim_arch::RetireRecord;
@@ -150,19 +154,77 @@ pub struct TrialTrace {
     pub diverged_unit: Option<UnitId>,
 }
 
+/// A trial whose faulted run escaped the hardened model and unwound.
+///
+/// This is a *harness-level* record, kept strictly separate from the
+/// paper's outcome taxonomy: a real latch upset never aborts the chip, so
+/// a simulator panic is a bug in the model (a site the corrupted-state
+/// hardening missed), not a ninth outcome. Quarantining the trial keeps
+/// the census faithful while preserving everything needed to reproduce
+/// the escape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFault {
+    /// Position of the quarantined trial in the input spec slice.
+    pub index: usize,
+    /// The spec whose faulted run unwound (replay: same start point, same
+    /// spec, same monitor window).
+    pub spec: TrialSpec,
+    /// The panic payload, when it carried a message.
+    pub panic_msg: String,
+}
+
 /// Output of [`StartPoint::run_trials_traced`]: records plus per-trial
 /// traces and the batch's phase timing.
 #[derive(Debug, Clone)]
 pub struct TracedBatch {
-    /// One record per input spec, in input order (identical to what
-    /// [`StartPoint::run_trials`] returns for the same specs).
+    /// One record per *classified* input spec, in input order (identical
+    /// to what [`StartPoint::run_trials`] returns for the same specs).
+    /// Quarantined trials (see `faults`) have no record.
     pub records: Vec<TrialRecord>,
-    /// One trace per input spec, aligned with `records`.
+    /// One trace per classified input spec, aligned with `records`.
     pub traces: Vec<TrialTrace>,
+    /// Trials whose faulted run panicked, contained by the per-trial
+    /// `catch_unwind` supervisor. Empty on every fault-free-harness run;
+    /// `faults[k].index` names the input spec each one came from.
+    pub faults: Vec<TrialFault>,
     /// Wall-clock time spent advancing the fault-free walker.
     pub advance_ns: u64,
     /// Wall-clock time spent flipping, monitoring, and classifying.
     pub monitor_ns: u64,
+}
+
+thread_local! {
+    /// Set while a trial runs under the containment supervisor, so the
+    /// process panic hook stays quiet for contained unwinds (the fault is
+    /// captured in a [`TrialFault`]; stderr noise would interleave across
+    /// worker threads).
+    static CONTAINED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// contained trial panics and delegates everything else to the previous
+/// hook unchanged.
+fn install_containment_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CONTAINED.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 /// A prepared start point: a warmed checkpoint plus everything the
@@ -377,7 +439,7 @@ impl StartPoint {
         specs: &[TrialSpec],
         monitor: u64,
     ) -> Vec<TrialRecord> {
-        self.run_trials_core::<false>(mask, specs, monitor).records
+        self.run_trials_core::<false>(mask, specs, monitor, None).records
     }
 
     /// [`StartPoint::run_trials`] with telemetry: additionally returns a
@@ -396,18 +458,31 @@ impl StartPoint {
         specs: &[TrialSpec],
         monitor: u64,
     ) -> TracedBatch {
-        self.run_trials_core::<true>(mask, specs, monitor)
+        self.run_trials_core::<true>(mask, specs, monitor, None)
     }
 
     /// The shared batched ladder. `TRACED` is a compile-time switch: the
     /// `false` instantiation contains no timing calls and passes no trace
     /// slots, so the campaign hot path is the pre-telemetry machine code.
-    fn run_trials_core<const TRACED: bool>(
+    ///
+    /// Every trial's flip-and-monitor run executes under a `catch_unwind`
+    /// supervisor: a panic out of the faulted model (a hardening escape)
+    /// quarantines that one trial as a [`TrialFault`] and the batch
+    /// continues. The fault-free walker is never touched by a contained
+    /// unwind — the trial runs on a clone — so the surviving trials'
+    /// records are bit-identical to a batch without the panic.
+    ///
+    /// `panic_shim` names an input spec index whose trial panics on
+    /// purpose before classification (campaign test hook: exercises the
+    /// quarantine machinery end-to-end without needing a real escape).
+    pub(crate) fn run_trials_core<const TRACED: bool>(
         &self,
         mask: InjectionMask,
         specs: &[TrialSpec],
         monitor: u64,
+        panic_shim: Option<usize>,
     ) -> TracedBatch {
+        install_containment_hook();
         let mut order: Vec<usize> = (0..specs.len()).collect();
         order.sort_by_key(|&i| specs[i].inject_cycle);
 
@@ -415,6 +490,7 @@ impl StartPoint {
         let mut walked = 0u64;
         let mut out: Vec<Option<TrialRecord>> = vec![None; specs.len()];
         let mut traces = vec![TrialTrace::default(); if TRACED { specs.len() } else { 0 }];
+        let mut faults = Vec::new();
         let mut advance_ns = 0u64;
         let mut monitor_ns = 0u64;
         for i in order {
@@ -428,24 +504,39 @@ impl StartPoint {
             if let (Some(t0), Some(t1)) = (t0, t1) {
                 advance_ns += t1.duration_since(t0).as_nanos() as u64;
             }
-            out[i] = Some(self.classify(
-                mask,
-                walker.clone(),
-                spec,
-                monitor,
-                true,
-                if TRACED { Some(&mut traces[i]) } else { None },
-            ));
+            let trace_slot = if TRACED { Some(&mut traces[i]) } else { None };
+            CONTAINED.with(|c| c.set(true));
+            let classified = panic::catch_unwind(AssertUnwindSafe(|| {
+                if panic_shim == Some(i) {
+                    panic!("forced mid-trial panic (test shim, spec {i})");
+                }
+                self.classify(mask, walker.clone(), spec, monitor, true, trace_slot)
+            }));
+            CONTAINED.with(|c| c.set(false));
+            match classified {
+                Ok(rec) => out[i] = Some(rec),
+                Err(payload) => {
+                    faults.push(TrialFault { index: i, spec, panic_msg: panic_message(payload) })
+                }
+            }
             if let Some(t1) = t1 {
                 monitor_ns += t1.elapsed().as_nanos() as u64;
             }
         }
-        TracedBatch {
-            records: out.into_iter().map(|r| r.expect("every spec classified")).collect(),
-            traces,
-            advance_ns,
-            monitor_ns,
+        // Quarantined trials have no record or trace; everything else
+        // stays in input order.
+        faults.sort_by_key(|f| f.index);
+        let mut records = Vec::with_capacity(specs.len());
+        let mut kept_traces = Vec::with_capacity(traces.len());
+        for (i, rec) in out.into_iter().enumerate() {
+            if let Some(rec) = rec {
+                records.push(rec);
+                if TRACED {
+                    kept_traces.push(traces[i]);
+                }
+            }
         }
+        TracedBatch { records, traces: kept_traces, faults, advance_ns, monitor_ns }
     }
 
     /// The shared classification loop: takes a machine already advanced

@@ -77,6 +77,24 @@ pub enum Event {
         /// Architecturally valid instructions retired before the outcome.
         valid_instructions: u64,
     },
+    /// A trial whose faulted run panicked and was contained by the
+    /// harness supervisor. Harness bookkeeping, not an outcome: these
+    /// never count toward the census totals in `CampaignEnd`.
+    Quarantine {
+        /// Benchmark index into the `CampaignStart` workload list.
+        benchmark: u64,
+        /// Start-point index within the benchmark.
+        start_point: u64,
+        /// Trial index within the start point (the slot the trial would
+        /// have occupied in the census).
+        trial: u64,
+        /// Injected bit index in the eligible-bit enumeration.
+        target: u64,
+        /// Cycle at which the bit would have been flipped.
+        inject_cycle: u64,
+        /// The contained panic's message.
+        panic_msg: String,
+    },
     /// Campaign footer: aggregate counts for cheap sanity checks.
     CampaignEnd {
         /// Total trials recorded.
@@ -87,6 +105,9 @@ pub enum Event {
         gray: u64,
         /// Trials classified failure (any mode).
         failed: u64,
+        /// Trials quarantined by the containment supervisor (not part of
+        /// `trials`; absent in pre-quarantine traces, which parse as 0).
+        quarantined: u64,
         /// Eligible bits in the injection mask.
         eligible_bits: u64,
         /// Campaign wall-clock nanoseconds (zeroed by [`strip_wall_clock`]).
@@ -173,12 +194,32 @@ impl Event {
                 ("diverged_unit", opt_str(diverged_unit)),
                 ("valid_instructions", int(*valid_instructions)),
             ]),
-            Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, wall_ns } => obj([
+            Event::Quarantine { benchmark, start_point, trial, target, inject_cycle, panic_msg } => {
+                obj([
+                    ("ev", Json::Str("quarantine".to_string())),
+                    ("benchmark", int(*benchmark)),
+                    ("start_point", int(*start_point)),
+                    ("trial", int(*trial)),
+                    ("target", int(*target)),
+                    ("inject_cycle", int(*inject_cycle)),
+                    ("panic_msg", Json::Str(panic_msg.clone())),
+                ])
+            }
+            Event::CampaignEnd {
+                trials,
+                matched,
+                gray,
+                failed,
+                quarantined,
+                eligible_bits,
+                wall_ns,
+            } => obj([
                 ("ev", Json::Str("campaign_end".to_string())),
                 ("trials", int(*trials)),
                 ("matched", int(*matched)),
                 ("gray", int(*gray)),
                 ("failed", int(*failed)),
+                ("quarantined", int(*quarantined)),
                 ("eligible_bits", int(*eligible_bits)),
                 ("wall_ns", int(*wall_ns)),
             ]),
@@ -258,11 +299,22 @@ impl Event {
                 diverged_unit: opt_text("diverged_unit")?,
                 valid_instructions: field("valid_instructions")?,
             }),
+            "quarantine" => Ok(Event::Quarantine {
+                benchmark: field("benchmark")?,
+                start_point: field("start_point")?,
+                trial: field("trial")?,
+                target: field("target")?,
+                inject_cycle: field("inject_cycle")?,
+                panic_msg: text("panic_msg")?,
+            }),
             "campaign_end" => Ok(Event::CampaignEnd {
                 trials: field("trials")?,
                 matched: field("matched")?,
                 gray: field("gray")?,
                 failed: field("failed")?,
+                // Absent in traces written before quarantine existed:
+                // schema-compatible default of 0.
+                quarantined: opt_field("quarantined")?.unwrap_or(0),
                 eligible_bits: field("eligible_bits")?,
                 wall_ns: field("wall_ns")?,
             }),
@@ -314,8 +366,16 @@ pub fn strip_wall_clock(events: &[Event]) -> Vec<Event> {
             Event::Phase { benchmark, start_point, phase, .. } => {
                 Event::Phase { benchmark, start_point, phase, wall_ns: 0 }
             }
-            Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, .. } => {
-                Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, wall_ns: 0 }
+            Event::CampaignEnd { trials, matched, gray, failed, quarantined, eligible_bits, .. } => {
+                Event::CampaignEnd {
+                    trials,
+                    matched,
+                    gray,
+                    failed,
+                    quarantined,
+                    eligible_bits,
+                    wall_ns: 0,
+                }
             }
             other => other,
         })
@@ -370,11 +430,20 @@ mod tests {
                 diverged_unit: None,
                 valid_instructions: 8,
             },
+            Event::Quarantine {
+                benchmark: 1,
+                start_point: 0,
+                trial: 7,
+                target: 123,
+                inject_cycle: 42,
+                panic_msg: "index out of bounds: the len is 64 but the index is 91".to_string(),
+            },
             Event::CampaignEnd {
                 trials: 2,
                 matched: 1,
                 gray: 0,
                 failed: 1,
+                quarantined: 1,
                 eligible_bits: 4096,
                 wall_ns: 1_000_000,
             },
@@ -419,16 +488,32 @@ mod tests {
         let stripped = strip_wall_clock(&events);
         assert_eq!(stripped.len(), events.len());
         assert_eq!(stripped[2], events[2]); // trials untouched
+        assert_eq!(stripped[4], events[4]); // quarantines untouched
         match &stripped[1] {
             Event::Phase { wall_ns, .. } => assert_eq!(*wall_ns, 0),
             _ => panic!("expected phase"),
         }
-        match &stripped[4] {
-            Event::CampaignEnd { wall_ns, trials, .. } => {
+        match &stripped[5] {
+            Event::CampaignEnd { wall_ns, trials, quarantined, .. } => {
                 assert_eq!(*wall_ns, 0);
                 assert_eq!(*trials, 2);
+                assert_eq!(*quarantined, 1);
             }
             _ => panic!("expected campaign_end"),
+        }
+    }
+
+    #[test]
+    fn campaign_end_without_quarantined_parses_as_zero() {
+        // Traces written before the quarantine field existed stay readable.
+        let old = "{\"ev\":\"campaign_end\",\"trials\":2,\"matched\":1,\"gray\":0,\
+                   \"failed\":1,\"eligible_bits\":4096,\"wall_ns\":5}";
+        match Event::from_json(old).unwrap() {
+            Event::CampaignEnd { quarantined, trials, .. } => {
+                assert_eq!(quarantined, 0);
+                assert_eq!(trials, 2);
+            }
+            other => panic!("expected campaign_end, got {other:?}"),
         }
     }
 

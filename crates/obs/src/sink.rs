@@ -11,9 +11,16 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::event::Event;
+
+/// Locks a sink mutex, recovering from poisoning: sinks hold plain
+/// buffers that stay valid across an unwind, and telemetry must never be
+/// the thing that kills a campaign.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A destination for campaign telemetry events.
 ///
@@ -63,13 +70,13 @@ impl RingSink {
 
     /// Snapshot of the buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("ring sink poisoned").iter().cloned().collect()
+        lock_recover(&self.events).iter().cloned().collect()
     }
 }
 
 impl EventSink for RingSink {
     fn emit(&self, event: &Event) {
-        let mut q = self.events.lock().expect("ring sink poisoned");
+        let mut q = lock_recover(&self.events);
         if q.len() == self.capacity {
             q.pop_front();
         }
@@ -97,7 +104,7 @@ impl<W: Write + Send> JsonlSink<W> {
 
     /// Consumes the sink, flushing and returning the inner writer.
     pub fn into_inner(self) -> W {
-        let mut w = self.writer.into_inner().expect("jsonl sink poisoned");
+        let mut w = self.writer.into_inner().unwrap_or_else(|e| e.into_inner());
         let _ = w.flush();
         w
     }
@@ -105,14 +112,14 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn emit(&self, event: &Event) {
-        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let mut w = lock_recover(&self.writer);
         // Trace writes are best-effort: a full disk should not abort a
         // campaign whose scientific output is the aggregate result.
         let _ = writeln!(w, "{}", event.to_json());
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+        let _ = lock_recover(&self.writer).flush();
     }
 }
 

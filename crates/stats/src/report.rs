@@ -69,6 +69,7 @@ pub struct TelemetryReport {
     trials: u64,
     matched: u64,
     gray: u64,
+    quarantined: u64,
     modes: BTreeMap<String, u64>,
     by_category: BTreeMap<String, Slice>,
     by_unit: BTreeMap<String, Slice>,
@@ -118,6 +119,7 @@ impl TelemetryReport {
             trials: 0,
             matched: 0,
             gray: 0,
+            quarantined: 0,
             modes: BTreeMap::new(),
             by_category: BTreeMap::new(),
             by_unit: BTreeMap::new(),
@@ -175,7 +177,18 @@ impl TelemetryReport {
                 Event::Phase { phase, wall_ns, .. } => {
                     *report.phase_ns.entry(phase.clone()).or_insert(0) += wall_ns;
                 }
-                Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, wall_ns } => {
+                Event::Quarantine { .. } => {
+                    report.quarantined += 1;
+                }
+                Event::CampaignEnd {
+                    trials,
+                    matched,
+                    gray,
+                    failed,
+                    eligible_bits,
+                    wall_ns,
+                    quarantined,
+                } => {
                     let failed_seen: u64 = report.modes.values().sum();
                     if (*trials, *matched, *gray, *failed)
                         != (report.trials, report.matched, report.gray, failed_seen)
@@ -184,6 +197,13 @@ impl TelemetryReport {
                             "campaign_end totals ({trials} trials, {matched}/{gray}/{failed}) \
                              disagree with the {} trial events seen ({}/{}/{}) — truncated trace?",
                             report.trials, report.matched, report.gray, failed_seen
+                        ));
+                    }
+                    if *quarantined != report.quarantined {
+                        return Err(format!(
+                            "campaign_end claims {quarantined} quarantined trials but the \
+                             trace carries {} quarantine events — truncated trace?",
+                            report.quarantined
                         ));
                     }
                     report.eligible_bits = Some(*eligible_bits);
@@ -270,6 +290,18 @@ impl TelemetryReport {
                 }
             }
             out.push_str(&t.render());
+        }
+        if self.quarantined > 0 {
+            // Harness health, not an outcome: quarantined trials are
+            // panics the containment backstop caught, kept out of the
+            // census above (see DESIGN.md on corrupted-state hardening).
+            let planned = self.trials + self.quarantined;
+            out.push_str(&format!(
+                "\nquarantined trials: {} of {} planned ({}) — harness escapes, not outcomes\n",
+                self.quarantined,
+                planned,
+                pct(self.quarantined, planned),
+            ));
         }
         out
     }
@@ -363,6 +395,7 @@ mod tests {
                 matched: 1,
                 gray: 1,
                 failed: 2,
+                quarantined: 0,
                 eligible_bits: 512,
                 wall_ns: 9_000_000,
             },
@@ -398,6 +431,49 @@ mod tests {
         assert!(rendered.contains("cycles to failure detection"));
         assert!(rendered.contains("warmup"));
         assert!(rendered.contains("eligible bits: 512"));
+    }
+
+    #[test]
+    fn quarantine_events_reach_the_footer_not_the_census() {
+        let mut events = sample_stream();
+        let end = events.pop().unwrap();
+        events.push(Event::Quarantine {
+            benchmark: 0,
+            start_point: 0,
+            trial: 3,
+            target: 77,
+            inject_cycle: 9,
+            panic_msg: "forced mid-trial panic".to_string(),
+        });
+        let Event::CampaignEnd { trials, matched, gray, failed, eligible_bits, wall_ns, .. } = end
+        else {
+            unreachable!()
+        };
+        events.push(Event::CampaignEnd {
+            trials,
+            matched,
+            gray,
+            failed,
+            quarantined: 1,
+            eligible_bits,
+            wall_ns,
+        });
+        let report = TelemetryReport::from_events(&events).unwrap();
+        // The census counts only classified trials.
+        assert_eq!(report.trials(), 4);
+        let rendered = report.render(10);
+        assert!(rendered.contains("outcome census (4 trials)"));
+        assert!(
+            rendered.contains("quarantined trials: 1 of 5 planned"),
+            "missing quarantine footer:\n{rendered}"
+        );
+
+        // And the footer cross-check catches a count mismatch.
+        if let Some(Event::CampaignEnd { quarantined, .. }) = events.last_mut() {
+            *quarantined = 2;
+        }
+        let err = TelemetryReport::from_events(&events).unwrap_err();
+        assert!(err.contains("quarantine"), "got: {err}");
     }
 
     #[test]

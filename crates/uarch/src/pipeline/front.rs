@@ -30,9 +30,19 @@ impl Pipeline {
             if self.rob.is_full() {
                 break;
             }
-            if needs_sched && self.sched.free_slot().is_none() {
-                break;
-            }
+            // Reserve the scheduler slot here, at the resource check. A
+            // flipped valid bit can make a later re-scan of the slot array
+            // disagree with this check (the classic occupancy TOCTOU), so
+            // dispatch must reuse the slot found now instead of asking
+            // again; when no slot exists the stage simply stalls.
+            let sched_slot = if needs_sched {
+                match self.sched.free_slot() {
+                    Some(s) => s,
+                    None => break,
+                }
+            } else {
+                0
+            };
             if effectful && insn.is_load() && self.lsq.lq_free() == 0 {
                 break;
             }
@@ -152,8 +162,7 @@ impl Pipeline {
                     ExecClass::Store => FuClass::Store,
                     ExecClass::Pal => FuClass::Simple,
                 };
-                let slot = self.sched.free_slot().expect("checked above");
-                self.sched.slots[slot] = SchedEntry {
+                self.sched.slots[sched_slot] = SchedEntry {
                     valid: true,
                     issued: false,
                     raw: p.raw,

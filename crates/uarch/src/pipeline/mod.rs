@@ -512,4 +512,88 @@ impl Pipeline {
         }
         seen.iter().all(|&c| c == 1)
     }
+
+    /// Enumerates violated structural invariants: ring-pointer/occupancy
+    /// consistency for every circular queue and pointer-range checks for
+    /// ROB and scheduler entries. Returns one description per violation
+    /// (empty means the machine state is structurally sound).
+    ///
+    /// Every invariant here holds across fault-free execution; fault
+    /// injection legitimately breaks them (that is the experiment), and the
+    /// model gives each violation a defined behaviour rather than a panic —
+    /// so, like [`Pipeline::rename_state_consistent`], this is a test and
+    /// debugging aid that lets tests enumerate which corruptions a trial
+    /// reached, not a runtime assertion.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut ring = |name: &str, head: u64, tail: u64, count: u64, cap: u64| {
+            if head >= cap {
+                out.push(format!("{name}: head {head} out of range (cap {cap})"));
+            }
+            if tail >= cap {
+                out.push(format!("{name}: tail {tail} out of range (cap {cap})"));
+            }
+            if count > cap {
+                out.push(format!("{name}: count {count} exceeds capacity {cap}"));
+            } else if count < cap && head < cap && tail < cap {
+                let implied = (tail + cap - head) % cap;
+                if count != implied {
+                    out.push(format!(
+                        "{name}: count {count} disagrees with head/tail distance {implied}"
+                    ));
+                }
+            } else if count == cap && head < cap && tail < cap && head != tail {
+                out.push(format!("{name}: full queue with head {head} != tail {tail}"));
+            }
+        };
+        ring("fetch-queue", self.fq.head, self.fq.tail, self.fq.count, sizes::FETCH_QUEUE as u64);
+        ring("rob", self.rob.head, self.rob.tail, self.rob.count, sizes::ROB as u64);
+        ring(
+            "load-queue",
+            self.lsq.lq_head,
+            self.lsq.lq_tail,
+            self.lsq.lq_count,
+            sizes::LOAD_QUEUE as u64,
+        );
+        ring(
+            "store-queue",
+            self.lsq.sq_head,
+            self.lsq.sq_tail,
+            self.lsq.sq_count,
+            sizes::STORE_QUEUE as u64,
+        );
+        let (h, t, c) = self.spec_fl.ring();
+        ring("spec-freelist", h, t, c, sizes::FREELIST as u64);
+        let (h, t, c) = self.arch_fl.ring();
+        ring("arch-freelist", h, t, c, sizes::FREELIST as u64);
+
+        let pregs = sizes::PHYS_REGS as u64;
+        for (i, e) in self.rob.slots.iter().enumerate() {
+            if e.has_dst {
+                if e.dst_preg >= pregs {
+                    out.push(format!("rob[{i}]: dst preg {} out of range", e.dst_preg));
+                }
+                if e.old_preg >= pregs {
+                    out.push(format!("rob[{i}]: old preg {} out of range", e.old_preg));
+                }
+            }
+        }
+        for (i, e) in self.sched.slots.iter().enumerate() {
+            if !e.valid {
+                continue;
+            }
+            if e.rob >= sizes::ROB as u64 {
+                out.push(format!("sched[{i}]: rob tag {} out of range", e.rob));
+            }
+            if e.has_dst && e.dst_preg >= pregs {
+                out.push(format!("sched[{i}]: dst preg {} out of range", e.dst_preg));
+            }
+            for (s, &p) in e.srcs.iter().enumerate() {
+                if e.src_needed[s] && p >= pregs {
+                    out.push(format!("sched[{i}]: src{s} preg {p} out of range"));
+                }
+            }
+        }
+        out
+    }
 }

@@ -189,6 +189,12 @@ impl FreeList {
         self.count = (self.count + 1) & 0x3f;
     }
 
+    /// The raw `(head, tail, count)` queue-control latches, for invariant
+    /// checks and tests (reads do not apply ECC repair).
+    pub fn ring(&self) -> (u64, u64, u64) {
+        (self.head, self.tail, self.count)
+    }
+
     /// Copies another free list's full state (full-flush recovery).
     pub fn copy_from(&mut self, other: &FreeList) {
         self.slots.copy_from_slice(&other.slots);

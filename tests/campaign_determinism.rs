@@ -96,3 +96,85 @@ fn different_seeds_change_the_trial_mix() {
     let b_cat: Vec<_> = b.by_category.iter().map(|(c, o)| (*c, o.total())).collect();
     assert_ne!(a_cat, b_cat, "seed must influence which bits are hit");
 }
+
+#[test]
+fn forced_panic_is_quarantined_without_disturbing_other_trials() {
+    use tfsim::inject::{run_campaign_observed, CampaignObs};
+    use tfsim::obs::{strip_wall_clock, Event, RingSink};
+
+    let workloads: Vec<_> = workloads::all()
+        .into_iter()
+        .filter(|w| w.name == "gzip-like" || w.name == "vpr-like")
+        .collect();
+    let shim = (1usize, 1u32, 5u32); // (benchmark, start point, trial)
+
+    // The quarantined census must itself be thread-count-deterministic.
+    let shimmed: Vec<CampaignResult> = [1usize, 2, 0]
+        .into_iter()
+        .map(|threads| {
+            let mut cfg = config(threads);
+            cfg.panic_shim = Some(shim);
+            run_campaign_on(&cfg, &workloads)
+        })
+        .collect();
+    for r in &shimmed {
+        assert_eq!(r.quarantined.len(), 1, "exactly the shimmed trial is quarantined");
+        let q = &r.quarantined[0];
+        assert_eq!((q.benchmark, q.start_point, q.trial), (1, 1, 5));
+        assert!(q.panic_msg.contains("forced mid-trial panic"), "got: {}", q.panic_msg);
+    }
+    assert_eq!(outcome_census(&shimmed[0]), outcome_census(&shimmed[1]));
+    assert_eq!(outcome_census(&shimmed[0]), outcome_census(&shimmed[2]));
+    assert_eq!(shimmed[0].quarantined, shimmed[1].quarantined);
+    assert_eq!(shimmed[0].quarantined, shimmed[2].quarantined);
+
+    // Against the clean run: one trial left the census, none moved.
+    let clean = run_campaign_on(&config(1), &workloads);
+    assert!(clean.quarantined.is_empty());
+    assert_eq!(shimmed[0].totals().total() + 1, clean.totals().total());
+
+    // Event-stream comparison pins "remaining trial records unchanged"
+    // exactly: the traces differ in the one Trial that became a
+    // Quarantine, plus the CampaignEnd footer. Every other event —
+    // numbering included — is identical.
+    let run_traced = |panic_shim| {
+        let mut cfg = config(1);
+        cfg.panic_shim = panic_shim;
+        let sink = RingSink::new(1 << 16);
+        let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+        run_campaign_observed(&cfg, &workloads, &obs);
+        strip_wall_clock(&sink.events())
+    };
+    let clean_events = run_traced(None);
+    let shim_events = run_traced(Some(shim));
+    assert_eq!(clean_events.len(), shim_events.len());
+    let mut diffs = Vec::new();
+    for (i, (a, b)) in clean_events.iter().zip(shim_events.iter()).enumerate() {
+        if a != b {
+            diffs.push(i);
+        }
+    }
+    assert_eq!(diffs.len(), 2, "expected exactly Trial→Quarantine + footer, got {diffs:?}");
+    match (&clean_events[diffs[0]], &shim_events[diffs[0]]) {
+        (
+            Event::Trial { benchmark: cb, start_point: cs, trial: ct, target: ctg, .. },
+            Event::Quarantine { benchmark, start_point, trial, target, inject_cycle: _, panic_msg },
+        ) => {
+            assert_eq!((*benchmark, *start_point, *trial), (1, 1, 5));
+            assert_eq!((cb, cs, ct), (benchmark, start_point, trial));
+            assert_eq!(ctg, target, "quarantine must name the spec the trial would have run");
+            assert!(panic_msg.contains("forced mid-trial panic"));
+        }
+        other => panic!("first diff is not Trial→Quarantine: {other:?}"),
+    }
+    match (&clean_events[diffs[1]], &shim_events[diffs[1]]) {
+        (
+            Event::CampaignEnd { trials: ct, quarantined: cq, .. },
+            Event::CampaignEnd { trials, quarantined, .. },
+        ) => {
+            assert_eq!((*cq, *quarantined), (0, 1));
+            assert_eq!(*trials + 1, *ct);
+        }
+        other => panic!("second diff is not the footer: {other:?}"),
+    }
+}
