@@ -18,7 +18,11 @@
 # The default filter also records the telemetry-overhead pair:
 # `inject/trials-per-sec` (untraced, the zero-overhead contract's pinned
 # number) vs `inject/trials-per-sec-traced` (per-trial spans on), both
-# over the identical 100-trial plan.
+# over the identical 100-trial plan — and `inject/trials-per-sec-sliced`,
+# the same plan through the word-parallel (bit-sliced) engine. The
+# untraced/sliced median ratio is the word-parallel speedup; the sliced
+# engine's records are byte-identical to the ladder's (pinned by the
+# equivalence suite), so the ratio is pure execution-strategy gain.
 set -euo pipefail
 cd "$(dirname "$0")"
 

@@ -99,6 +99,13 @@ fn campaign_plan(sp: &StartPoint, trials: u64, window: u64) -> Vec<TrialSpec> {
 ///   the untraced bench is the telemetry overhead; the untraced bench
 ///   itself must not move, which is the zero-overhead-when-disabled
 ///   contract pinned by `BENCH_campaign.json`.
+/// * `inject/trials-per-sec-sliced` — the identical 100-trial batch
+///   through the word-parallel (bit-sliced) engine: lanes whose flipped
+///   word is overwritten or never read ride the shared golden evaluation,
+///   only genuinely diverging lanes peel off to the scalar ladder. The
+///   sliced/untraced median ratio is the word-parallel speedup; the
+///   footprint build is amortized by priming it before measurement (a
+///   campaign start point pays it once across all its trials).
 /// * `inject/snapshot-ladder-vs-naive/{naive,ladder}` — the same 25-trial
 ///   plan through per-trial `run_trial` (replay + flat fingerprints) and
 ///   batched `run_trials` (snapshot ladder + cached fingerprints). The
@@ -109,6 +116,7 @@ fn bench_campaign(b: &mut Bench) {
     const MASK: InjectionMask = InjectionMask::LatchesAndRams;
     if !wants(b, "inject/trials-per-sec")
         && !wants(b, "inject/trials-per-sec-traced")
+        && !wants(b, "inject/trials-per-sec-sliced")
         && !wants(b, "inject/snapshot-ladder-vs-naive")
     {
         return;
@@ -119,6 +127,10 @@ fn bench_campaign(b: &mut Bench) {
     let plan = campaign_plan(&sp, 100, WINDOW);
     b.bench("inject/trials-per-sec", || sp.run_trials(MASK, &plan, MONITOR));
     b.bench("inject/trials-per-sec-traced", || sp.run_trials_traced(MASK, &plan, MONITOR));
+    // Prime the lazily built golden footprint so the bench measures the
+    // steady-state per-batch cost, like every batch after the first.
+    sp.run_trials_sliced(MASK, &plan[..1], MONITOR);
+    b.bench("inject/trials-per-sec-sliced", || sp.run_trials_sliced(MASK, &plan, MONITOR));
 
     let duel = campaign_plan(&sp, 25, WINDOW);
     b.bench("inject/snapshot-ladder-vs-naive/naive", || {

@@ -6,7 +6,7 @@
 //!           [--max-cycles N] [--disasm] [--trace N] [--dump N] [--arch-only]
 //! tfsim-run campaign [--quick|--default-scale|--paper] [--seed N]
 //!           [--threads N] [--scale N] [--start-points N] [--trials N]
-//!           [--monitor N] [--workloads a,b,...] [--trace PATH]
+//!           [--monitor N] [--workloads a,b,...] [--sliced] [--trace PATH]
 //!           [--journal PATH [--resume]]
 //! tfsim-run report PATH [--top N]
 //! ```
@@ -16,7 +16,10 @@
 //! completion and a summary (exit code, output, IPC, stats) is printed.
 //!
 //! `campaign` runs a fault-injection campaign and prints the outcome
-//! census. With `--trace PATH` it streams the per-trial JSONL event
+//! census. `--sliced` runs the trials on the word-parallel (bit-sliced)
+//! engine — an execution strategy, not an experiment parameter: the
+//! census, trace, and journal are byte-identical to the default
+//! snapshot-ladder engine, just faster. With `--trace PATH` it streams the per-trial JSONL event
 //! stream to `PATH` (plus metrics and a live progress meter on stderr);
 //! without it the campaign takes the untraced zero-overhead path. The
 //! census is rendered through the same `tfsim_stats::census_rows` builder
@@ -77,6 +80,7 @@ fn cmd_campaign(args: &[String]) {
     let mut workload_list = None::<String>;
     let mut journal_path = None::<PathBuf>;
     let mut resume = false;
+    let mut sliced = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -138,6 +142,10 @@ fn cmd_campaign(args: &[String]) {
                 resume = true;
                 i += 1;
             }
+            "--sliced" => {
+                sliced = true;
+                i += 1;
+            }
             "--workloads" => {
                 workload_list = Some(
                     args.get(i + 1)
@@ -171,6 +179,7 @@ fn cmd_campaign(args: &[String]) {
     if let Some(n) = monitor {
         config.monitor_cycles = n;
     }
+    config.sliced = sliced;
     let workloads = match &workload_list {
         None => tfsim_workloads::all(),
         Some(csv) => csv

@@ -48,6 +48,10 @@
 
 use std::fmt;
 
+pub mod sliced;
+
+pub use sliced::{SlicedField, SlicedState};
+
 /// Logical function of a bit of state — the categories of the paper's
 /// Table 1, plus the two categories introduced by the protection hardware
 /// (`Ecc`, `Parity`).

@@ -1,0 +1,291 @@
+//! Word-parallel (bit-sliced) state: 64 trial lanes per state bit.
+//!
+//! Classic parallel fault simulation packs one trial per bit position of a
+//! machine word: the state of 64 concurrent trials is stored
+//! *structure-of-arrays*, one 64-bit word per latch/RAM bit, where lane
+//! `k`'s value of that bit is bit `k` of the word. A fault-free lane is a
+//! broadcast copy of the golden machine, so all fault-free lanes share one
+//! evaluation; a lane whose word diverges from the broadcast peels off to a
+//! scalar walker.
+//!
+//! [`SlicedState`] is the *materialized* form of that layout: it captures a
+//! [`VisitState`] machine into transposed words, supports per-lane fault
+//! injection with exactly the bit numbering of [`FlipBit`], and can
+//! reconstitute any lane back into a scalar machine. The campaign engine
+//! (`tfsim-inject`) realizes the same semantics sparsely — it stores only
+//! each lane's XOR difference against golden — but this dense container is
+//! the reference the differential equivalence suite pins it against.
+
+use crate::{FieldMeta, FlippedBit, StateVisitor, UnitId, VisitState};
+
+/// Layout record for one visited field inside a [`SlicedState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlicedField {
+    /// Field metadata (category, storage kind, injectability).
+    pub meta: FieldMeta,
+    /// Field width in bits.
+    pub width: u32,
+    /// Fingerprint unit enclosing the field, if any.
+    pub unit: Option<UnitId>,
+    /// Index of the field's first bit in the transposed word array.
+    base: usize,
+}
+
+/// A 64-lane bit-sliced copy of one machine's state.
+///
+/// Every state bit of the source machine holds a 64-bit word: bit `k` of
+/// the word is the value of that state bit in trial lane `k`. Capture
+/// broadcasts the golden value to all lanes; [`SlicedState::flip`] then
+/// perturbs single lanes with [`FlipBit`]-compatible bit numbering, and
+/// [`SlicedState::load_lane`] writes one lane back into a scalar machine.
+#[derive(Debug, Clone)]
+pub struct SlicedState {
+    fields: Vec<SlicedField>,
+    /// One word per state bit; lane `k` lives in bit `k`.
+    slices: Vec<u64>,
+    /// The broadcast words at capture time (all-zeros or all-ones), kept to
+    /// detect which lanes have diverged from golden.
+    golden: Vec<u64>,
+}
+
+/// Number of trial lanes per word.
+pub const LANES: usize = 64;
+
+struct Broadcast {
+    fields: Vec<SlicedField>,
+    slices: Vec<u64>,
+    in_unit: Option<UnitId>,
+}
+
+impl StateVisitor for Broadcast {
+    fn field(&mut self, meta: FieldMeta, width: u32, bits: &mut u64) {
+        self.fields.push(SlicedField {
+            meta,
+            width,
+            unit: self.in_unit,
+            base: self.slices.len(),
+        });
+        for b in 0..width {
+            // Broadcast: all 64 lanes agree with golden.
+            self.slices.push(if *bits >> b & 1 != 0 { u64::MAX } else { 0 });
+        }
+    }
+
+    fn enter_unit(&mut self, unit: UnitId, _gen: u64) -> bool {
+        self.in_unit = Some(unit);
+        true
+    }
+
+    fn exit_unit(&mut self, _unit: UnitId) {
+        self.in_unit = None;
+    }
+}
+
+struct LaneLoad<'a> {
+    sliced: &'a SlicedState,
+    lane: u32,
+    idx: usize,
+}
+
+impl StateVisitor for LaneLoad<'_> {
+    fn field(&mut self, meta: FieldMeta, width: u32, bits: &mut u64) {
+        let f = &self.sliced.fields[self.idx];
+        assert_eq!(
+            (f.meta, f.width),
+            (meta, width),
+            "machine structure changed since capture (field {})",
+            self.idx
+        );
+        let mut v = 0u64;
+        for b in 0..width as usize {
+            v |= (self.sliced.slices[f.base + b] >> self.lane & 1) << b;
+        }
+        *bits = v;
+        self.idx += 1;
+    }
+}
+
+impl SlicedState {
+    /// Captures `machine`, broadcasting its state to all 64 lanes.
+    pub fn capture(machine: &mut dyn VisitState) -> SlicedState {
+        let mut b = Broadcast { fields: Vec::new(), slices: Vec::new(), in_unit: None };
+        machine.visit_state(&mut b);
+        SlicedState { fields: b.fields, golden: b.slices.clone(), slices: b.slices }
+    }
+
+    /// Number of state bits (words in the transposed array).
+    pub fn bit_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The visited fields, in visit order.
+    pub fn fields(&self) -> &[SlicedField] {
+        &self.fields
+    }
+
+    /// Flips eligible bit number `target` (the identical numbering
+    /// [`FlipBit`] uses under `mask`) in lane `lane` only, returning the
+    /// same [`FlippedBit`] description a scalar flip would. Returns `None`
+    /// if `target` is past the last eligible bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn flip(
+        &mut self,
+        mask: crate::InjectionMask,
+        target: u64,
+        lane: u32,
+    ) -> Option<FlippedBit> {
+        assert!(lane < LANES as u32, "lane {lane} out of range");
+        let mut pos = 0u64;
+        for f in &self.fields {
+            if !mask.eligible(f.meta) {
+                continue;
+            }
+            let w = f.width as u64;
+            if target < pos + w {
+                let bit = (target - pos) as u32;
+                self.slices[f.base + bit as usize] ^= 1u64 << lane;
+                return Some(FlippedBit {
+                    category: f.meta.category,
+                    kind: f.meta.kind,
+                    bit,
+                    width: f.width,
+                    unit: f.unit,
+                });
+            }
+            pos += w;
+        }
+        None
+    }
+
+    /// Writes lane `lane`'s state into `machine`, which must have the same
+    /// structure as the captured one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64` or the machine's field sequence differs from
+    /// the one captured.
+    pub fn load_lane(&self, lane: u32, machine: &mut dyn VisitState) {
+        assert!(lane < LANES as u32, "lane {lane} out of range");
+        let mut l = LaneLoad { sliced: self, lane, idx: 0 };
+        machine.visit_state(&mut l);
+        assert_eq!(l.idx, self.fields.len(), "machine visited fewer fields than captured");
+    }
+
+    /// Bitmask of lanes whose state differs anywhere from the golden
+    /// broadcast (bit `k` set ⇔ lane `k` diverged). This is the peel-off
+    /// trigger: a diverged lane leaves word-parallel execution for the
+    /// scalar path.
+    pub fn divergent_lanes(&self) -> u64 {
+        self.slices
+            .iter()
+            .zip(self.golden.iter())
+            .fold(0u64, |acc, (s, g)| acc | (s ^ g))
+    }
+
+    /// Verifies this container's bit numbering against a scalar
+    /// [`FlipBit`]: flips `target` in a scratch lane and returns the hit
+    /// description without mutating any state.
+    pub fn probe(&self, mask: crate::InjectionMask, target: u64) -> Option<FlippedBit> {
+        let mut probe = self.clone();
+        probe.flip(mask, target, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fingerprint_of, Category, FlipBit, InjectionMask, Snapshot, StorageKind};
+
+    struct Toy {
+        pc: u64,
+        data: u64,
+        valid: bool,
+        ram: Vec<u64>,
+        shadow: u64,
+    }
+
+    impl VisitState for Toy {
+        fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+            crate::visit_pc(v, StorageKind::Latch, &mut self.pc);
+            if v.enter_unit(UnitId::Front, 0) {
+                v.field(FieldMeta::new(Category::Data, StorageKind::Latch), 64, &mut self.data);
+                crate::visit_bool(
+                    v,
+                    FieldMeta::new(Category::Valid, StorageKind::Latch),
+                    &mut self.valid,
+                );
+                v.exit_unit(UnitId::Front);
+            }
+            v.array(FieldMeta::new(Category::Regfile, StorageKind::Ram), 7, &mut self.ram);
+            v.field(FieldMeta::shadow(Category::Ctrl, StorageKind::Ram), 20, &mut self.shadow);
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy { pc: 0x1000, data: 0xdead, valid: true, ram: vec![1, 2, 3, 4], shadow: 7 }
+    }
+
+    const MASK: InjectionMask = InjectionMask::LatchesAndRams;
+
+    #[test]
+    fn broadcast_lanes_equal_golden() {
+        let s = SlicedState::capture(&mut toy());
+        assert_eq!(s.divergent_lanes(), 0);
+        for lane in [0u32, 17, 63] {
+            let mut out = toy();
+            out.pc = 0;
+            out.data = 0;
+            out.ram = vec![0; 4];
+            s.load_lane(lane, &mut out);
+            assert_eq!(fingerprint_of(&mut out), fingerprint_of(&mut toy()));
+        }
+    }
+
+    #[test]
+    fn flip_matches_scalar_flipbit_and_isolates_the_lane() {
+        for target in [0u64, 61, 62, 126, 127, 130, 154] {
+            let mut s = SlicedState::capture(&mut toy());
+            let hit = s.flip(MASK, target, 41).expect("target in range");
+
+            let mut scalar = toy();
+            let mut flip = FlipBit::new(MASK, target);
+            scalar.visit_state(&mut flip);
+            assert_eq!(Some(hit), flip.flipped, "lane flip must report the scalar hit");
+
+            assert_eq!(s.divergent_lanes(), 1u64 << 41, "only the flipped lane diverges");
+
+            // The flipped lane reloads to exactly the scalar-flipped state…
+            let mut lane = toy();
+            s.load_lane(41, &mut lane);
+            let d = Snapshot::capture(&mut lane).diff(&Snapshot::capture(&mut scalar));
+            assert!(d.is_empty(), "lane 41 != scalar flip at target {target}: {d:?}");
+            // …and every other lane is still golden.
+            let mut other = toy();
+            s.load_lane(40, &mut other);
+            assert_eq!(fingerprint_of(&mut other), fingerprint_of(&mut toy()));
+        }
+    }
+
+    #[test]
+    fn flip_past_eligible_bits_is_none_and_shadow_is_untouchable() {
+        let mut s = SlicedState::capture(&mut toy());
+        assert!(s.flip(MASK, 155, 0).is_none());
+        assert_eq!(s.divergent_lanes(), 0);
+        assert!(s.probe(MASK, 154).is_some());
+        // Latch-only numbering excludes the RAM bits entirely.
+        assert!(s.flip(InjectionMask::LatchesOnly, 127, 0).is_none());
+    }
+
+    #[test]
+    fn unit_attribution_matches_the_enclosing_bracket() {
+        let s = SlicedState::capture(&mut toy());
+        let hit = s.probe(MASK, 62).unwrap();
+        assert_eq!(hit.unit, Some(UnitId::Front));
+        assert_eq!(hit.category, Category::Data);
+        let hit = s.probe(MASK, 0).unwrap();
+        assert_eq!(hit.unit, None, "pc sits outside any unit");
+    }
+}

@@ -94,7 +94,10 @@ pub trait Gen {
 /// Runs `prop` against `cfg.cases` generated inputs, shrinking and
 /// panicking on the first failure. `Err(msg)` and panics inside the
 /// property both count as failures (the `prop_assert*` macros return
-/// `Err`).
+/// `Err`; panics — a plain `assert!` deep in library code, an
+/// out-of-bounds index — are contained and reported the same way, so the
+/// `TFSIM_PROP_SEED` replay line is printed no matter how the property
+/// fails).
 pub fn run<G, F>(cfg: &Config, name: &str, gen: &G, prop: F)
 where
     G: Gen,
@@ -103,7 +106,7 @@ where
     for case in 0..cfg.cases {
         let mut rng = Rng::from_seed_stream(cfg.seed, case as u64);
         let value = gen.generate(&mut rng);
-        if let Err(msg) = prop(&value) {
+        if let Err(msg) = guarded(&prop, &value) {
             let (value, msg, steps) = shrink_loop(cfg, gen, value, msg, &prop);
             panic!(
                 "property `{name}` failed: seed={seed:#x} case={case}\n  \
@@ -112,6 +115,50 @@ where
                 seed = cfg.seed,
             );
         }
+    }
+}
+
+thread_local! {
+    /// True while a property body runs under [`guarded`]; the panic hook
+    /// stays silent for contained panics so a shrink search does not spray
+    /// hundreds of backtraces before the real report.
+    static GUARDED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn install_guard_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !GUARDED.with(|g| g.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs the property on one value with panics converted to `Err`, so both
+/// the first-failure path and every shrink candidate keep the harness in
+/// control of the final report. Without this, a panicking shrink candidate
+/// would unwind straight through [`shrink_loop`] and the replay line would
+/// be lost.
+fn guarded<V, F>(prop: &F, value: &V) -> Result<(), String>
+where
+    F: Fn(&V) -> Result<(), String>,
+{
+    install_guard_hook();
+    GUARDED.with(|g| g.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(value)));
+    GUARDED.with(|g| g.set(false));
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("property panicked: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("property panicked: {s}")
+        } else {
+            "property panicked (non-string payload)".to_string()
+        }),
     }
 }
 
@@ -129,7 +176,7 @@ where
     let mut steps = 0;
     'outer: while steps < cfg.max_shrink_steps {
         for cand in gen.shrink(&value) {
-            if let Err(m) = prop(&cand) {
+            if let Err(m) = guarded(prop, &cand) {
                 value = cand;
                 msg = m;
                 steps += 1;
@@ -569,6 +616,25 @@ mod tests {
         assert!(msg.contains("TFSIM_PROP_SEED"), "missing repro hint: {msg}");
         // Integer shrinking must reach the smallest failing value.
         assert!(msg.contains("(1000,)"), "not fully shrunk: {msg}");
+    }
+
+    #[test]
+    fn panicking_property_still_reports_seed_and_shrinks() {
+        // A property that panics outright (a plain `assert!`, not a
+        // `prop_assert!`) must produce the same seeded report as an `Err`
+        // return — including through panicking shrink candidates.
+        let err = std::panic::catch_unwind(|| {
+            run(&small_cfg(), "panics_ge_1000", &(any_u64(),), |&(v,)| {
+                assert!(v < 1_000, "{v} too big");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("TFSIM_PROP_SEED"), "missing repro hint: {msg}");
+        assert!(msg.contains("(1000,)"), "not fully shrunk: {msg}");
+        assert!(msg.contains("property panicked"), "panic not attributed: {msg}");
+        assert!(msg.contains("1000 too big"), "original message lost: {msg}");
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worker threads (0 = all available).
     pub threads: usize,
+    /// Run trials on the word-parallel (bit-sliced) engine instead of the
+    /// scalar snapshot ladder. An execution strategy like `threads`:
+    /// censuses, records, traces, and journals are byte-identical either
+    /// way, so the flag is deliberately *not* part of the journal
+    /// identity.
+    pub sliced: bool,
     /// Test hook: force the trial at `(benchmark, start_point, trial)` to
     /// panic mid-run, exercising the containment/quarantine machinery
     /// end-to-end. Never set by the presets; not part of the experiment
@@ -99,6 +105,7 @@ impl CampaignConfig {
             monitor_cycles: 3_000,
             seed,
             threads: 0,
+            sliced: false,
             panic_shim: None,
         }
     }
@@ -119,6 +126,7 @@ impl CampaignConfig {
             monitor_cycles: 10_000,
             seed,
             threads: 0,
+            sliced: false,
             panic_shim: None,
         }
     }
@@ -137,6 +145,7 @@ impl CampaignConfig {
             monitor_cycles: 10_000,
             seed,
             threads: 0,
+            sliced: false,
             panic_shim: None,
         }
     }
@@ -615,10 +624,27 @@ pub fn run_campaign_journaled(
                 let shim = config.panic_shim.and_then(|(b, s, t)| {
                     (b == task.bench && s == task.start_point).then_some(t as usize)
                 });
-                let batch = if traced {
-                    sp.run_trials_core::<true>(config.mask, &specs, config.monitor_cycles, shim)
-                } else {
-                    sp.run_trials_core::<false>(config.mask, &specs, config.monitor_cycles, shim)
+                let batch = match (traced, config.sliced) {
+                    (true, false) => {
+                        sp.run_trials_core::<true>(config.mask, &specs, config.monitor_cycles, shim)
+                    }
+                    (false, false) => {
+                        sp.run_trials_core::<false>(config.mask, &specs, config.monitor_cycles, shim)
+                    }
+                    (true, true) => sp.run_trials_sliced_core::<true>(
+                        config.mask,
+                        &specs,
+                        config.monitor_cycles,
+                        crate::sliced::LANE_WIDTH,
+                        shim,
+                    ),
+                    (false, true) => sp.run_trials_sliced_core::<false>(
+                        config.mask,
+                        &specs,
+                        config.monitor_cycles,
+                        crate::sliced::LANE_WIDTH,
+                        shim,
+                    ),
                 };
                 let (records, traces, faults, advance_ns, monitor_ns) =
                     (batch.records, batch.traces, batch.faults, batch.advance_ns, batch.monitor_ns);

@@ -54,6 +54,7 @@
 
 mod campaign;
 mod journal;
+mod sliced;
 mod trial;
 
 pub use campaign::{
@@ -62,6 +63,7 @@ pub use campaign::{
     OutcomeCounts, ScatterPoint,
 };
 pub use journal::{CampaignJournal, JournalMeta, JournaledTask};
+pub use sliced::LANE_WIDTH;
 pub use trial::{
     FailureMode, Outcome, StartPoint, TracedBatch, TrialFault, TrialRecord, TrialSpec, TrialTrace,
 };

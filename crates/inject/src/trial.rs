@@ -198,13 +198,13 @@ thread_local! {
     /// process panic hook stays quiet for contained unwinds (the fault is
     /// captured in a [`TrialFault`]; stderr noise would interleave across
     /// worker threads).
-    static CONTAINED: Cell<bool> = const { Cell::new(false) };
+    pub(crate) static CONTAINED: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Installs (once per process) a panic hook that suppresses output for
 /// contained trial panics and delegates everything else to the previous
 /// hook unchanged.
-fn install_containment_hook() {
+pub(crate) fn install_containment_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let prev = panic::take_hook();
@@ -217,7 +217,7 @@ fn install_containment_hook() {
 }
 
 /// Extracts a human-readable message from a panic payload.
-fn panic_message(payload: Box<dyn Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,
         Err(p) => match p.downcast::<&'static str>() {
@@ -230,25 +230,29 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
 /// A prepared start point: a warmed checkpoint plus everything the
 /// classifier needs from the fault-free continuation.
 pub struct StartPoint {
-    checkpoint: Pipeline,
+    pub(crate) checkpoint: Pipeline,
     /// Per-cycle fingerprints, `fps[i]` = state after `i` steps (index 0
     /// is the checkpoint itself).
-    fps: Vec<u128>,
+    pub(crate) fps: Vec<u128>,
     /// Per-cycle, per-unit subhashes aligned with `fps` (row `i` indexed
     /// by [`UnitId::index`]): lets a diverging trial name the units that
     /// differ from golden at a given cycle.
     unit_fps: Vec<[u128; UnitId::COUNT]>,
     /// Cumulative retirements after `i` steps.
-    instret: Vec<u64>,
+    pub(crate) instret: Vec<u64>,
     /// The golden retirement trace (index = commit number since the
     /// checkpoint).
-    records: Vec<RetireRecord>,
+    pub(crate) records: Vec<RetireRecord>,
     /// Cycle (steps after checkpoint) at which the golden run halted.
-    halted_at: Option<(u64, u64)>, // (step, exit code)
+    pub(crate) halted_at: Option<(u64, u64)>, // (step, exit code)
     /// Golden in-flight valid-instruction count per cycle.
     valid_counts: Vec<u32>,
     /// Eligible bit count for the campaign's mask.
     bit_count: u64,
+    /// Lazily built golden access footprint for the word-parallel path
+    /// (see `crate::sliced`): per-cell read/write timelines plus per-cycle
+    /// retire aggregates from one tracked replay of the golden run.
+    pub(crate) footprint: std::sync::OnceLock<crate::sliced::Footprint>,
 }
 
 impl StartPoint {
@@ -363,6 +367,7 @@ impl StartPoint {
             halted_at,
             valid_counts,
             bit_count: count.count,
+            footprint: std::sync::OnceLock::new(),
         }
     }
 
@@ -548,7 +553,7 @@ impl StartPoint {
     /// With `trace`, the decision cycle and first observed divergence are
     /// recorded into it. Tracing never alters the classification: all trace
     /// work happens off the decision path, after the outcome is sealed.
-    fn classify(
+    pub(crate) fn classify(
         &self,
         mask: InjectionMask,
         mut cpu: Pipeline,

@@ -12,6 +12,7 @@
 
 use tfsim_bitstate::{Category, FieldMeta, StateVisitor, StorageKind, VisitState};
 
+use crate::access::AccessLog;
 use crate::config::sizes;
 
 /// A 2-way set-associative tag array with 1-bit LRU per set.
@@ -121,12 +122,21 @@ pub struct Mhr {
 #[derive(Debug, Clone)]
 pub struct MhrFile {
     entries: Vec<Mhr>,
+    /// Word-granular access log for the sliced trial engine. Local word
+    /// ordinals: entry `e` occupies `3*e + {0: valid, 1: addr, 2: timer}`.
+    pub log: AccessLog,
 }
+
+/// Access-log words per MHR entry (valid, addr, timer).
+pub const MHR_WORDS: u32 = 3;
 
 impl MhrFile {
     /// Creates an empty MHR file of the configured capacity.
     pub fn new() -> MhrFile {
-        MhrFile { entries: (0..sizes::MHRS).map(|_| Mhr::default()).collect() }
+        MhrFile {
+            entries: (0..sizes::MHRS).map(|_| Mhr::default()).collect(),
+            log: AccessLog::default(),
+        }
     }
 
     /// Allocates an MHR for the line containing `addr`. Returns `false`
@@ -139,8 +149,13 @@ impl MhrFile {
         if self.pending(line) {
             return true;
         }
-        for e in self.entries.iter_mut() {
-            if !e.valid {
+        for i in 0..self.entries.len() {
+            self.log.read(i as u32 * MHR_WORDS);
+            if !self.entries[i].valid {
+                self.log.write(i as u32 * MHR_WORDS);
+                self.log.write(i as u32 * MHR_WORDS + 1);
+                self.log.write(i as u32 * MHR_WORDS + 2);
+                let e = &mut self.entries[i];
                 e.valid = true;
                 e.addr = line;
                 e.timer = sizes::MISS_LATENCY as u64;
@@ -151,8 +166,17 @@ impl MhrFile {
     }
 
     /// Whether a fill for the line containing `addr` is outstanding.
-    pub fn pending(&self, addr: u64) -> bool {
+    ///
+    /// Conservatively logs a read of every entry's valid bit and address —
+    /// the scan's outcome can depend on any of them.
+    pub fn pending(&mut self, addr: u64) -> bool {
         let line = addr & !(sizes::LINE_BYTES - 1);
+        if self.log.enabled() {
+            for i in 0..self.entries.len() as u32 {
+                self.log.read(i * MHR_WORDS);
+                self.log.read(i * MHR_WORDS + 1);
+            }
+        }
         self.entries.iter().any(|e| e.valid && e.addr == line)
     }
 
@@ -160,15 +184,22 @@ impl MhrFile {
     /// completed this cycle.
     pub fn tick(&mut self) -> Vec<u64> {
         let mut done = Vec::new();
-        for e in self.entries.iter_mut() {
-            if e.valid {
-                if e.timer <= 1 {
+        for i in 0..self.entries.len() {
+            self.log.read(i as u32 * MHR_WORDS);
+            if self.entries[i].valid {
+                self.log.read(i as u32 * MHR_WORDS + 2);
+                if self.entries[i].timer <= 1 {
+                    self.log.read(i as u32 * MHR_WORDS + 1);
+                    self.log.write(i as u32 * MHR_WORDS);
+                    self.log.write(i as u32 * MHR_WORDS + 1);
+                    self.log.write(i as u32 * MHR_WORDS + 2);
+                    let e = &mut self.entries[i];
                     e.valid = false;
                     done.push(e.addr);
                     e.addr = 0;
                     e.timer = 0;
                 } else {
-                    e.timer -= 1;
+                    self.entries[i].timer -= 1;
                 }
             }
         }
@@ -177,14 +208,18 @@ impl MhrFile {
 
     /// Drops all outstanding fills (used on full pipeline flush).
     pub fn clear(&mut self) {
-        for e in self.entries.iter_mut() {
+        for i in 0..self.entries.len() {
+            self.log.write(i as u32 * MHR_WORDS);
+            self.log.write(i as u32 * MHR_WORDS + 1);
+            self.log.write(i as u32 * MHR_WORDS + 2);
+            let e = &mut self.entries[i];
             e.valid = false;
             e.addr = 0;
             e.timer = 0;
         }
     }
 
-    /// Number of live entries.
+    /// Number of live entries (observer: never logs).
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
     }

@@ -41,6 +41,7 @@
 //! assert_eq!(cpu.halted(), Some(9));
 //! ```
 
+pub mod access;
 pub mod bpred;
 pub mod caches;
 pub mod config;

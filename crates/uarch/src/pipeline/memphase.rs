@@ -2,6 +2,12 @@
 //! fills, address generation, store-to-load forwarding, bank-arbitrated
 //! data-cache access, memory-order violation detection, and load data
 //! delivery.
+//!
+//! LSQ state is consumed exclusively through the logged accessors so the
+//! word-parallel trial engine can see exactly which queue words each cycle
+//! touched. Boolean short-circuits are kept bitwise-identical to the
+//! pre-accessor code so the *set* of logged reads is the set of words the
+//! cycle's outcome actually depended on.
 
 use tfsim_isa::{alu, decode};
 use tfsim_mem::is_aligned;
@@ -19,25 +25,25 @@ impl Pipeline {
     /// what gives speculatively woken consumers something to replay on.
     pub(crate) fn memory_deliver_phase(&mut self) {
         for i in 0..sizes::LOAD_QUEUE {
-            let e = &mut self.lsq.lq[i];
-            if !(e.valid && e.inflight) {
+            if !(self.lsq.lq_valid(i) && self.lsq.lq_inflight(i)) {
                 continue;
             }
-            if e.data_timer > 1 {
-                e.data_timer -= 1;
+            let timer = self.lsq.lq_data_timer(i);
+            if timer > 1 {
+                self.lsq.set_lq_data_timer(i, timer - 1);
                 continue;
             }
-            e.inflight = false;
-            e.data_timer = 0;
-            if e.forwarded {
+            self.lsq.set_lq_inflight(i, false);
+            self.lsq.set_lq_data_timer(i, 0);
+            if self.lsq.lq_forwarded(i) {
                 self.deliver_load(i);
                 continue;
             }
             // End of the access shadow: resolve hit or miss now.
-            let (addr, dst) = (e.addr, e.dst_preg);
+            let addr = self.lsq.lq_addr(i);
+            let dst = self.lsq.lq_dst_preg(i);
             if self.mhrs.pending(addr) {
-                let e = &mut self.lsq.lq[i];
-                e.fill_wait = true;
+                self.lsq.set_lq_fill_wait(i, true);
                 if let Some(b) = self.spec_ready.get_mut(dst as usize) {
                     *b = false;
                 }
@@ -46,8 +52,7 @@ impl Pipeline {
             } else {
                 self.stats.dcache_misses += 1;
                 if self.mhrs.allocate(addr) {
-                    let e = &mut self.lsq.lq[i];
-                    e.fill_wait = true;
+                    self.lsq.set_lq_fill_wait(i, true);
                     // The hit speculation failed: consumers must replay.
                     if let Some(b) = self.spec_ready.get_mut(dst as usize) {
                         *b = false;
@@ -66,14 +71,13 @@ impl Pipeline {
         for line in self.mhrs.tick() {
             self.dcache.fill(line);
             for i in 0..sizes::LOAD_QUEUE {
-                let e = &mut self.lsq.lq[i];
-                if e.valid
-                    && e.fill_wait
-                    && (e.addr & !(sizes::LINE_BYTES - 1)) == line
+                if self.lsq.lq_valid(i)
+                    && self.lsq.lq_fill_wait(i)
+                    && (self.lsq.lq_addr(i) & !(sizes::LINE_BYTES - 1)) == line
                 {
-                    e.fill_wait = false;
-                    e.inflight = true;
-                    e.data_timer = 1;
+                    self.lsq.set_lq_fill_wait(i, false);
+                    self.lsq.set_lq_inflight(i, true);
+                    self.lsq.set_lq_data_timer(i, 1);
                 }
             }
         }
@@ -115,12 +119,14 @@ impl Pipeline {
 
         // Loads with known addresses retry until they get data.
         for i in 0..sizes::LOAD_QUEUE {
-            let e = &self.lsq.lq[i];
-            if e.valid && e.state == LoadState::Access && !e.inflight && !e.fill_wait {
+            if self.lsq.lq_valid(i)
+                && self.lsq.lq_state(i) == LoadState::Access
+                && !self.lsq.lq_inflight(i)
+                && !self.lsq.lq_fill_wait(i)
+            {
                 self.try_load_access(i, &mut bank_used, &mut ports);
             }
         }
-
     }
 
     /// Writes the oldest senior store through to memory (one per cycle).
@@ -129,15 +135,16 @@ impl Pipeline {
             return;
         }
         let head = (self.lsq.sq_head % sizes::STORE_QUEUE as u64) as usize;
-        let e = &self.lsq.sq[head];
-        if !e.valid || !e.senior {
+        if !self.lsq.sq_valid(head) || !self.lsq.sq_senior(head) {
             return;
         }
-        let (addr, data, size) = (e.addr, e.data, e.size());
+        let addr = self.lsq.sq_addr(head);
+        let data = self.lsq.sq_data(head);
+        let size = self.lsq.sq_size(head);
         self.mem.write_sized(addr, data, size);
         // Write-through: cache data always equals memory, so only the tag
         // state could change — stores do not allocate.
-        self.lsq.sq[head] = Default::default();
+        self.lsq.clear_sq(head);
         self.lsq.sq_head = (self.lsq.sq_head + 1) % sizes::STORE_QUEUE as u64;
         self.lsq.sq_count = (self.lsq.sq_count - 1) & 0x1f;
     }
@@ -147,7 +154,7 @@ impl Pipeline {
         let insn = decode(op.raw as u32);
         let addr = op.a.wrapping_add(insn.imm as u64);
         let li = (op.lsq as usize) % sizes::LOAD_QUEUE;
-        let size = self.lsq.lq[li].size();
+        let size = self.lsq.lq_size(li);
 
         if !is_aligned(addr, size) {
             self.finish_load_with_exception(li, op, ExcCode::Alignment);
@@ -157,12 +164,9 @@ impl Pipeline {
             self.finish_load_with_exception(li, op, ExcCode::Dtlb);
             return;
         }
-        {
-            let e = &mut self.lsq.lq[li];
-            e.addr = addr;
-            e.state = LoadState::Access;
-            e.sched = op.sched;
-        }
+        self.lsq.set_lq_addr(li, addr);
+        self.lsq.set_lq_state(li, LoadState::Access);
+        self.lsq.set_lq_sched(li, op.sched);
         // Speculative wakeup: from here consumers may issue assuming a
         // hit; the delivery phase replays them if the access misses.
         if op.has_dst {
@@ -176,8 +180,7 @@ impl Pipeline {
     }
 
     fn finish_load_with_exception(&mut self, li: usize, op: FuOp, exc: ExcCode) {
-        let e = &mut self.lsq.lq[li];
-        e.state = LoadState::Done;
+        self.lsq.set_lq_state(li, LoadState::Done);
         let rob = self.rob.entry_mut(op.rob);
         rob.exc = exc as u64;
         rob.completed = true;
@@ -198,7 +201,7 @@ impl Pipeline {
         let insn = decode(op.raw as u32);
         let addr = op.b.wrapping_add(insn.imm as u64);
         let si = (op.lsq as usize) % sizes::STORE_QUEUE;
-        let size = self.lsq.sq[si].size();
+        let size = self.lsq.sq_size(si);
 
         if !is_aligned(addr, size) || !self.dtlb.covers(addr, size) {
             let exc = if !is_aligned(addr, size) { ExcCode::Alignment } else { ExcCode::Dtlb };
@@ -209,13 +212,10 @@ impl Pipeline {
             return;
         }
 
-        {
-            let e = &mut self.lsq.sq[si];
-            e.addr = addr;
-            e.addr_valid = true;
-            e.data = op.a;
-            e.data_valid = true;
-        }
+        self.lsq.set_sq_addr(si, addr);
+        self.lsq.set_sq_addr_valid(si, true);
+        self.lsq.set_sq_data(si, op.a);
+        self.lsq.set_sq_data_valid(si, true);
         self.rob.entry_mut(op.rob).completed = true;
         self.free_sched(op.sched, op.rob);
         self.storesets.store_resolved(si as u64);
@@ -225,26 +225,33 @@ impl Pipeline {
         let store_rob = op.rob;
         let store_pc = op.pc;
         let mut victim: Option<(u64, u64, u64)> = None; // (rob, load pc, age)
-        for e in self.lsq.lq.iter() {
-            if !e.valid || e.state == LoadState::WaitAddr {
+        for li in 0..sizes::LOAD_QUEUE {
+            if !self.lsq.lq_valid(li) {
                 continue;
             }
-            let got_data = e.state == LoadState::Done || e.inflight;
+            let state = self.lsq.lq_state(li);
+            if state == LoadState::WaitAddr {
+                continue;
+            }
+            let got_data = state == LoadState::Done || self.lsq.lq_inflight(li);
             if !got_data {
                 continue;
             }
-            if !self.rob.younger(e.rob, store_rob) {
+            let load_rob = self.lsq.lq_rob(li);
+            if !self.rob.younger(load_rob, store_rob) {
                 continue;
             }
-            if !ranges_overlap(e.addr, e.size(), addr, size) {
+            let load_addr = self.lsq.lq_addr(li);
+            let load_size = self.lsq.lq_size(li);
+            if !ranges_overlap(load_addr, load_size, addr, size) {
                 continue;
             }
-            if e.forwarded && e.fwd_sq == si as u64 {
+            if self.lsq.lq_forwarded(li) && self.lsq.lq_fwd_sq(li) == si as u64 {
                 continue; // it already got THIS store's data
             }
-            let age = self.rob.age(e.rob);
+            let age = self.rob.age(load_rob);
             if victim.is_none_or(|(_, _, a)| age < a) {
-                victim = Some((e.rob, e.pc, age));
+                victim = Some((load_rob, self.lsq.lq_pc(li), age));
             }
         }
         if let Some((rob, load_pc, _)) = victim {
@@ -258,10 +265,10 @@ impl Pipeline {
     /// One attempt to obtain data for the load in LQ slot `li`:
     /// store-to-load forwarding, then a bank-arbitrated cache access.
     fn try_load_access(&mut self, li: usize, bank_used: &mut [bool], ports: &mut u32) {
-        let (addr, size, load_rob, dst) = {
-            let e = &self.lsq.lq[li];
-            (e.addr, e.size(), e.rob, e.dst_preg)
-        };
+        let addr = self.lsq.lq_addr(li);
+        let size = self.lsq.lq_size(li);
+        let load_rob = self.lsq.lq_rob(li);
+        let dst = self.lsq.lq_dst_preg(li);
 
         // Scan the store queue youngest-to-oldest (ring order equals
         // program order) for the nearest older store overlapping us.
@@ -270,33 +277,38 @@ impl Pipeline {
         let mut hit_store: Option<usize> = None;
         for k in 0..count {
             let idx = ((self.lsq.sq_tail + cap - 1 - k) % cap) as usize;
-            let s = &self.lsq.sq[idx];
-            if !s.valid || !s.addr_valid {
+            if !self.lsq.sq_valid(idx) || !self.lsq.sq_addr_valid(idx) {
                 continue;
             }
-            let older = s.senior || self.rob.younger(load_rob, s.rob);
+            let older = {
+                let senior = self.lsq.sq_senior(idx);
+                senior || self.rob.younger(load_rob, self.lsq.sq_rob(idx))
+            };
             if !older {
                 continue;
             }
-            if ranges_overlap(s.addr, s.size(), addr, size) {
+            let s_addr = self.lsq.sq_addr(idx);
+            let s_size = self.lsq.sq_size(idx);
+            if ranges_overlap(s_addr, s_size, addr, size) {
                 hit_store = Some(idx);
                 break;
             }
         }
 
         if let Some(si) = hit_store {
-            let s = &self.lsq.sq[si];
-            if s.data_valid && range_contains(s.addr, s.size(), addr, size) {
+            let s_data_valid = self.lsq.sq_data_valid(si);
+            let s_addr = self.lsq.sq_addr(si);
+            let s_size = self.lsq.sq_size(si);
+            if s_data_valid && range_contains(s_addr, s_size, addr, size) {
                 // Forward: extract the loaded bytes from the store data.
-                let shift = (addr - s.addr) * 8;
+                let shift = (addr - s_addr) * 8;
                 let mask = if size >= 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
-                let value = (s.data >> shift) & mask;
-                let e = &mut self.lsq.lq[li];
-                e.forwarded = true;
-                e.fwd_sq = si as u64;
-                e.fwd_value = value;
-                e.inflight = true;
-                e.data_timer = 1;
+                let value = (self.lsq.sq_data(si) >> shift) & mask;
+                self.lsq.set_lq_forwarded(li, true);
+                self.lsq.set_lq_fwd_sq(li, si as u64);
+                self.lsq.set_lq_fwd_value(li, value);
+                self.lsq.set_lq_inflight(li, true);
+                self.lsq.set_lq_data_timer(li, 1);
             }
             // Partial overlap or data not ready: retry next cycle (the
             // store will drain or complete).
@@ -308,8 +320,7 @@ impl Pipeline {
         // delivery phase), which is what makes the speculative wakeup of
         // consumers genuinely speculative.
         if self.mhrs.pending(addr) {
-            let e = &mut self.lsq.lq[li];
-            e.fill_wait = true;
+            self.lsq.set_lq_fill_wait(li, true);
             if let Some(b) = self.spec_ready.get_mut(dst as usize) {
                 *b = false;
             }
@@ -323,24 +334,30 @@ impl Pipeline {
         bank_used[bank] = true;
 
         self.stats.dcache_accesses += 1;
-        let e = &mut self.lsq.lq[li];
-        e.inflight = true;
-        e.data_timer = sizes::DCACHE_LATENCY as u64;
+        self.lsq.set_lq_inflight(li, true);
+        self.lsq.set_lq_data_timer(li, sizes::DCACHE_LATENCY as u64);
     }
 
     /// Load data arrives: extend, write back, wake consumers, complete.
     fn deliver_load(&mut self, li: usize) {
-        let (addr, size, forwarded, fwd_value, raw, rob, dst, sched) = {
-            let e = &self.lsq.lq[li];
-            let dst = self.ptr_repair(e.dst_preg, e.dst_ecc);
-            (e.addr, e.size(), e.forwarded, e.fwd_value, e.raw, e.rob, dst, e.sched)
+        let addr = self.lsq.lq_addr(li);
+        let size = self.lsq.lq_size(li);
+        let forwarded = self.lsq.lq_forwarded(li);
+        let fwd_value = self.lsq.lq_fwd_value(li);
+        let raw = self.lsq.lq_raw(li);
+        let rob = self.lsq.lq_rob(li);
+        let dst = {
+            let preg = self.lsq.lq_dst_preg(li);
+            let ecc = self.lsq.lq_dst_ecc(li);
+            self.ptr_repair(preg, ecc)
         };
+        let sched = self.lsq.lq_sched(li);
         let raw_val = if forwarded { fwd_value } else { self.mem.read_sized(addr, size) };
         let insn = decode(raw as u32);
         let value = if insn.is_load() { alu::extend_load(insn.mnemonic, raw_val) } else { raw_val };
         self.write_preg(dst, value);
         self.rob.entry_mut(rob).completed = true;
-        self.lsq.lq[li].state = LoadState::Done;
+        self.lsq.set_lq_state(li, LoadState::Done);
         self.free_sched(sched, rob);
     }
 }

@@ -37,11 +37,11 @@ use crate::bpred::{BranchPredictor, Btb, Ras};
 use crate::caches::{MhrFile, TagCache};
 use crate::config::{sizes, PipelineConfig};
 use crate::exec::{FuBank, Scheduler};
-use crate::queues::{ExcCode, FetchQueue, Lsq, Rob, SlotPayload};
+use crate::queues::{lqw, sqw, ExcCode, FetchQueue, Lsq, Rob, SlotPayload, SQ_BASE};
 use crate::regfile::PhysRegFile;
 use crate::rename::{FreeList, Rat};
 use crate::storesets::StoreSets;
-use tfsim_bitstate::Category;
+use tfsim_bitstate::{Category, UnitId};
 
 /// An architecturally visible event produced by the retire stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -473,6 +473,71 @@ impl Pipeline {
     /// golden checkpoint into injection trials).
     pub fn disable_flow_log(&mut self) {
         self.flow_log = None;
+    }
+
+    /// Enables (or disables) word-granular access logging in the tracked
+    /// RAM-like structures (LSQ, physical register file, MHRs). Logging is
+    /// instrumentation, not machine state: it never changes execution and
+    /// is not part of the visit walk. The word-parallel trial engine turns
+    /// it on for a private golden clone only.
+    pub fn set_access_tracking(&mut self, on: bool) {
+        self.lsq.log.set_enabled(on);
+        self.regfile.log.set_enabled(on);
+        self.mhrs.log.set_enabled(on);
+    }
+
+    /// Drains every logged access since the previous drain, in program
+    /// order per structure (LSQ first, then register file, then MHRs),
+    /// mapping each structure-local fixed ordinal to the *visit-order*
+    /// field index inside the enclosing fingerprint unit for the active
+    /// configuration. `f(unit, field_ordinal, is_write)`.
+    pub fn drain_accesses(&mut self, f: &mut dyn FnMut(UnitId, u32, bool)) {
+        let ptr_ecc = self.config.pointer_ecc;
+        // Without pointer ECC the per-entry `dst_ecc` field is absent from
+        // the visit walk: drop its events and close the gap.
+        let lq_words = if ptr_ecc { lqw::WORDS } else { lqw::WORDS - 1 };
+        let sq_visit_base = sizes::LOAD_QUEUE as u32 * lq_words;
+        self.lsq.log.drain(&mut |ord, w| {
+            if ord < SQ_BASE {
+                let entry = ord / lqw::WORDS;
+                let k = ord % lqw::WORDS;
+                if !ptr_ecc && k == lqw::DST_ECC {
+                    return;
+                }
+                let k = if !ptr_ecc && k > lqw::DST_ECC { k - 1 } else { k };
+                f(UnitId::Lsq, entry * lq_words + k, w);
+            } else {
+                f(UnitId::Lsq, sq_visit_base + (ord - SQ_BASE), w);
+            }
+        });
+        // Regfile local ordinals coincide with the unit's visit order for
+        // every configuration (the ECC fields come after and are never
+        // logged).
+        self.regfile.log.drain(&mut |ord, w| f(UnitId::Regfile, ord, w));
+        // ArchCtrl visit order: 80 spec_ready bools, then the MHR fields.
+        let mhr_base = sizes::PHYS_REGS as u32;
+        self.mhrs.log.drain(&mut |ord, w| f(UnitId::ArchCtrl, mhr_base + ord, w));
+    }
+
+    /// Whether a `(unit, visit-order field ordinal)` pair lies inside the
+    /// range covered by the access log (the word set `drain_accesses` can
+    /// report). Faults in untracked words cannot be reasoned about from a
+    /// golden access footprint and must take a scalar trial path.
+    pub fn access_tracked(&self, unit: UnitId, ord: u32) -> bool {
+        let lq_words =
+            if self.config.pointer_ecc { lqw::WORDS } else { lqw::WORDS - 1 };
+        match unit {
+            UnitId::Lsq => {
+                ord < sizes::LOAD_QUEUE as u32 * lq_words
+                    + sizes::STORE_QUEUE as u32 * sqw::WORDS
+            }
+            UnitId::Regfile => ord < 3 * sizes::PHYS_REGS as u32,
+            UnitId::ArchCtrl => {
+                let mhr_base = sizes::PHYS_REGS as u32;
+                (mhr_base..mhr_base + sizes::MHRS as u32 * 3).contains(&ord)
+            }
+            _ => false,
+        }
     }
 
     /// Checks the rename-state partition invariant for an *idle* machine

@@ -79,10 +79,8 @@ impl Pipeline {
         ));
 
         // LSQ.
-        let loads: Vec<String> = self
-            .lsq
-            .lq
-            .iter()
+        let loads: Vec<String> = (0..sizes::LOAD_QUEUE)
+            .map(|i| self.lsq.peek_lq(i))
             .filter(|e| e.valid)
             .map(|e| {
                 let st = match e.state {
@@ -101,10 +99,8 @@ impl Pipeline {
                 format!("{:#x}:{st}", e.addr)
             })
             .collect();
-        let stores: Vec<String> = self
-            .lsq
-            .sq
-            .iter()
+        let stores: Vec<String> = (0..sizes::STORE_QUEUE)
+            .map(|i| self.lsq.peek_sq(i))
             .filter(|e| e.valid)
             .map(|e| {
                 format!(

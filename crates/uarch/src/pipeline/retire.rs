@@ -47,7 +47,9 @@ impl Pipeline {
             if insn.mnemonic == Mnemonic::CallPal {
                 // Syscalls must observe all prior stores: wait for the
                 // senior store buffer to drain first.
-                if self.lsq.sq.iter().any(|s| s.valid && s.senior) {
+                let senior_pending = (0..sizes::STORE_QUEUE)
+                    .any(|i| self.lsq.sq_valid(i) && self.lsq.sq_senior(i));
+                if senior_pending {
                     break;
                 }
                 match insn.pal {
@@ -81,9 +83,12 @@ impl Pipeline {
             let mut store_rec = None;
             if e.is_store {
                 let idx = (e.lsq as usize) % sizes::STORE_QUEUE;
-                let sq = &mut self.lsq.sq[idx];
-                store_rec = Some(StoreRecord { addr: sq.addr, value: sq.data, size: sq.size() });
-                sq.senior = true;
+                store_rec = Some(StoreRecord {
+                    addr: self.lsq.sq_addr(idx),
+                    value: self.lsq.sq_data(idx),
+                    size: self.lsq.sq_size(idx),
+                });
+                self.lsq.set_sq_senior(idx, true);
             }
 
             // Commit the rename: the architectural map adopts the new

@@ -785,3 +785,321 @@ fn check_invariants_flags_planted_corruptions() {
     broken.rob.count = (broken.rob.count + 1) % (sizes::ROB as u64 + 1);
     assert!(!broken.check_invariants().is_empty(), "rob count corruption not flagged");
 }
+
+// --- Access-log ordinal pinning -----------------------------------------
+//
+// The sliced trial engine trusts `drain_accesses` to name, in *visit
+// order*, exactly the unit-local field each structure access touched. These
+// tests pin that mapping against the real state walk: perform an operation
+// twice — once untracked (diffing full field dumps to find which fields
+// actually changed) and once tracked (collecting drained events) — and
+// require every changed field to be covered by a logged write.
+
+mod access_ordinals {
+    use super::*;
+    use std::collections::BTreeSet;
+    use tfsim_bitstate::{FieldMeta, StateVisitor, UnitId};
+    use crate::queues::{lqw, sqw, LqEntry, SqEntry};
+
+    /// Records `(unit, within-unit field ordinal, value)` for every field.
+    struct FieldDump {
+        fields: Vec<(Option<UnitId>, u32, u64)>,
+        unit: Option<UnitId>,
+        ord: u32,
+    }
+
+    impl StateVisitor for FieldDump {
+        fn field(&mut self, _meta: FieldMeta, _width: u32, bits: &mut u64) {
+            self.fields.push((self.unit, self.ord, *bits));
+            self.ord += 1;
+        }
+        fn enter_unit(&mut self, unit: UnitId, _gen: u64) -> bool {
+            self.unit = Some(unit);
+            self.ord = 0;
+            true
+        }
+        fn exit_unit(&mut self, _unit: UnitId) {
+            self.unit = None;
+        }
+    }
+
+    fn dump(cpu: &mut Pipeline) -> Vec<(Option<UnitId>, u32, u64)> {
+        let mut d = FieldDump { fields: Vec::new(), unit: None, ord: 0 };
+        cpu.visit_state(&mut d);
+        d.fields
+    }
+
+    fn tiny_pipeline(config: PipelineConfig) -> Pipeline {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::R0, 1);
+        a.li(Reg::R16, 0);
+        a.callsys();
+        Pipeline::new(&Program::new("tiny", a), config)
+    }
+
+    /// Runs `op` untracked and diffs the state walk; runs it again tracked
+    /// and drains. Asserts every changed field is covered by a logged
+    /// write, and returns the (reads, writes) event sets.
+    /// Whether a (unit, within-unit visit ordinal) pair is in the tracked
+    /// range of the access log. Untracked words (LSQ ring pointers, regfile
+    /// ECC syndromes, ArchCtrl spec-ready/arch-pc/watchdog latches) are
+    /// never logged by design; coverage assertions must exempt them.
+    fn is_tracked(config: PipelineConfig, u: UnitId, o: u32) -> bool {
+        match u {
+            UnitId::Lsq => {
+                let tracked_words = sizes::LOAD_QUEUE as u32 * lq_words(config)
+                    + sizes::STORE_QUEUE as u32 * sqw::WORDS;
+                o < tracked_words
+            }
+            UnitId::Regfile => o < 3 * sizes::PHYS_REGS as u32,
+            UnitId::ArchCtrl => {
+                let mhr_base = sizes::PHYS_REGS as u32;
+                (mhr_base..mhr_base + sizes::MHRS as u32 * 3).contains(&o)
+            }
+            _ => false,
+        }
+    }
+
+    fn check_writes_cover_changes(
+        config: PipelineConfig,
+        op: &dyn Fn(&mut Pipeline),
+    ) -> (BTreeSet<(UnitId, u32)>, BTreeSet<(UnitId, u32)>) {
+        let mut plain = tiny_pipeline(config);
+        let before = dump(&mut plain);
+        op(&mut plain);
+        let after = dump(&mut plain);
+        assert_eq!(before.len(), after.len(), "visit shape changed");
+        let changed: BTreeSet<(UnitId, u32)> = before
+            .iter()
+            .zip(after.iter())
+            .filter(|(b, a)| b.2 != a.2)
+            .map(|(_, a)| (a.0.expect("changed field outside any unit"), a.1))
+            .collect();
+
+        let mut tracked = tiny_pipeline(config);
+        tracked.set_access_tracking(true);
+        op(&mut tracked);
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeSet::new();
+        tracked.drain_accesses(&mut |u, o, w| {
+            if w {
+                writes.insert((u, o));
+            } else {
+                reads.insert((u, o));
+            }
+        });
+        for c in &changed {
+            if !is_tracked(config, c.0, c.1) {
+                continue;
+            }
+            assert!(
+                writes.contains(c),
+                "changed field {c:?} not covered by a logged write\nchanged: {changed:?}\nwrites: {writes:?}"
+            );
+        }
+        (reads, writes)
+    }
+
+    fn lq_words(config: PipelineConfig) -> u32 {
+        if config.pointer_ecc {
+            lqw::WORDS
+        } else {
+            lqw::WORDS - 1
+        }
+    }
+
+    #[test]
+    fn lq_field_writes_pin_to_visit_ordinals() {
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let lw = lq_words(config);
+            let (_, writes) =
+                check_writes_cover_changes(config, &|cpu| cpu.lsq.set_lq_addr(3, 0xbeef_0008));
+            assert_eq!(
+                writes.into_iter().collect::<Vec<_>>(),
+                vec![(UnitId::Lsq, 3 * lw + lqw::ADDR)]
+            );
+            let (_, writes) =
+                check_writes_cover_changes(config, &|cpu| cpu.lsq.set_lq_fwd_value(7, 99));
+            assert_eq!(
+                writes.into_iter().collect::<Vec<_>>(),
+                vec![(UnitId::Lsq, 7 * lw + lqw::FWD_VALUE)]
+            );
+        }
+    }
+
+    #[test]
+    fn sq_field_writes_pin_to_visit_ordinals() {
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let sq_base = sizes::LOAD_QUEUE as u32 * lq_words(config);
+            let (_, writes) =
+                check_writes_cover_changes(config, &|cpu| cpu.lsq.set_sq_data(5, 0x1234));
+            assert_eq!(
+                writes.into_iter().collect::<Vec<_>>(),
+                vec![(UnitId::Lsq, sq_base + 5 * sqw::WORDS + sqw::DATA)]
+            );
+            let (_, writes) =
+                check_writes_cover_changes(config, &|cpu| cpu.lsq.set_sq_senior(15, true));
+            assert_eq!(
+                writes.into_iter().collect::<Vec<_>>(),
+                vec![(UnitId::Lsq, sq_base + 15 * sqw::WORDS + sqw::SENIOR)]
+            );
+        }
+    }
+
+    #[test]
+    fn dst_ecc_events_exist_only_under_pointer_ecc() {
+        let mut cpu = tiny_pipeline(PipelineConfig::baseline());
+        cpu.set_access_tracking(true);
+        let _ = cpu.lsq.lq_dst_ecc(3);
+        let mut events = Vec::new();
+        cpu.drain_accesses(&mut |u, o, w| events.push((u, o, w)));
+        assert!(events.is_empty(), "dst_ecc is absent from the baseline walk: {events:?}");
+
+        let mut cpu = tiny_pipeline(PipelineConfig::protected());
+        cpu.set_access_tracking(true);
+        let _ = cpu.lsq.lq_dst_ecc(3);
+        let mut events = Vec::new();
+        cpu.drain_accesses(&mut |u, o, w| events.push((u, o, w)));
+        assert_eq!(events, vec![(UnitId::Lsq, 3 * lqw::WORDS + lqw::DST_ECC, false)]);
+    }
+
+    #[test]
+    fn regfile_writes_pin_to_visit_ordinals() {
+        // Baseline: a register write touches the value and the extra bit.
+        let (_, writes) =
+            check_writes_cover_changes(PipelineConfig::baseline(), &|cpu| {
+                cpu.regfile.write(42, 0x5555)
+            });
+        assert_eq!(
+            writes.into_iter().collect::<Vec<_>>(),
+            vec![(UnitId::Regfile, 42), (UnitId::Regfile, 80 + 42)]
+        );
+        // Scoreboard bits sit after the 2x80 entry fields.
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let (_, writes) =
+                check_writes_cover_changes(config, &|cpu| cpu.regfile.set_ready(60, true));
+            assert_eq!(
+                writes.into_iter().collect::<Vec<_>>(),
+                vec![(UnitId::Regfile, 160 + 60)]
+            );
+        }
+    }
+
+    #[test]
+    fn regfile_ecc_write_changes_stay_within_logged_or_untracked_words() {
+        // With register-file ECC the write also dirties the (untracked)
+        // stale-tracking latches; those visit ordinals must all be >= 240
+        // so the engine can prove a flip there never rides.
+        let config = PipelineConfig {
+            regfile_ecc: true,
+            ..PipelineConfig::baseline()
+        };
+        let mut plain = tiny_pipeline(config);
+        let before = dump(&mut plain);
+        plain.regfile.write(42, 0x5555);
+        let after = dump(&mut plain);
+        for ((bu, bo, bv), (_, _, av)) in before.iter().zip(after.iter()) {
+            if bv != av && *bu == Some(UnitId::Regfile) && *bo < 240 {
+                assert!(
+                    *bo == 42 || *bo == 80 + 42,
+                    "unexpected tracked-regfile change at ordinal {bo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mhr_ops_pin_to_archctrl_ordinals() {
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let (reads, writes) =
+                check_writes_cover_changes(config, &|cpu| {
+                    assert!(cpu.mhrs.allocate(0x4_0040));
+                });
+            // Entry 0 allocates: valid/addr/timer at ArchCtrl 80..83.
+            for w in [80u32, 81, 82] {
+                assert!(writes.contains(&(UnitId::ArchCtrl, w)), "missing write {w}: {writes:?}");
+            }
+            // The duplicate-line scan read every entry's valid and addr.
+            assert!(reads.contains(&(UnitId::ArchCtrl, 80)));
+            assert!(reads.contains(&(UnitId::ArchCtrl, 80 + 15 * 3 + 1)));
+        }
+    }
+
+    #[test]
+    fn queue_bulk_ops_cover_all_changed_words() {
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            check_writes_cover_changes(config, &|cpu| {
+                cpu.lsq.alloc_load(LqEntry {
+                    addr: 0x8000,
+                    rob: 7,
+                    dst_preg: 33,
+                    pc: 0x1_0000,
+                    raw: 0xa000_0000,
+                    ..Default::default()
+                });
+            });
+            check_writes_cover_changes(config, &|cpu| {
+                cpu.lsq.alloc_store(SqEntry {
+                    addr: 0x8100,
+                    data: 5,
+                    rob: 9,
+                    pc: 0x1_0004,
+                    ..Default::default()
+                });
+            });
+            check_writes_cover_changes(config, &|cpu| {
+                cpu.lsq.alloc_load(LqEntry { addr: 0x40, rob: 1, ..Default::default() });
+                cpu.lsq.alloc_store(SqEntry {
+                    addr: 0x80,
+                    senior: false,
+                    rob: 2,
+                    ..Default::default()
+                });
+                cpu.lsq.flush_keep_senior();
+            });
+            check_writes_cover_changes(config, &|cpu| {
+                cpu.regfile.all_ready();
+                cpu.mhrs.clear();
+            });
+        }
+    }
+
+    #[test]
+    fn stepping_with_tracking_covers_all_tracked_changes() {
+        // Integration: run real cycles with tracking on; every change the
+        // step made to a tracked word must be covered by a logged write or
+        // preceded by nothing at all (un-logged structures are exempt).
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let mut plain = tiny_pipeline(config);
+            let mut tracked = tiny_pipeline(config);
+            tracked.set_access_tracking(true);
+            for _ in 0..40 {
+                let before = dump(&mut plain);
+                plain.step();
+                let after = dump(&mut plain);
+                tracked.step();
+                let mut writes = BTreeSet::new();
+                tracked.drain_accesses(&mut |u, o, w| {
+                    if w {
+                        writes.insert((u, o));
+                    }
+                });
+                let tracked_change_covered =
+                    |u: UnitId, o: u32| -> bool { !is_tracked(config, u, o) || writes.contains(&(u, o)) };
+                for ((bu, bo, bv), (_, _, av)) in before.iter().zip(after.iter()) {
+                    if bv != av {
+                        if let Some(u) = bu {
+                            assert!(
+                                tracked_change_covered(*u, *bo),
+                                "cycle changed tracked {u:?} ordinal {bo} without logging a write"
+                            );
+                        }
+                    }
+                }
+                if !plain.running() {
+                    break;
+                }
+            }
+        }
+    }
+}

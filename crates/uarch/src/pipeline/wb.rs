@@ -219,8 +219,8 @@ impl Pipeline {
         for i in 0..sizes::SCHEDULER {
             let e = &self.sched.slots[i];
             if e.valid && e.wait_sq_valid {
-                let sq = &self.lsq.sq[(e.wait_sq as usize) % sizes::STORE_QUEUE];
-                if !sq.valid || sq.addr_valid {
+                let wsq = (e.wait_sq as usize) % sizes::STORE_QUEUE;
+                if !self.lsq.sq_valid(wsq) || self.lsq.sq_addr_valid(wsq) {
                     self.sched.slots[i].wait_sq_valid = false;
                 }
             }

@@ -11,6 +11,7 @@
 use tfsim_bitstate::{visit_bool, visit_pc, Category, FieldMeta, StateVisitor, StorageKind};
 use tfsim_isa::Reg;
 
+use crate::access::AccessLog;
 use crate::config::sizes;
 
 /// An instruction traveling through fetch/decode, with its prediction
@@ -512,25 +513,103 @@ impl SqEntry {
     }
 }
 
+/// Fixed (configuration-independent) word ordinals for the access log.
+///
+/// The log numbers every load-queue entry with [`lqw::WORDS`] words — the
+/// full layout *including* `dst_ecc` — even when pointer ECC is off;
+/// `Pipeline::drain_accesses` converts to the actual visit-order ordinal
+/// for the active configuration. Keeping the log numbering fixed means no
+/// structure needs to know the pipeline configuration.
+pub mod lqw {
+    /// Word ordinals of one load-queue entry, in visit order.
+    pub const VALID: u32 = 0;
+    /// Effective address.
+    pub const ADDR: u32 = 1;
+    /// Access size (log2).
+    pub const SIZE: u32 = 2;
+    /// Progress state.
+    pub const STATE: u32 = 3;
+    /// In-flight data timer.
+    pub const TIMER: u32 = 4;
+    /// Access in flight.
+    pub const INFLIGHT: u32 = 5;
+    /// Waiting on a line fill.
+    pub const FILL_WAIT: u32 = 6;
+    /// Data forwarded from the store queue.
+    pub const FORWARDED: u32 = 7;
+    /// Forwarding source slot.
+    pub const FWD_SQ: u32 = 8;
+    /// Forwarded value.
+    pub const FWD_VALUE: u32 = 9;
+    /// Scheduler slot.
+    pub const SCHED: u32 = 10;
+    /// ROB tag.
+    pub const ROB: u32 = 11;
+    /// Destination physical register.
+    pub const DST_PREG: u32 = 12;
+    /// Pointer-ECC check bits (exists in the visit walk only with pointer
+    /// ECC enabled).
+    pub const DST_ECC: u32 = 13;
+    /// Load PC.
+    pub const PC: u32 = 14;
+    /// Raw instruction word.
+    pub const RAW: u32 = 15;
+    /// Words per entry in the fixed numbering.
+    pub const WORDS: u32 = 16;
+}
+
+/// Fixed word ordinals of one store-queue entry, in visit order.
+pub mod sqw {
+    /// Entry allocated.
+    pub const VALID: u32 = 0;
+    /// Effective address.
+    pub const ADDR: u32 = 1;
+    /// Address computed.
+    pub const ADDR_VALID: u32 = 2;
+    /// Store data.
+    pub const DATA: u32 = 3;
+    /// Data captured.
+    pub const DATA_VALID: u32 = 4;
+    /// Access size (log2).
+    pub const SIZE: u32 = 5;
+    /// ROB tag.
+    pub const ROB: u32 = 6;
+    /// Store PC.
+    pub const PC: u32 = 7;
+    /// Senior (retired, draining).
+    pub const SENIOR: u32 = 8;
+    /// Words per entry.
+    pub const WORDS: u32 = 9;
+}
+
+/// First store-queue word in the fixed Lsq-local numbering.
+pub const SQ_BASE: u32 = sizes::LOAD_QUEUE as u32 * lqw::WORDS;
+
 /// The 16-entry load queue and 16-entry store queue (circular).
+///
+/// The entry arrays are private: every read and full-word write from the
+/// pipeline's step path goes through the logged accessors below, which is
+/// what lets the word-parallel trial engine prove a flipped cell was never
+/// consumed. Observers (state walks, invariant checks, tests) use
+/// [`Lsq::peek_lq`] / [`Lsq::peek_sq`], which never log.
 #[derive(Debug, Clone)]
 pub struct Lsq {
-    /// Load entries.
-    pub lq: Vec<LqEntry>,
+    lq: Vec<LqEntry>,
     /// Load ring head (4-bit).
     pub lq_head: u64,
     /// Load ring tail.
     pub lq_tail: u64,
     /// Load occupancy (5-bit).
     pub lq_count: u64,
-    /// Store entries.
-    pub sq: Vec<SqEntry>,
+    sq: Vec<SqEntry>,
     /// Store ring head.
     pub sq_head: u64,
     /// Store ring tail.
     pub sq_tail: u64,
     /// Store occupancy.
     pub sq_count: u64,
+    /// Word-granular access log for the sliced trial engine.
+    pub log: AccessLog,
 }
 
 impl Lsq {
@@ -548,7 +627,41 @@ impl Lsq {
             sq_head: 0,
             sq_tail: 0,
             sq_count: 0,
+            log: AccessLog::default(),
         }
+    }
+
+    #[inline(always)]
+    fn lord(i: usize, word: u32) -> u32 {
+        (i % sizes::LOAD_QUEUE) as u32 * lqw::WORDS + word
+    }
+
+    #[inline(always)]
+    fn sord(i: usize, word: u32) -> u32 {
+        SQ_BASE + (i % sizes::STORE_QUEUE) as u32 * sqw::WORDS + word
+    }
+
+    /// Unlogged load-queue access for observers and tests only — never use
+    /// on the step path.
+    pub fn peek_lq(&self, i: usize) -> &LqEntry {
+        &self.lq[i % sizes::LOAD_QUEUE]
+    }
+
+    /// Unlogged store-queue access for observers and tests only.
+    pub fn peek_sq(&self, i: usize) -> &SqEntry {
+        &self.sq[i % sizes::STORE_QUEUE]
+    }
+
+    /// Test-only mutable access; logs nothing.
+    #[doc(hidden)]
+    pub fn poke_lq(&mut self, i: usize) -> &mut LqEntry {
+        &mut self.lq[i % sizes::LOAD_QUEUE]
+    }
+
+    /// Test-only mutable access; logs nothing.
+    #[doc(hidden)]
+    pub fn poke_sq(&mut self, i: usize) -> &mut SqEntry {
+        &mut self.sq[i % sizes::STORE_QUEUE]
     }
 
     /// Free load slots.
@@ -561,11 +674,28 @@ impl Lsq {
         Self::SCAP - self.sq_count.min(Self::SCAP)
     }
 
+    fn log_lq_entry_write(&mut self, i: usize) {
+        if self.log.enabled() {
+            for w in 0..lqw::WORDS {
+                self.log.write(Self::lord(i, w));
+            }
+        }
+    }
+
+    fn log_sq_entry_write(&mut self, i: usize) {
+        if self.log.enabled() {
+            for w in 0..sqw::WORDS {
+                self.log.write(Self::sord(i, w));
+            }
+        }
+    }
+
     /// Allocates a load slot, returning its index.
     pub fn alloc_load(&mut self, e: LqEntry) -> u64 {
         let i = self.lq_tail % Self::LCAP;
         self.lq[i as usize] = e;
         self.lq[i as usize].valid = true;
+        self.log_lq_entry_write(i as usize);
         self.lq_tail = (self.lq_tail + 1) % Self::LCAP;
         self.lq_count = (self.lq_count + 1) & 0x1f;
         i
@@ -576,6 +706,7 @@ impl Lsq {
         let i = self.sq_tail % Self::SCAP;
         self.sq[i as usize] = e;
         self.sq[i as usize].valid = true;
+        self.log_sq_entry_write(i as usize);
         self.sq_tail = (self.sq_tail + 1) % Self::SCAP;
         self.sq_count = (self.sq_count + 1) & 0x1f;
         i
@@ -589,6 +720,7 @@ impl Lsq {
         }
         let i = (self.lq_head % Self::LCAP) as usize;
         self.lq[i] = LqEntry::default();
+        self.log_lq_entry_write(i);
         self.lq_head = (self.lq_head + 1) % Self::LCAP;
         self.lq_count = (self.lq_count - 1) & 0x1f;
     }
@@ -599,7 +731,9 @@ impl Lsq {
             return;
         }
         self.lq_tail = (self.lq_tail + Self::LCAP - 1) % Self::LCAP;
-        self.lq[(self.lq_tail % Self::LCAP) as usize] = LqEntry::default();
+        let i = (self.lq_tail % Self::LCAP) as usize;
+        self.lq[i] = LqEntry::default();
+        self.log_lq_entry_write(i);
         self.lq_count = (self.lq_count - 1) & 0x1f;
     }
 
@@ -609,27 +743,276 @@ impl Lsq {
             return;
         }
         self.sq_tail = (self.sq_tail + Self::SCAP - 1) % Self::SCAP;
-        self.sq[(self.sq_tail % Self::SCAP) as usize] = SqEntry::default();
+        let i = (self.sq_tail % Self::SCAP) as usize;
+        self.sq[i] = SqEntry::default();
+        self.log_sq_entry_write(i);
         self.sq_count = (self.sq_count - 1) & 0x1f;
     }
 
     /// Drops every load and every non-senior store (full flush). Senior
     /// stores survive and continue draining.
     pub fn flush_keep_senior(&mut self) {
-        for e in self.lq.iter_mut() {
-            *e = LqEntry::default();
+        for i in 0..sizes::LOAD_QUEUE {
+            self.lq[i] = LqEntry::default();
+            self.log_lq_entry_write(i);
         }
         self.lq_head = 0;
         self.lq_tail = 0;
         self.lq_count = 0;
         // Compact: drop non-senior stores from the tail side.
         while self.sq_count.min(Self::SCAP) > 0 {
-            let last = (self.sq_tail + Self::SCAP - 1) % Self::SCAP;
-            if self.sq[(last % Self::SCAP) as usize].senior {
+            let last = ((self.sq_tail + Self::SCAP - 1) % Self::SCAP) as usize;
+            if self.sq_senior(last) {
                 break;
             }
             self.pop_store_tail();
         }
+    }
+
+    // --- Logged per-field accessors (the step path's only way in) ---
+    //
+    // Reads log the word consumed; setters log a full-word overwrite. Index
+    // arguments are masked by capacity so fault-corrupted indices stay safe.
+
+    /// Logged read: load entry allocated?
+    pub fn lq_valid(&mut self, i: usize) -> bool {
+        self.log.read(Self::lord(i, lqw::VALID));
+        self.lq[i % sizes::LOAD_QUEUE].valid
+    }
+
+    /// Logged read: load effective address.
+    pub fn lq_addr(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::ADDR));
+        self.lq[i % sizes::LOAD_QUEUE].addr
+    }
+
+    /// Logged read: load access size in bytes.
+    pub fn lq_size(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::SIZE));
+        self.lq[i % sizes::LOAD_QUEUE].size()
+    }
+
+    /// Logged read: load progress state.
+    pub fn lq_state(&mut self, i: usize) -> LoadState {
+        self.log.read(Self::lord(i, lqw::STATE));
+        self.lq[i % sizes::LOAD_QUEUE].state
+    }
+
+    /// Logged read: in-flight data timer.
+    pub fn lq_data_timer(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::TIMER));
+        self.lq[i % sizes::LOAD_QUEUE].data_timer
+    }
+
+    /// Logged read: access in flight?
+    pub fn lq_inflight(&mut self, i: usize) -> bool {
+        self.log.read(Self::lord(i, lqw::INFLIGHT));
+        self.lq[i % sizes::LOAD_QUEUE].inflight
+    }
+
+    /// Logged read: waiting on a line fill?
+    pub fn lq_fill_wait(&mut self, i: usize) -> bool {
+        self.log.read(Self::lord(i, lqw::FILL_WAIT));
+        self.lq[i % sizes::LOAD_QUEUE].fill_wait
+    }
+
+    /// Logged read: data forwarded from the store queue?
+    pub fn lq_forwarded(&mut self, i: usize) -> bool {
+        self.log.read(Self::lord(i, lqw::FORWARDED));
+        self.lq[i % sizes::LOAD_QUEUE].forwarded
+    }
+
+    /// Logged read: forwarding source slot.
+    pub fn lq_fwd_sq(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::FWD_SQ));
+        self.lq[i % sizes::LOAD_QUEUE].fwd_sq
+    }
+
+    /// Logged read: forwarded value.
+    pub fn lq_fwd_value(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::FWD_VALUE));
+        self.lq[i % sizes::LOAD_QUEUE].fwd_value
+    }
+
+    /// Logged read: scheduler slot of the load.
+    pub fn lq_sched(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::SCHED));
+        self.lq[i % sizes::LOAD_QUEUE].sched
+    }
+
+    /// Logged read: ROB tag of the load.
+    pub fn lq_rob(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::ROB));
+        self.lq[i % sizes::LOAD_QUEUE].rob
+    }
+
+    /// Logged read: destination physical register.
+    pub fn lq_dst_preg(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::DST_PREG));
+        self.lq[i % sizes::LOAD_QUEUE].dst_preg
+    }
+
+    /// Logged read: pointer-ECC check bits for the destination.
+    pub fn lq_dst_ecc(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::DST_ECC));
+        self.lq[i % sizes::LOAD_QUEUE].dst_ecc
+    }
+
+    /// Logged read: load PC.
+    pub fn lq_pc(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::PC));
+        self.lq[i % sizes::LOAD_QUEUE].pc
+    }
+
+    /// Logged read: raw instruction word.
+    pub fn lq_raw(&mut self, i: usize) -> u64 {
+        self.log.read(Self::lord(i, lqw::RAW));
+        self.lq[i % sizes::LOAD_QUEUE].raw
+    }
+
+    /// Logged write of the load's effective address.
+    pub fn set_lq_addr(&mut self, i: usize, addr: u64) {
+        self.log.write(Self::lord(i, lqw::ADDR));
+        self.lq[i % sizes::LOAD_QUEUE].addr = addr;
+    }
+
+    /// Logged write of the load's scheduler slot.
+    pub fn set_lq_sched(&mut self, i: usize, sched: u64) {
+        self.log.write(Self::lord(i, lqw::SCHED));
+        self.lq[i % sizes::LOAD_QUEUE].sched = sched;
+    }
+
+    /// Logged write of the load's progress state.
+    pub fn set_lq_state(&mut self, i: usize, st: LoadState) {
+        self.log.write(Self::lord(i, lqw::STATE));
+        self.lq[i % sizes::LOAD_QUEUE].state = st;
+    }
+
+    /// Logged write of the in-flight data timer.
+    pub fn set_lq_data_timer(&mut self, i: usize, t: u64) {
+        self.log.write(Self::lord(i, lqw::TIMER));
+        self.lq[i % sizes::LOAD_QUEUE].data_timer = t;
+    }
+
+    /// Logged write of the in-flight flag.
+    pub fn set_lq_inflight(&mut self, i: usize, on: bool) {
+        self.log.write(Self::lord(i, lqw::INFLIGHT));
+        self.lq[i % sizes::LOAD_QUEUE].inflight = on;
+    }
+
+    /// Logged write of the fill-wait flag.
+    pub fn set_lq_fill_wait(&mut self, i: usize, on: bool) {
+        self.log.write(Self::lord(i, lqw::FILL_WAIT));
+        self.lq[i % sizes::LOAD_QUEUE].fill_wait = on;
+    }
+
+    /// Logged write of the forwarded flag.
+    pub fn set_lq_forwarded(&mut self, i: usize, on: bool) {
+        self.log.write(Self::lord(i, lqw::FORWARDED));
+        self.lq[i % sizes::LOAD_QUEUE].forwarded = on;
+    }
+
+    /// Logged write of the forwarding source slot.
+    pub fn set_lq_fwd_sq(&mut self, i: usize, sq: u64) {
+        self.log.write(Self::lord(i, lqw::FWD_SQ));
+        self.lq[i % sizes::LOAD_QUEUE].fwd_sq = sq;
+    }
+
+    /// Logged write of the forwarded value.
+    pub fn set_lq_fwd_value(&mut self, i: usize, v: u64) {
+        self.log.write(Self::lord(i, lqw::FWD_VALUE));
+        self.lq[i % sizes::LOAD_QUEUE].fwd_value = v;
+    }
+
+    /// Logged read: store entry allocated?
+    pub fn sq_valid(&mut self, i: usize) -> bool {
+        self.log.read(Self::sord(i, sqw::VALID));
+        self.sq[i % sizes::STORE_QUEUE].valid
+    }
+
+    /// Logged read: store effective address.
+    pub fn sq_addr(&mut self, i: usize) -> u64 {
+        self.log.read(Self::sord(i, sqw::ADDR));
+        self.sq[i % sizes::STORE_QUEUE].addr
+    }
+
+    /// Logged read: store address computed?
+    pub fn sq_addr_valid(&mut self, i: usize) -> bool {
+        self.log.read(Self::sord(i, sqw::ADDR_VALID));
+        self.sq[i % sizes::STORE_QUEUE].addr_valid
+    }
+
+    /// Logged read: store data.
+    pub fn sq_data(&mut self, i: usize) -> u64 {
+        self.log.read(Self::sord(i, sqw::DATA));
+        self.sq[i % sizes::STORE_QUEUE].data
+    }
+
+    /// Logged read: store data captured?
+    pub fn sq_data_valid(&mut self, i: usize) -> bool {
+        self.log.read(Self::sord(i, sqw::DATA_VALID));
+        self.sq[i % sizes::STORE_QUEUE].data_valid
+    }
+
+    /// Logged read: store access size in bytes.
+    pub fn sq_size(&mut self, i: usize) -> u64 {
+        self.log.read(Self::sord(i, sqw::SIZE));
+        self.sq[i % sizes::STORE_QUEUE].size()
+    }
+
+    /// Logged read: ROB tag of the store.
+    pub fn sq_rob(&mut self, i: usize) -> u64 {
+        self.log.read(Self::sord(i, sqw::ROB));
+        self.sq[i % sizes::STORE_QUEUE].rob
+    }
+
+    /// Logged read: store PC.
+    pub fn sq_pc(&mut self, i: usize) -> u64 {
+        self.log.read(Self::sord(i, sqw::PC));
+        self.sq[i % sizes::STORE_QUEUE].pc
+    }
+
+    /// Logged read: store is senior (retired, draining)?
+    pub fn sq_senior(&mut self, i: usize) -> bool {
+        self.log.read(Self::sord(i, sqw::SENIOR));
+        self.sq[i % sizes::STORE_QUEUE].senior
+    }
+
+    /// Logged write of the store's effective address.
+    pub fn set_sq_addr(&mut self, i: usize, addr: u64) {
+        self.log.write(Self::sord(i, sqw::ADDR));
+        self.sq[i % sizes::STORE_QUEUE].addr = addr;
+    }
+
+    /// Logged write of the address-computed flag.
+    pub fn set_sq_addr_valid(&mut self, i: usize, on: bool) {
+        self.log.write(Self::sord(i, sqw::ADDR_VALID));
+        self.sq[i % sizes::STORE_QUEUE].addr_valid = on;
+    }
+
+    /// Logged write of the store data.
+    pub fn set_sq_data(&mut self, i: usize, v: u64) {
+        self.log.write(Self::sord(i, sqw::DATA));
+        self.sq[i % sizes::STORE_QUEUE].data = v;
+    }
+
+    /// Logged write of the data-captured flag.
+    pub fn set_sq_data_valid(&mut self, i: usize, on: bool) {
+        self.log.write(Self::sord(i, sqw::DATA_VALID));
+        self.sq[i % sizes::STORE_QUEUE].data_valid = on;
+    }
+
+    /// Logged write of the senior flag.
+    pub fn set_sq_senior(&mut self, i: usize, on: bool) {
+        self.log.write(Self::sord(i, sqw::SENIOR));
+        self.sq[i % sizes::STORE_QUEUE].senior = on;
+    }
+
+    /// Clears a store entry (drain completion): logged full-entry write.
+    pub fn clear_sq(&mut self, i: usize) {
+        let i = i % sizes::STORE_QUEUE;
+        self.sq[i] = SqEntry::default();
+        self.log_sq_entry_write(i);
     }
 
     /// Visits both queues and their ring pointers.
@@ -765,13 +1148,13 @@ mod tests {
         assert_eq!((l, s), (0, 0));
         assert_eq!(lsq.lq_free(), 15);
         assert_eq!(lsq.sq_free(), 15);
-        lsq.sq[0].senior = true;
+        lsq.poke_sq(0).senior = true;
         lsq.alloc_store(SqEntry { rob: 9, ..Default::default() });
         lsq.flush_keep_senior();
         assert_eq!(lsq.lq_free(), 16, "loads fully cleared");
         assert_eq!(lsq.sq_free(), 15, "senior store survives the flush");
-        assert!(lsq.sq[0].senior);
-        assert!(!lsq.sq[1].valid);
+        assert!(lsq.peek_sq(0).senior);
+        assert!(!lsq.peek_sq(1).valid);
     }
 
     #[test]

@@ -12,7 +12,15 @@
 use tfsim_bitstate::{Category, FieldMeta, StateVisitor, StorageKind};
 use tfsim_protect::{regfile_code, Decoded};
 
+use crate::access::AccessLog;
 use crate::config::sizes;
+
+/// Access-log word ordinal of the 65th ("extra") bit of preg `i` is
+/// `EXTRA_BASE + i`; values sit at `i` directly.
+pub const EXTRA_BASE: u32 = sizes::PHYS_REGS as u32;
+/// Access-log word ordinal of the scoreboard ready bit of preg `i` is
+/// `READY_BASE + i`.
+pub const READY_BASE: u32 = 2 * sizes::PHYS_REGS as u32;
 
 /// The physical register file with scoreboard and optional ECC.
 #[derive(Debug, Clone)]
@@ -26,6 +34,10 @@ pub struct PhysRegFile {
     ecc_stale: Vec<u64>,
     ecc_stale_count: u64,
     ecc_enabled: bool,
+    /// Word-granular access log for the sliced trial engine. Covers the
+    /// values, extra bits, and scoreboard; the ECC side state is untracked
+    /// (flips there take the scalar path).
+    pub log: AccessLog,
 }
 
 const WRITE_PORTS: usize = 7;
@@ -45,6 +57,7 @@ impl PhysRegFile {
             ecc_stale: vec![0; WRITE_PORTS],
             ecc_stale_count: 0,
             ecc_enabled,
+            log: AccessLog::default(),
         }
     }
 
@@ -57,13 +70,20 @@ impl PhysRegFile {
         if i >= self.vals.len() {
             return 0;
         }
+        self.log.read(i as u32);
         if self.ecc_enabled && !self.is_stale(preg) {
+            self.log.read(EXTRA_BASE + i as u32);
             let data = (self.vals[i] as u128) | ((self.extra[i] as u128 & 1) << 64);
             match regfile_code().decode(data, self.ecc[i] as u32) {
                 Decoded::Clean => {}
                 Decoded::CorrectedData(fixed) => {
                     self.vals[i] = fixed as u64;
                     self.extra[i] = (fixed >> 64) as u64 & 1;
+                    // Repair is content-dependent, but the reads above
+                    // shadow these writes in the engine's dedup — the
+                    // repair itself always forces a peel.
+                    self.log.write(i as u32);
+                    self.log.write(EXTRA_BASE + i as u32);
                 }
                 Decoded::CorrectedCheck | Decoded::Uncorrectable => {
                     // Repair the check bits; an uncorrectable pattern from
@@ -90,6 +110,8 @@ impl PhysRegFile {
         if i >= self.vals.len() {
             return;
         }
+        self.log.write(i as u32);
+        self.log.write(EXTRA_BASE + i as u32);
         self.vals[i] = value;
         self.extra[i] = 0;
         if self.ecc_enabled && !self.is_stale(preg) && (self.ecc_stale_count as usize) < WRITE_PORTS
@@ -112,6 +134,8 @@ impl PhysRegFile {
         for k in 0..(self.ecc_stale_count as usize).min(WRITE_PORTS) {
             let i = self.ecc_stale[k] as usize;
             if i < self.vals.len() {
+                self.log.read(i as u32);
+                self.log.read(EXTRA_BASE + i as u32);
                 let data = (self.vals[i] as u128) | ((self.extra[i] as u128 & 1) << 64);
                 self.ecc[i] = regfile_code().encode(data) as u64;
             }
@@ -120,12 +144,23 @@ impl PhysRegFile {
     }
 
     /// Scoreboard: whether `preg` has produced its value.
-    pub fn is_ready(&self, preg: u64) -> bool {
+    pub fn is_ready(&mut self, preg: u64) -> bool {
+        if (preg as usize) < self.ready.len() {
+            self.log.read(READY_BASE + preg as u32);
+        }
+        self.ready.get(preg as usize).copied().unwrap_or(true)
+    }
+
+    /// Scoreboard read without logging (observers and tests only).
+    pub fn peek_ready(&self, preg: u64) -> bool {
         self.ready.get(preg as usize).copied().unwrap_or(true)
     }
 
     /// Sets the scoreboard ready bit.
     pub fn set_ready(&mut self, preg: u64, ready: bool) {
+        if (preg as usize) < self.ready.len() {
+            self.log.write(READY_BASE + preg as u32);
+        }
         if let Some(r) = self.ready.get_mut(preg as usize) {
             *r = ready;
         }
@@ -134,8 +169,9 @@ impl PhysRegFile {
     /// Marks every register ready (full-flush recovery: after a flush all
     /// live values are architectural and therefore complete).
     pub fn all_ready(&mut self) {
-        for r in self.ready.iter_mut() {
-            *r = true;
+        for i in 0..self.ready.len() {
+            self.log.write(READY_BASE + i as u32);
+            self.ready[i] = true;
         }
     }
 

@@ -81,6 +81,75 @@ fn outcome_counts_identical_across_1_2_and_n_threads() {
 }
 
 #[test]
+fn sliced_campaign_is_byte_identical_to_the_ladder() {
+    use tfsim::inject::{
+        run_campaign_journaled, run_campaign_observed, CampaignJournal, CampaignObs, JournalMeta,
+    };
+    use tfsim::obs::{strip_wall_clock, RingSink};
+
+    let workloads: Vec<_> = workloads::all()
+        .into_iter()
+        .filter(|w| w.name == "gzip-like" || w.name == "vpr-like")
+        .collect();
+
+    // Traced run: the full per-trial event stream (modulo wall clock) must
+    // agree, which pins every record, trace, and quarantine field — not
+    // just the aggregated census.
+    let run_traced = |sliced: bool| {
+        let mut cfg = config(2);
+        cfg.sliced = sliced;
+        let sink = RingSink::new(1 << 16);
+        let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+        let r = run_campaign_observed(&cfg, &workloads, &obs);
+        (outcome_census(&r), strip_wall_clock(&sink.events()))
+    };
+    let (ladder_census, ladder_events) = run_traced(false);
+    let (sliced_census, sliced_events) = run_traced(true);
+    assert_eq!(ladder_census, sliced_census, "sliced campaign census diverged from the ladder");
+    assert_eq!(
+        ladder_events, sliced_events,
+        "sliced campaign event stream diverged from the ladder"
+    );
+
+    // Journal files written by the two engines must be byte-identical:
+    // `sliced` is an execution strategy, not part of the experiment
+    // identity, so a journal written by one engine resumes under the other.
+    let journal_bytes = |sliced: bool| {
+        let mut cfg = config(1);
+        cfg.sliced = sliced;
+        let path = std::env::temp_dir()
+            .join(format!("tfsim-sliced-journal-{}-{sliced}.jsonl", std::process::id()));
+        let meta = JournalMeta::new(&cfg, &workloads, false);
+        let j = CampaignJournal::create(&path, &meta).unwrap();
+        run_campaign_journaled(&cfg, &workloads, &CampaignObs::disabled(), Some(&j));
+        drop(j);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        bytes
+    };
+    assert_eq!(
+        journal_bytes(false),
+        journal_bytes(true),
+        "sliced campaign journal diverged from the ladder"
+    );
+
+    // The containment/quarantine machinery must behave identically when a
+    // peeled scalar trial panics mid-run.
+    let shim = (1usize, 1u32, 5u32);
+    let run_shimmed = |sliced: bool| {
+        let mut cfg = config(2);
+        cfg.sliced = sliced;
+        cfg.panic_shim = Some(shim);
+        run_campaign_on(&cfg, &workloads)
+    };
+    let ladder = run_shimmed(false);
+    let sliced = run_shimmed(true);
+    assert_eq!(outcome_census(&ladder), outcome_census(&sliced));
+    assert_eq!(ladder.quarantined, sliced.quarantined);
+    assert_eq!(sliced.quarantined.len(), 1);
+}
+
+#[test]
 fn different_seeds_change_the_trial_mix() {
     // Guards against the degenerate "deterministic because the seed is
     // ignored" failure mode: two seeds must draw different trial sets.
