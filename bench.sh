@@ -23,6 +23,16 @@
 # untraced/sliced median ratio is the word-parallel speedup; the sliced
 # engine's records are byte-identical to the ladder's (pinned by the
 # equivalence suite), so the ratio is pure execution-strategy gain.
+#
+# The analytic-pruner pair rides the same plan:
+# `inject/trials-per-sec-pruned` runs it through the masking pruner
+# (dead-window proofs + site equivalence classes on the extended-tier
+# footprint, remainder delegated to the sliced engine) — the
+# sliced/pruned median ratio is the pruner's gain and is expected to be
+# >= 2x on this campaign shape — and `inject/pruner-overhead` runs a
+# 100-site batch the pruner discharges entirely without simulating, so
+# its median is the pure per-batch analysis cost. Pruned records are
+# byte-identical to the sliced engine's (same equivalence suite).
 set -euo pipefail
 cd "$(dirname "$0")"
 

@@ -22,16 +22,22 @@ echo "==> perf smoke (timings non-gating, exit status gating)"
 TFSIM_BENCH_SAMPLES=1 TFSIM_BENCH_SAMPLE_MS=1 \
     cargo run --release --offline -q -p tfsim-bench --bin perf -- inject/
 
-echo "==> sliced-engine census smoke (gating)"
-# A short campaign through the word-parallel (bit-sliced) engine must
-# print the byte-identical census of the same campaign on the snapshot
-# ladder: `--sliced` is an execution strategy, never an experiment knob.
+echo "==> sliced/pruned-engine census smoke (gating)"
+# A short campaign through the word-parallel (bit-sliced) engine and the
+# analytic masking pruner must each print the byte-identical census of
+# the same campaign on the snapshot ladder: `--sliced` and `--pruned`
+# are execution strategies, never experiment knobs. Timings here are
+# non-gating (a 12-trial campaign proves correctness, not speed; the
+# pruner's >=2x throughput claim lives in bench.sh / BENCH_campaign.json
+# where medians over real sample counts are recorded).
 run_tfsim="cargo run --release --offline -q -p tfsim-bench --bin tfsim-run --"
 sliced_args="campaign --quick --seed 7 --start-points 1 --trials 12 --monitor 1200 \
     --scale 1 --workloads gzip-like,twolf-like"
 $run_tfsim $sliced_args > target/ci_census_ladder.txt 2>/dev/null
 $run_tfsim $sliced_args --sliced > target/ci_census_sliced.txt 2>/dev/null
+$run_tfsim $sliced_args --pruned > target/ci_census_pruned.txt 2>/dev/null
 diff target/ci_census_ladder.txt target/ci_census_sliced.txt
+diff target/ci_census_ladder.txt target/ci_census_pruned.txt
 
 echo "==> telemetry report smoke (gating)"
 # A tiny traced campaign must produce a JSONL trace that the report

@@ -106,6 +106,15 @@ fn campaign_plan(sp: &StartPoint, trials: u64, window: u64) -> Vec<TrialSpec> {
 ///   sliced/untraced median ratio is the word-parallel speedup; the
 ///   footprint build is amortized by priming it before measurement (a
 ///   campaign start point pays it once across all its trials).
+/// * `inject/trials-per-sec-pruned` — the identical 100-trial batch
+///   through the analytic masking pruner: dead-window proofs and site
+///   equivalence classes discharge most sites without a trial, the rest
+///   delegate to the sliced engine. The sliced/pruned median ratio is the
+///   pruner's gain on top of the word-parallel engine.
+/// * `inject/pruner-overhead` — a 100-site batch the pruner proves dead
+///   in its entirety (sites screened one by one beforehand): no lane ever
+///   dispatches, so the median is the pure cost of the pruning analysis
+///   (footprint lookups, prefix walks, analytic classification) per batch.
 /// * `inject/snapshot-ladder-vs-naive/{naive,ladder}` — the same 25-trial
 ///   plan through per-trial `run_trial` (replay + flat fingerprints) and
 ///   batched `run_trials` (snapshot ladder + cached fingerprints). The
@@ -117,6 +126,8 @@ fn bench_campaign(b: &mut Bench) {
     if !wants(b, "inject/trials-per-sec")
         && !wants(b, "inject/trials-per-sec-traced")
         && !wants(b, "inject/trials-per-sec-sliced")
+        && !wants(b, "inject/trials-per-sec-pruned")
+        && !wants(b, "inject/pruner-overhead")
         && !wants(b, "inject/snapshot-ladder-vs-naive")
     {
         return;
@@ -127,10 +138,29 @@ fn bench_campaign(b: &mut Bench) {
     let plan = campaign_plan(&sp, 100, WINDOW);
     b.bench("inject/trials-per-sec", || sp.run_trials(MASK, &plan, MONITOR));
     b.bench("inject/trials-per-sec-traced", || sp.run_trials_traced(MASK, &plan, MONITOR));
-    // Prime the lazily built golden footprint so the bench measures the
+    // Prime the lazily built golden footprints so the benches measure the
     // steady-state per-batch cost, like every batch after the first.
     sp.run_trials_sliced(MASK, &plan[..1], MONITOR);
     b.bench("inject/trials-per-sec-sliced", || sp.run_trials_sliced(MASK, &plan, MONITOR));
+    sp.run_trials_pruned(MASK, &plan[..1], MONITOR);
+    b.bench("inject/trials-per-sec-pruned", || sp.run_trials_pruned(MASK, &plan, MONITOR));
+    if wants(b, "inject/pruner-overhead") {
+        // Screen sites one at a time: a single-spec batch's disposition
+        // tally names that site's fate, so this keeps exactly the sites
+        // the pruner proves dead. The bench batch then runs through the
+        // full pruned path without ever simulating.
+        let dead: Vec<TrialSpec> = (0..4_000u64)
+            .map(|i| TrialSpec {
+                target: i.wrapping_mul(6_733) % sp.bit_count(),
+                inject_cycle: i.wrapping_mul(53) % WINDOW,
+            })
+            .filter(|s| {
+                sp.run_trials_pruned(MASK, std::slice::from_ref(s), MONITOR).1.proved_dead == 1
+            })
+            .take(100)
+            .collect();
+        b.bench("inject/pruner-overhead", || sp.run_trials_pruned(MASK, &dead, MONITOR));
+    }
 
     let duel = campaign_plan(&sp, 25, WINDOW);
     b.bench("inject/snapshot-ladder-vs-naive/naive", || {

@@ -6,7 +6,8 @@
 //!           [--max-cycles N] [--disasm] [--trace N] [--dump N] [--arch-only]
 //! tfsim-run campaign [--quick|--default-scale|--paper] [--seed N]
 //!           [--threads N] [--scale N] [--start-points N] [--trials N]
-//!           [--monitor N] [--workloads a,b,...] [--sliced] [--trace PATH]
+//!           [--monitor N] [--workloads a,b,...] [--sliced] [--pruned]
+//!           [--trace PATH]
 //!           [--journal PATH [--resume]]
 //! tfsim-run report PATH [--top N]
 //! ```
@@ -19,7 +20,11 @@
 //! census. `--sliced` runs the trials on the word-parallel (bit-sliced)
 //! engine — an execution strategy, not an experiment parameter: the
 //! census, trace, and journal are byte-identical to the default
-//! snapshot-ladder engine, just faster. With `--trace PATH` it streams the per-trial JSONL event
+//! snapshot-ladder engine, just faster. `--pruned` adds the analytic
+//! masking pruner on top of the sliced engine: dead-window proofs and
+//! site equivalence classes discharge most sites without simulating,
+//! the telemetry footer reports the per-site disposition tally, and the
+//! census stays byte-identical to both other engines. With `--trace PATH` it streams the per-trial JSONL event
 //! stream to `PATH` (plus metrics and a live progress meter on stderr);
 //! without it the campaign takes the untraced zero-overhead path. The
 //! census is rendered through the same `tfsim_stats::census_rows` builder
@@ -81,6 +86,7 @@ fn cmd_campaign(args: &[String]) {
     let mut journal_path = None::<PathBuf>;
     let mut resume = false;
     let mut sliced = false;
+    let mut pruned = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -146,6 +152,10 @@ fn cmd_campaign(args: &[String]) {
                 sliced = true;
                 i += 1;
             }
+            "--pruned" => {
+                pruned = true;
+                i += 1;
+            }
             "--workloads" => {
                 workload_list = Some(
                     args.get(i + 1)
@@ -180,6 +190,7 @@ fn cmd_campaign(args: &[String]) {
         config.monitor_cycles = n;
     }
     config.sliced = sliced;
+    config.pruned = pruned;
     let workloads = match &workload_list {
         None => tfsim_workloads::all(),
         Some(csv) => csv

@@ -314,6 +314,57 @@ impl fmt::Display for UnitId {
     }
 }
 
+/// Access-log coverage tier of a fingerprint unit.
+///
+/// The word-parallel engine and the analytic masking pruner both consume
+/// golden-run read/write timelines, and a timeline is only trustworthy for
+/// a unit whose accessors actually log. Before this enum existed that
+/// coverage was implicit — an untracked structure silently produced an
+/// empty timeline, which the conservative consumers treated as "always
+/// simulate", quietly degrading to no-prune. Every unit now declares its
+/// tier explicitly, and `tfsim-uarch` tests pin the declaration against
+/// the pipeline's actual instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loggability {
+    /// Logged whenever access tracking is on: the frozen tier the
+    /// word-parallel (sliced) engine's ride/heal proofs are audited
+    /// against (LSQ, register file, MHRs).
+    Core,
+    /// Logged only under *extended* access tracking: structures whose
+    /// instrumentation exists for the analytic pruner's dead-window
+    /// proofs (front-end latches and fetch queue, rename tables,
+    /// scheduler, ROB, functional units).
+    Extended,
+    /// Injectable state with no per-word access discipline: never
+    /// logged, sites here are always simulated. Currently empty — kept
+    /// so a future structure can opt out without redefining the tiers.
+    Unlogged,
+    /// Fingerprint-only shadow state (`FieldMeta::shadow`): not
+    /// injectable, so no fault site can land there and no timeline is
+    /// needed.
+    Shadow,
+}
+
+impl UnitId {
+    /// The declared access-log coverage tier of this unit.
+    pub fn loggability(self) -> Loggability {
+        match self {
+            UnitId::Lsq | UnitId::Regfile | UnitId::ArchCtrl => Loggability::Core,
+            UnitId::Front
+            | UnitId::Rename
+            | UnitId::Sched
+            | UnitId::Rob
+            | UnitId::Fus => Loggability::Extended,
+            UnitId::Bpred
+            | UnitId::Btb
+            | UnitId::Ras
+            | UnitId::Icache
+            | UnitId::Dcache
+            | UnitId::StoreSets => Loggability::Shadow,
+        }
+    }
+}
+
 /// A visitor over every bit of machine state.
 ///
 /// Implementations receive each field exactly once per walk, in a fixed
@@ -1081,6 +1132,31 @@ mod tests {
             assert_eq!(u.index(), i, "{u} out of place in UnitId::ALL");
         }
         assert_eq!(UnitId::COUNT, UnitId::ALL.len());
+    }
+
+    #[test]
+    fn every_registered_unit_declares_a_loggability() {
+        // The match in `loggability` is exhaustive, so this pins the
+        // *assignments* (a new unit must be placed deliberately, and moving
+        // a unit between tiers is a visible diff here, not a silent
+        // degradation to no-prune).
+        use Loggability::*;
+        let mut tallies = std::collections::BTreeMap::new();
+        for u in UnitId::ALL {
+            let tier = u.loggability();
+            *tallies.entry(format!("{tier:?}")).or_insert(0u32) += 1;
+            match u {
+                UnitId::Lsq | UnitId::Regfile | UnitId::ArchCtrl => assert_eq!(tier, Core, "{u}"),
+                UnitId::Front | UnitId::Rename | UnitId::Sched | UnitId::Rob | UnitId::Fus => {
+                    assert_eq!(tier, Extended, "{u}")
+                }
+                _ => assert_eq!(tier, Shadow, "{u}"),
+            }
+        }
+        assert_eq!(tallies["Core"], 3);
+        assert_eq!(tallies["Extended"], 5);
+        assert_eq!(tallies.get("Unlogged"), None);
+        assert_eq!(tallies["Shadow"], 6);
     }
 
     #[test]

@@ -26,7 +26,8 @@ use tfsim_check::Rng;
 use tfsim_bitstate::{Category, InjectionMask, StorageKind};
 use tfsim_isa::Program;
 use tfsim_obs::{
-    CounterId, Event, EventSink, HistogramId, MetricsRegistry, NoopSink, Progress, SCHEMA_VERSION,
+    CounterId, Event, EventSink, HistogramId, MetricsRegistry, NoopSink, Progress,
+    PruneDispositions, SCHEMA_VERSION,
 };
 use tfsim_uarch::PipelineConfig;
 use tfsim_workloads::Workload;
@@ -82,6 +83,14 @@ pub struct CampaignConfig {
     /// way, so the flag is deliberately *not* part of the journal
     /// identity.
     pub sliced: bool,
+    /// Run the analytic masking pruner before any trial: dead-window
+    /// proofs and equivalence classes discharge most sites without a
+    /// machine, and the remainder delegates to the sliced engine. An
+    /// execution strategy like `sliced` and `threads`: censuses, records,
+    /// traces, and journals are byte-identical either way, so the flag is
+    /// deliberately *not* part of the journal identity. Implies the sliced
+    /// engine for whatever still simulates.
+    pub pruned: bool,
     /// Test hook: force the trial at `(benchmark, start_point, trial)` to
     /// panic mid-run, exercising the containment/quarantine machinery
     /// end-to-end. Never set by the presets; not part of the experiment
@@ -106,6 +115,7 @@ impl CampaignConfig {
             seed,
             threads: 0,
             sliced: false,
+            pruned: false,
             panic_shim: None,
         }
     }
@@ -127,6 +137,7 @@ impl CampaignConfig {
             seed,
             threads: 0,
             sliced: false,
+            pruned: false,
             panic_shim: None,
         }
     }
@@ -146,6 +157,7 @@ impl CampaignConfig {
             seed,
             threads: 0,
             sliced: false,
+            pruned: false,
             panic_shim: None,
         }
     }
@@ -303,6 +315,10 @@ pub struct CampaignResult {
     /// (benchmark, start point, trial) order. Empty unless the hardened
     /// model has an escape (or the test shim forced one).
     pub quarantined: Vec<CampaignQuarantine>,
+    /// Pruner disposition totals over the live-executed tasks. `None`
+    /// unless the campaign ran with `pruned` (journal-replayed tasks
+    /// contribute nothing: their trials were not re-pruned).
+    pub prune: Option<PruneDispositions>,
 }
 
 impl CampaignResult {
@@ -504,6 +520,9 @@ pub fn run_campaign_journaled(
         scatter: ScatterPoint,
         eligible_bits: u64,
         faults: Vec<TrialFault>,
+        /// Pruner disposition tally (`None` unless the task ran pruned;
+        /// journal-replayed tasks report none — no pruning was re-done).
+        prune: Option<PruneDispositions>,
         // Telemetry (empty / zero on the untraced path).
         specs: Vec<TrialSpec>,
         traces: Vec<TrialTrace>,
@@ -568,6 +587,7 @@ pub fn run_campaign_journaled(
             records: t.records,
             eligible_bits: t.eligible_bits,
             faults: t.faults,
+            prune: None,
             specs: t.specs,
             traces: t.traces,
             warmup_ns: 0,
@@ -624,21 +644,44 @@ pub fn run_campaign_journaled(
                 let shim = config.panic_shim.and_then(|(b, s, t)| {
                     (b == task.bench && s == task.start_point).then_some(t as usize)
                 });
-                let batch = match (traced, config.sliced) {
-                    (true, false) => {
+                let mut prune = None;
+                let batch = match (traced, config.pruned, config.sliced) {
+                    (true, true, _) => {
+                        let (batch, d) = sp.run_trials_pruned_core::<true>(
+                            config.mask,
+                            &specs,
+                            config.monitor_cycles,
+                            crate::sliced::LANE_WIDTH,
+                            shim,
+                        );
+                        prune = Some(d);
+                        batch
+                    }
+                    (false, true, _) => {
+                        let (batch, d) = sp.run_trials_pruned_core::<false>(
+                            config.mask,
+                            &specs,
+                            config.monitor_cycles,
+                            crate::sliced::LANE_WIDTH,
+                            shim,
+                        );
+                        prune = Some(d);
+                        batch
+                    }
+                    (true, false, false) => {
                         sp.run_trials_core::<true>(config.mask, &specs, config.monitor_cycles, shim)
                     }
-                    (false, false) => {
+                    (false, false, false) => {
                         sp.run_trials_core::<false>(config.mask, &specs, config.monitor_cycles, shim)
                     }
-                    (true, true) => sp.run_trials_sliced_core::<true>(
+                    (true, false, true) => sp.run_trials_sliced_core::<true>(
                         config.mask,
                         &specs,
                         config.monitor_cycles,
                         crate::sliced::LANE_WIDTH,
                         shim,
                     ),
-                    (false, true) => sp.run_trials_sliced_core::<false>(
+                    (false, false, true) => sp.run_trials_sliced_core::<false>(
                         config.mask,
                         &specs,
                         config.monitor_cycles,
@@ -716,6 +759,7 @@ pub fn run_campaign_journaled(
                     scatter,
                     eligible_bits: sp.bit_count(),
                     faults,
+                    prune,
                     specs,
                     traces,
                     warmup_ns,
@@ -741,7 +785,11 @@ pub fn run_campaign_journaled(
     let mut scatter = Vec::new();
     let mut eligible_bits = 0;
     let mut quarantined = Vec::new();
+    let mut prune_totals: Option<PruneDispositions> = None;
     for out in &outputs {
+        if let Some(p) = &out.prune {
+            prune_totals.get_or_insert_with(PruneDispositions::default).merge(p);
+        }
         for rec in &out.records {
             benchmarks[out.bench].counts.add(rec.outcome);
             by_category.entry(rec.category).or_default().add(rec.outcome);
@@ -784,6 +832,7 @@ pub fn run_campaign_journaled(
         scatter,
         eligible_bits,
         quarantined,
+        prune: prune_totals,
     };
 
     if obs.sink.enabled() {
@@ -850,6 +899,7 @@ pub fn run_campaign_journaled(
             quarantined: result.quarantined.len() as u64,
             eligible_bits,
             wall_ns: campaign_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+            prune: result.prune,
         });
         obs.sink.flush();
     }

@@ -48,8 +48,9 @@ const VERSION: u64 = 1;
 /// task into a campaign with a different seed, mask, scale, workload set,
 /// or protection config would silently corrupt the census.
 ///
-/// `CampaignConfig::threads` is deliberately *not* part of the identity
-/// (results are thread-count-deterministic), and neither is the hidden
+/// `CampaignConfig::threads`, `sliced`, and `pruned` are deliberately
+/// *not* part of the identity (they are execution strategies and results
+/// are byte-identical across them), and neither is the hidden
 /// `panic_shim` test hook.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalMeta {

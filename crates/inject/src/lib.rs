@@ -53,7 +53,9 @@
 //! ```
 
 mod campaign;
+mod footprint;
 mod journal;
+mod pruner;
 mod sliced;
 mod trial;
 
@@ -64,6 +66,7 @@ pub use campaign::{
 };
 pub use journal::{CampaignJournal, JournalMeta, JournaledTask};
 pub use sliced::LANE_WIDTH;
+pub use tfsim_obs::PruneDispositions;
 pub use trial::{
     FailureMode, Outcome, StartPoint, TracedBatch, TrialFault, TrialRecord, TrialSpec, TrialTrace,
 };

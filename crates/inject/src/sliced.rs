@@ -59,11 +59,9 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
-use tfsim_bitstate::{
-    Category, FieldMeta, InjectionMask, StateVisitor, StorageKind, UnitId, VisitState,
-};
-use tfsim_uarch::{Pipeline, RetireEvent};
+use tfsim_bitstate::{InjectionMask, UnitId};
 
+use crate::footprint::{disposition, Disposition, Footprint, Resolver, Span};
 use crate::trial::{
     install_containment_hook, panic_message, FailureMode, Outcome, StartPoint, TracedBatch,
     TrialFault, TrialRecord, TrialSpec, TrialTrace, CONTAINED,
@@ -71,200 +69,6 @@ use crate::trial::{
 
 /// Lanes per word: one trial per bit of a 64-bit bookkeeping word.
 pub const LANE_WIDTH: usize = 64;
-
-/// Golden per-cycle aggregates needed by the analytic (rider) classifier:
-/// exactly what `classify` extracts from a `CycleReport` of a machine that
-/// replays the golden run.
-#[derive(Debug, Clone, Copy, Default)]
-struct CycleAgg {
-    /// Number of `RetireEvent::Retired` events this step.
-    retired: u16,
-    /// Whether the step performed a protective (watchdog/parity) flush.
-    pflush: bool,
-}
-
-/// One tracked replay of the golden run: per-word access timelines plus
-/// per-cycle retire aggregates. Built lazily once per start point and
-/// shared by every sliced batch (and every thread — the data is immutable
-/// after construction).
-#[derive(Debug)]
-pub(crate) struct Footprint {
-    /// `timelines[unit][ord]` = `(cycle, is_write)` events for the word at
-    /// visit ordinal `ord` of that unit, ascending by cycle, at most one
-    /// event per cycle (the first access of a cycle wins, so read-before-
-    /// write inside one cycle shows as a read).
-    lsq: Vec<Vec<(u32, bool)>>,
-    regfile: Vec<Vec<(u32, bool)>>,
-    archctrl: Vec<Vec<(u32, bool)>>,
-    /// Indexed by step; entry 0 is unused (the checkpoint itself).
-    percycle: Vec<CycleAgg>,
-}
-
-impl Footprint {
-    /// Replays the golden run once with access tracking enabled.
-    ///
-    /// The walk covers exactly the steps `StartPoint::prepare` executed:
-    /// it stops once the golden machine halts (stepping a halted machine
-    /// is a no-op and logs nothing).
-    fn build(sp: &StartPoint) -> Footprint {
-        let horizon = sp.fps.len() as u64 - 1;
-        let mut golden = sp.checkpoint.clone();
-        golden.set_access_tracking(true);
-        let mut fp = Footprint {
-            lsq: Vec::new(),
-            regfile: Vec::new(),
-            archctrl: Vec::new(),
-            percycle: vec![CycleAgg::default(); sp.fps.len()],
-        };
-        for step in 1..=horizon {
-            if !golden.running() {
-                break;
-            }
-            let report = golden.step();
-            let retired = report
-                .events
-                .iter()
-                .filter(|e| matches!(e, RetireEvent::Retired(_)))
-                .count() as u16;
-            fp.percycle[step as usize] =
-                CycleAgg { retired, pflush: report.protective_flush };
-            let cycle = step as u32;
-            golden.drain_accesses(&mut |unit, ord, is_write| {
-                let lanes = match unit {
-                    UnitId::Lsq => &mut fp.lsq,
-                    UnitId::Regfile => &mut fp.regfile,
-                    UnitId::ArchCtrl => &mut fp.archctrl,
-                    _ => return,
-                };
-                let ord = ord as usize;
-                if lanes.len() <= ord {
-                    lanes.resize_with(ord + 1, Vec::new);
-                }
-                let tl = &mut lanes[ord];
-                if tl.last().is_none_or(|&(c, _)| c != cycle) {
-                    tl.push((cycle, is_write));
-                }
-            });
-        }
-        fp
-    }
-
-    /// The event timeline of one tracked word (empty when the word was
-    /// never accessed in the golden window).
-    fn timeline(&self, unit: UnitId, ord: u32) -> &[(u32, bool)] {
-        let lanes = match unit {
-            UnitId::Lsq => &self.lsq,
-            UnitId::Regfile => &self.regfile,
-            UnitId::ArchCtrl => &self.archctrl,
-            _ => return &[],
-        };
-        lanes.get(ord as usize).map_or(&[], |v| v.as_slice())
-    }
-}
-
-/// Where an eligible bit lives: enough to rebuild a [`TrialRecord`]'s
-/// site attribution and to look the word up in the footprint.
-#[derive(Debug, Clone, Copy)]
-struct Span {
-    /// First eligible-bit index of this field under the mask.
-    start: u64,
-    /// Field width in bits.
-    width: u32,
-    category: Category,
-    kind: StorageKind,
-    /// Enclosing fingerprint unit, if any.
-    unit: Option<UnitId>,
-    /// Visit-order field ordinal within the unit (what `drain_accesses`
-    /// reports and the footprint is indexed by).
-    unit_ord: u32,
-}
-
-/// Collects the eligible-bit spans of a machine in visit order. The
-/// within-unit ordinal counts *every* visited field (eligible or not),
-/// matching the `drain_accesses` ordinal space — pinned by the
-/// `access_ordinals` tests in the pipeline crate.
-struct SpanCollector {
-    mask: InjectionMask,
-    pos: u64,
-    unit: Option<UnitId>,
-    ord: u32,
-    spans: Vec<Span>,
-}
-
-impl StateVisitor for SpanCollector {
-    fn field(&mut self, meta: FieldMeta, width: u32, _bits: &mut u64) {
-        if self.mask.eligible(meta) {
-            self.spans.push(Span {
-                start: self.pos,
-                width,
-                category: meta.category,
-                kind: meta.kind,
-                unit: self.unit,
-                unit_ord: self.ord,
-            });
-            self.pos += width as u64;
-        }
-        self.ord += 1;
-    }
-
-    // The default `array` forwards entry-by-entry to `field`, which is
-    // exactly the per-word granularity the footprint uses. Do not override.
-
-    fn enter_unit(&mut self, unit: UnitId, _gen: u64) -> bool {
-        self.unit = Some(unit);
-        self.ord = 0;
-        true
-    }
-
-    fn exit_unit(&mut self, _unit: UnitId) {
-        self.unit = None;
-    }
-}
-
-/// Maps eligible-bit indices to [`Span`]s by binary search. Rebuilt per
-/// batch call (one checkpoint clone + one visit walk).
-struct Resolver {
-    spans: Vec<Span>,
-}
-
-impl Resolver {
-    fn build(checkpoint: &Pipeline, mask: InjectionMask) -> Resolver {
-        let mut probe = checkpoint.clone();
-        let mut c = SpanCollector { mask, pos: 0, unit: None, ord: 0, spans: Vec::new() };
-        probe.visit_state(&mut c);
-        Resolver { spans: c.spans }
-    }
-
-    /// The span containing eligible bit `target`, or `None` when the
-    /// target is out of range (the scalar path then reproduces the naive
-    /// path's behaviour for such targets).
-    fn resolve(&self, target: u64) -> Option<&Span> {
-        let i = self.spans.partition_point(|s| s.start + s.width as u64 <= target);
-        self.spans.get(i).filter(|s| s.start <= target)
-    }
-}
-
-/// What the footprint says about a lane's faulted word.
-enum Disposition {
-    /// No access in `(inject, horizon]`: the δ is never consumed.
-    Ride,
-    /// First access is a content-independent overwrite at this cycle.
-    Heal(u64),
-    /// First access is a read: the fault is consumed — go scalar.
-    Peel,
-}
-
-fn disposition(timeline: &[(u32, bool)], inject: u64) -> Disposition {
-    // First event strictly after the injection cycle: the flip lands in
-    // the state *after* `inject` steps, so accesses during step `inject`
-    // itself saw the pre-flip value.
-    let i = timeline.partition_point(|&(c, _)| (c as u64) <= inject);
-    match timeline.get(i) {
-        Some(&(c, true)) => Disposition::Heal(c as u64),
-        Some(&(_, false)) => Disposition::Peel,
-        None => Disposition::Ride,
-    }
-}
 
 /// How a lane was dispatched, for the per-word bookkeeping masks.
 enum Plan<'a> {
@@ -275,12 +79,6 @@ enum Plan<'a> {
 }
 
 impl StartPoint {
-    /// The golden access footprint, built on first use and shared by every
-    /// subsequent sliced batch on this start point.
-    pub(crate) fn golden_footprint(&self) -> &Footprint {
-        self.footprint.get_or_init(|| Footprint::build(self))
-    }
-
     /// [`StartPoint::run_trials`] semantics on the word-parallel path:
     /// bit-identical records, radically fewer machine replays. See the
     /// module docs for the ride/heal/peel protocol.
@@ -407,7 +205,10 @@ impl StartPoint {
                         CONTAINED.with(|c| c.set(true));
                         let classified = panic::catch_unwind(AssertUnwindSafe(|| {
                             if panic_shim == Some(i) {
-                                panic!("forced mid-trial panic (test shim, spec {i})");
+                                panic!(
+                                    "forced mid-trial panic (test shim, target {} cycle {})",
+                                    spec.target, spec.inject_cycle
+                                );
                             }
                             self.classify(mask, walker.clone(), spec, monitor, true, trace_slot)
                         }));
@@ -454,7 +255,7 @@ impl StartPoint {
     /// aggregates instead of a stepped machine. Valid because the lane's
     /// machine, were it stepped, would replay the golden run exactly — the
     /// δ sits in a word nothing reads before it is (possibly) overwritten.
-    fn ride_lane(
+    pub(crate) fn ride_lane(
         &self,
         fp: &Footprint,
         span: &Span,

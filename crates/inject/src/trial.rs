@@ -252,7 +252,11 @@ pub struct StartPoint {
     /// Lazily built golden access footprint for the word-parallel path
     /// (see `crate::sliced`): per-cell read/write timelines plus per-cycle
     /// retire aggregates from one tracked replay of the golden run.
-    pub(crate) footprint: std::sync::OnceLock<crate::sliced::Footprint>,
+    pub(crate) footprint: std::sync::OnceLock<crate::footprint::Footprint>,
+    /// Extended-tier footprint for the analytic pruner (see
+    /// `crate::pruner`), from a second tracked replay covering every
+    /// loggable structure.
+    pub(crate) footprint_ext: std::sync::OnceLock<crate::footprint::Footprint>,
 }
 
 impl StartPoint {
@@ -368,6 +372,7 @@ impl StartPoint {
             valid_counts,
             bit_count: count.count,
             footprint: std::sync::OnceLock::new(),
+            footprint_ext: std::sync::OnceLock::new(),
         }
     }
 
@@ -513,7 +518,10 @@ impl StartPoint {
             CONTAINED.with(|c| c.set(true));
             let classified = panic::catch_unwind(AssertUnwindSafe(|| {
                 if panic_shim == Some(i) {
-                    panic!("forced mid-trial panic (test shim, spec {i})");
+                    panic!(
+                        "forced mid-trial panic (test shim, target {} cycle {})",
+                        spec.target, spec.inject_cycle
+                    );
                 }
                 self.classify(mask, walker.clone(), spec, monitor, true, trace_slot)
             }));

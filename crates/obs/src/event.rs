@@ -15,6 +15,39 @@ use crate::json::{obj, parse, Json};
 /// Version stamp written into every `CampaignStart` event.
 pub const SCHEMA_VERSION: u64 = 1;
 
+/// Per-site disposition counts from the analytic masking pruner: how each
+/// planned trial of a pruned campaign was discharged. Carried as `None` on
+/// unpruned campaigns — the fields are then absent from the serialized
+/// footer, so unpruned traces stay byte-identical to pre-pruner writers
+/// (and pre-pruner readers simply ignore the extra keys).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneDispositions {
+    /// Sites proved masked analytically from the golden access footprint
+    /// (dead-window proofs: the faulted word is overwritten before its
+    /// next read, or never read again inside the detection window).
+    pub proved_dead: u64,
+    /// Sites whose outcome was multiplied out from an equivalence-class
+    /// representative's simulated trial.
+    pub class_collapsed: u64,
+    /// Sites actually simulated: class representatives plus everything the
+    /// pruner could not discharge analytically.
+    pub simulated: u64,
+}
+
+impl PruneDispositions {
+    /// Total sites the pruner dispatched.
+    pub fn total(&self) -> u64 {
+        self.proved_dead + self.class_collapsed + self.simulated
+    }
+
+    /// Accumulates another disposition tally.
+    pub fn merge(&mut self, other: &PruneDispositions) {
+        self.proved_dead += other.proved_dead;
+        self.class_collapsed += other.class_collapsed;
+        self.simulated += other.simulated;
+    }
+}
+
 /// One telemetry event in a campaign trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
@@ -112,6 +145,10 @@ pub enum Event {
         eligible_bits: u64,
         /// Campaign wall-clock nanoseconds (zeroed by [`strip_wall_clock`]).
         wall_ns: u64,
+        /// Pruner disposition counts; `None` on unpruned campaigns (the
+        /// keys are then absent from the serialized footer, keeping it
+        /// byte-identical to pre-pruner traces).
+        prune: Option<PruneDispositions>,
     },
 }
 
@@ -213,16 +250,25 @@ impl Event {
                 quarantined,
                 eligible_bits,
                 wall_ns,
-            } => obj([
-                ("ev", Json::Str("campaign_end".to_string())),
-                ("trials", int(*trials)),
-                ("matched", int(*matched)),
-                ("gray", int(*gray)),
-                ("failed", int(*failed)),
-                ("quarantined", int(*quarantined)),
-                ("eligible_bits", int(*eligible_bits)),
-                ("wall_ns", int(*wall_ns)),
-            ]),
+                prune,
+            } => {
+                let mut fields = vec![
+                    ("ev", Json::Str("campaign_end".to_string())),
+                    ("trials", int(*trials)),
+                    ("matched", int(*matched)),
+                    ("gray", int(*gray)),
+                    ("failed", int(*failed)),
+                    ("quarantined", int(*quarantined)),
+                    ("eligible_bits", int(*eligible_bits)),
+                    ("wall_ns", int(*wall_ns)),
+                ];
+                if let Some(p) = prune {
+                    fields.push(("proved_dead", int(p.proved_dead)));
+                    fields.push(("class_collapsed", int(p.class_collapsed)));
+                    fields.push(("simulated", int(p.simulated)));
+                }
+                obj(fields)
+            }
         };
         value.render()
     }
@@ -317,6 +363,20 @@ impl Event {
                 quarantined: opt_field("quarantined")?.unwrap_or(0),
                 eligible_bits: field("eligible_bits")?,
                 wall_ns: field("wall_ns")?,
+                // All three keys absent on unpruned campaigns and in
+                // pre-pruner traces; any present key implies a pruned run.
+                prune: match (
+                    opt_field("proved_dead")?,
+                    opt_field("class_collapsed")?,
+                    opt_field("simulated")?,
+                ) {
+                    (None, None, None) => None,
+                    (pd, cc, sim) => Some(PruneDispositions {
+                        proved_dead: pd.unwrap_or(0),
+                        class_collapsed: cc.unwrap_or(0),
+                        simulated: sim.unwrap_or(0),
+                    }),
+                },
             }),
             other => Err(format!("unknown event tag {other:?}")),
         }
@@ -366,17 +426,25 @@ pub fn strip_wall_clock(events: &[Event]) -> Vec<Event> {
             Event::Phase { benchmark, start_point, phase, .. } => {
                 Event::Phase { benchmark, start_point, phase, wall_ns: 0 }
             }
-            Event::CampaignEnd { trials, matched, gray, failed, quarantined, eligible_bits, .. } => {
-                Event::CampaignEnd {
-                    trials,
-                    matched,
-                    gray,
-                    failed,
-                    quarantined,
-                    eligible_bits,
-                    wall_ns: 0,
-                }
-            }
+            Event::CampaignEnd {
+                trials,
+                matched,
+                gray,
+                failed,
+                quarantined,
+                eligible_bits,
+                prune,
+                ..
+            } => Event::CampaignEnd {
+                trials,
+                matched,
+                gray,
+                failed,
+                quarantined,
+                eligible_bits,
+                wall_ns: 0,
+                prune,
+            },
             other => other,
         })
         .collect()
@@ -446,6 +514,21 @@ mod tests {
                 quarantined: 1,
                 eligible_bits: 4096,
                 wall_ns: 1_000_000,
+                prune: None,
+            },
+            Event::CampaignEnd {
+                trials: 100,
+                matched: 80,
+                gray: 15,
+                failed: 5,
+                quarantined: 0,
+                eligible_bits: 4096,
+                wall_ns: 2_000_000,
+                prune: Some(PruneDispositions {
+                    proved_dead: 70,
+                    class_collapsed: 20,
+                    simulated: 10,
+                }),
             },
         ]
     }
@@ -500,6 +583,47 @@ mod tests {
                 assert_eq!(*quarantined, 1);
             }
             _ => panic!("expected campaign_end"),
+        }
+    }
+
+    #[test]
+    fn unpruned_footer_serializes_without_prune_keys() {
+        let footer = Event::CampaignEnd {
+            trials: 2,
+            matched: 1,
+            gray: 0,
+            failed: 1,
+            quarantined: 0,
+            eligible_bits: 64,
+            wall_ns: 7,
+            prune: None,
+        };
+        let line = footer.to_json();
+        assert!(!line.contains("proved_dead"), "{line}");
+        assert!(!line.contains("class_collapsed"), "{line}");
+        assert!(!line.contains("simulated"), "{line}");
+        assert_eq!(Event::from_json(&line).unwrap(), footer);
+    }
+
+    #[test]
+    fn pruned_footer_round_trips_dispositions() {
+        let prune = PruneDispositions { proved_dead: 3, class_collapsed: 2, simulated: 1 };
+        assert_eq!(prune.total(), 6);
+        let footer = Event::CampaignEnd {
+            trials: 6,
+            matched: 5,
+            gray: 1,
+            failed: 0,
+            quarantined: 0,
+            eligible_bits: 64,
+            wall_ns: 7,
+            prune: Some(prune),
+        };
+        let line = footer.to_json();
+        assert!(line.contains("\"proved_dead\":3"), "{line}");
+        match Event::from_json(&line).unwrap() {
+            Event::CampaignEnd { prune: Some(p), .. } => assert_eq!(p, prune),
+            other => panic!("expected pruned campaign_end, got {other:?}"),
         }
     }
 

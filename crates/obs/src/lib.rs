@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod progress;
 pub mod sink;
 
-pub use event::{parse_trace, strip_wall_clock, Event, SCHEMA_VERSION};
+pub use event::{parse_trace, strip_wall_clock, Event, PruneDispositions, SCHEMA_VERSION};
 pub use metrics::{CounterId, Histogram, HistogramId, LocalMetrics, MetricsRegistry};
 pub use progress::Progress;
 pub use sink::{EventSink, JsonlSink, NoopSink, RingSink};

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use tfsim_obs::{Event, Histogram};
+use tfsim_obs::{Event, Histogram, PruneDispositions};
 
 use crate::{pct, wilson_ci, Confidence, Table};
 
@@ -80,6 +80,7 @@ pub struct TelemetryReport {
     phase_ns: BTreeMap<String, u64>,
     eligible_bits: Option<u64>,
     wall_ns: Option<u64>,
+    prune: Option<PruneDispositions>,
 }
 
 impl TelemetryReport {
@@ -130,6 +131,7 @@ impl TelemetryReport {
             phase_ns: BTreeMap::new(),
             eligible_bits: None,
             wall_ns: None,
+            prune: None,
         };
         for ev in &events[1..] {
             match ev {
@@ -188,6 +190,7 @@ impl TelemetryReport {
                     eligible_bits,
                     wall_ns,
                     quarantined,
+                    prune,
                 } => {
                     let failed_seen: u64 = report.modes.values().sum();
                     if (*trials, *matched, *gray, *failed)
@@ -208,6 +211,7 @@ impl TelemetryReport {
                     }
                     report.eligible_bits = Some(*eligible_bits);
                     report.wall_ns = Some(*wall_ns);
+                    report.prune = *prune;
                 }
                 Event::CampaignStart { .. } => {
                     return Err("duplicate campaign_start event".to_string());
@@ -290,6 +294,24 @@ impl TelemetryReport {
                 }
             }
             out.push_str(&t.render());
+        }
+        if let Some(p) = &self.prune {
+            // Pruner accounting: how the planned census volume was
+            // discharged. Only simulated sites ran the pipeline; the rest
+            // were proved masked from the golden access footprint or
+            // multiplied out from an equivalence-class representative.
+            let total = p.total();
+            out.push_str(&format!(
+                "\npruner dispositions: {} proved dead ({}), {} class-collapsed ({}), \
+                 {} simulated ({}) of {} sites\n",
+                p.proved_dead,
+                pct(p.proved_dead, total),
+                p.class_collapsed,
+                pct(p.class_collapsed, total),
+                p.simulated,
+                pct(p.simulated, total),
+                total,
+            ));
         }
         if self.quarantined > 0 {
             // Harness health, not an outcome: quarantined trials are
@@ -398,6 +420,7 @@ mod tests {
                 quarantined: 0,
                 eligible_bits: 512,
                 wall_ns: 9_000_000,
+                prune: None,
             },
         ]
     }
@@ -457,6 +480,7 @@ mod tests {
             quarantined: 1,
             eligible_bits,
             wall_ns,
+            prune: None,
         });
         let report = TelemetryReport::from_events(&events).unwrap();
         // The census counts only classified trials.
@@ -474,6 +498,24 @@ mod tests {
         }
         let err = TelemetryReport::from_events(&events).unwrap_err();
         assert!(err.contains("quarantine"), "got: {err}");
+    }
+
+    #[test]
+    fn pruned_footer_renders_disposition_line() {
+        let mut events = sample_stream();
+        if let Some(Event::CampaignEnd { prune, .. }) = events.last_mut() {
+            *prune =
+                Some(PruneDispositions { proved_dead: 90, class_collapsed: 6, simulated: 4 });
+        }
+        let report = TelemetryReport::from_events(&events).unwrap();
+        let rendered = report.render(10);
+        assert!(
+            rendered.contains("pruner dispositions: 90 proved dead"),
+            "missing pruner footer:\n{rendered}"
+        );
+        // Unpruned streams keep the pre-pruner layout.
+        let plain = TelemetryReport::from_events(&sample_stream()).unwrap().render(10);
+        assert!(!plain.contains("pruner dispositions"), "{plain}");
     }
 
     #[test]

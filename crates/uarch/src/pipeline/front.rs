@@ -4,21 +4,92 @@
 use tfsim_isa::{decode, ExecClass, Mnemonic};
 use tfsim_protect::parity32;
 
+use crate::access::AccessLog;
 use crate::config::sizes;
 use crate::exec::{FuClass, SchedEntry};
-use crate::queues::{size_to_log2, ExcCode, LqEntry, RobEntry, SlotPayload, SqEntry};
+use crate::queues::{flw, size_to_log2, ExcCode, LqEntry, RobEntry, SlotPayload, SqEntry};
 
 use super::{FlowEvent, Pipeline};
 
+/// Advances one front-end latch group toward the next: when every
+/// destination slot is free, each valid source slot is copied into the
+/// same-numbered destination slot and the source's valid bit is cleared.
+///
+/// The latches have per-slot write enables: a destination slot whose
+/// source is empty keeps its own stale payload (dead-but-vulnerable state,
+/// exactly the population the paper's fault model studies) instead of
+/// inheriting the neighbour stage's. This is what makes the logging sound:
+/// the destination overwrite is computed entirely from the *source* slot
+/// (a write), and the source is consumed whole (a read) — whereas logging
+/// a `mem::swap` as two writes would falsely claim a fault riding in the
+/// source had been erased when it had merely migrated.
+fn advance_stage(
+    src: &mut [SlotPayload],
+    dst: &mut [SlotPayload],
+    log: &mut AccessLog,
+    src_base: u32,
+    dst_base: u32,
+) {
+    for (i, d) in dst.iter().enumerate() {
+        log.read((dst_base + i as u32) * flw::WORDS + flw::VALID);
+        if d.valid {
+            return;
+        }
+    }
+    for i in 0..src.len() {
+        log.read((src_base + i as u32) * flw::WORDS + flw::VALID);
+        if !src[i].valid {
+            continue;
+        }
+        if log.enabled() {
+            for w in 0..flw::WORDS {
+                log.read((src_base + i as u32) * flw::WORDS + w);
+                log.write((dst_base + i as u32) * flw::WORDS + w);
+            }
+        }
+        dst[i] = src[i].clone();
+        log.write((src_base + i as u32) * flw::WORDS + flw::VALID);
+        src[i].valid = false;
+    }
+}
+
 impl Pipeline {
+    /// Logged read of a front-end latch slot's `valid` word.
+    pub(crate) fn flatch_read_valid(&mut self, slot: u32) {
+        self.flatch_log.read(slot * flw::WORDS + flw::VALID);
+    }
+
+    /// Logged whole-slot read of a front-end latch slot.
+    pub(crate) fn flatch_read_all(&mut self, slot: u32) {
+        if self.flatch_log.enabled() {
+            for w in 0..flw::WORDS {
+                self.flatch_log.read(slot * flw::WORDS + w);
+            }
+        }
+    }
+
+    /// Logged whole-slot overwrite of a front-end latch slot. Only valid
+    /// for stores whose value cannot depend on the slot's prior content.
+    pub(crate) fn flatch_write_all(&mut self, slot: u32) {
+        if self.flatch_log.enabled() {
+            for w in 0..flw::WORDS {
+                self.flatch_log.write(slot * flw::WORDS + w);
+            }
+        }
+    }
+
     /// Rename/dispatch: up to 4 instructions from the rename latch get
     /// physical registers, ROB entries, scheduler slots, and LSQ slots.
     /// Stalls in order at the first resource shortage.
     pub(crate) fn rename_phase(&mut self) {
         for i in 0..sizes::DECODE_WIDTH {
+            self.flatch_read_valid(flw::REN + i as u32);
             if !self.ren[i].valid {
                 continue;
             }
+            // The rename stage latches out the whole payload (even when a
+            // resource stall leaves the slot valid for a retry).
+            self.flatch_read_all(flw::REN + i as u32);
             let p = self.ren[i].clone();
             let insn = decode(p.raw as u32);
             let class = insn.exec_class();
@@ -162,7 +233,7 @@ impl Pipeline {
                     ExecClass::Store => FuClass::Store,
                     ExecClass::Pal => FuClass::Simple,
                 };
-                self.sched.slots[sched_slot] = SchedEntry {
+                self.sched.install(sched_slot, SchedEntry {
                     valid: true,
                     issued: false,
                     raw: p.raw,
@@ -180,26 +251,38 @@ impl Pipeline {
                     wait_sq_valid: wait_sq.1,
                     src_ecc,
                     dst_ecc,
-                };
+                });
             }
 
+            // Consuming the instruction clears only the valid bit (a
+            // constant store, logged as a write); the payload goes stale
+            // in place.
+            self.flatch_log.write((flw::REN + i as u32) * flw::WORDS + flw::VALID);
             self.ren[i].valid = false;
         }
     }
 
     /// Advances the decode pipe: FQ → dec1 → dec2 → ren, each 4-wide,
-    /// moving a group only when the next latch is empty.
+    /// moving a group only when the next latch is empty (per-slot write
+    /// enables — see [`advance_stage`]).
     pub(crate) fn decode_phase(&mut self) {
-        if self.ren.iter().all(|s| !s.valid) {
-            std::mem::swap(&mut self.ren, &mut self.dec2);
+        advance_stage(&mut self.dec2, &mut self.ren, &mut self.flatch_log, flw::DEC2, flw::REN);
+        advance_stage(&mut self.dec1, &mut self.dec2, &mut self.flatch_log, flw::DEC1, flw::DEC2);
+        let mut dec1_free = true;
+        for i in 0..sizes::DECODE_WIDTH {
+            self.flatch_read_valid(flw::DEC1 + i as u32);
+            if self.dec1[i].valid {
+                dec1_free = false;
+                break;
+            }
         }
-        if self.dec2.iter().all(|s| !s.valid) {
-            std::mem::swap(&mut self.dec2, &mut self.dec1);
-        }
-        if self.dec1.iter().all(|s| !s.valid) {
+        if dec1_free {
             for i in 0..sizes::DECODE_WIDTH {
                 match self.fq.pop() {
-                    Some(p) => self.dec1[i] = p,
+                    Some(p) => {
+                        self.flatch_write_all(flw::DEC1 + i as u32);
+                        self.dec1[i] = p;
+                    }
                     None => break,
                 }
             }
@@ -215,25 +298,57 @@ impl Pipeline {
         }
 
         // Oldest fetch buffer drains into the fetch queue when it fits.
-        let oldest_count = self.fstages[2].iter().filter(|s| s.valid).count() as u64;
+        // Every slot's valid bit decides the drain, so all eight reads are
+        // logged up front (they shadow the clearing writes below).
+        let mut oldest_count = 0u64;
+        for i in 0..sizes::FETCH_WIDTH {
+            self.flatch_read_valid(flw::fstage(2, i));
+            if self.fstages[2][i].valid {
+                oldest_count += 1;
+            }
+        }
         if oldest_count > 0 && self.fq.free() >= oldest_count {
             let mut stage = std::mem::take(&mut self.fstages[2]);
-            for slot in stage.iter_mut() {
+            for (i, slot) in stage.iter_mut().enumerate() {
                 if slot.valid {
+                    // The push consumes the slot whole.
+                    self.flatch_read_all(flw::fstage(2, i));
                     self.fq.push(std::mem::take(slot));
+                } else {
+                    // Idle slots are cleared with the group: a
+                    // content-independent overwrite.
+                    self.flatch_write_all(flw::fstage(2, i));
                 }
                 *slot = SlotPayload::default();
             }
             self.fstages[2] = stage;
         }
-        if self.fstages[2].iter().all(|s| !s.valid) {
-            self.fstages.swap(1, 2);
+        // Stages shift forward when the next stage is free.
+        {
+            let (head, tail) = self.fstages.split_at_mut(2);
+            advance_stage(
+                &mut head[1],
+                &mut tail[0],
+                &mut self.flatch_log,
+                flw::fstage(1, 0),
+                flw::fstage(2, 0),
+            );
         }
-        if self.fstages[1].iter().all(|s| !s.valid) {
-            self.fstages.swap(0, 1);
+        {
+            let (head, tail) = self.fstages.split_at_mut(1);
+            advance_stage(
+                &mut head[0],
+                &mut tail[0],
+                &mut self.flatch_log,
+                flw::fstage(0, 0),
+                flw::fstage(1, 0),
+            );
         }
-        if self.fstages[0].iter().any(|s| s.valid) {
-            return; // back-pressure: no room for a new group
+        for i in 0..sizes::FETCH_WIDTH {
+            self.flatch_read_valid(flw::fstage(0, i));
+            if self.fstages[0][i].valid {
+                return; // back-pressure: no room for a new group
+            }
         }
         if self.ifill_valid {
             return; // waiting on an instruction-cache fill
@@ -328,6 +443,9 @@ impl Pipeline {
         }
 
         for (i, slot) in group.into_iter().enumerate() {
+            // A fresh fetch group overwrites the filled slots whole;
+            // unfilled lanes keep their stale payloads.
+            self.flatch_write_all(flw::fstage(0, i));
             self.fstages[0][i] = slot;
         }
         self.fetch_pc = pc;

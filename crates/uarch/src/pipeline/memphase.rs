@@ -13,7 +13,7 @@ use tfsim_isa::{alu, decode};
 use tfsim_mem::is_aligned;
 
 use crate::config::sizes;
-use crate::exec::{FuClass, FuOp};
+use crate::exec::{FuBank, FuClass, FuOp};
 use crate::queues::{range_contains, ranges_overlap, ExcCode, LoadState};
 
 use super::Pipeline;
@@ -97,13 +97,14 @@ impl Pipeline {
 
         // Address generation, oldest first.
         for r in self.completing_ops(&[3]) {
-            if !self.fu(r).valid {
+            let slot = FuBank::flat(r.0, r.1);
+            if !self.fus.valid(slot) {
                 continue; // squashed by a violation handled this phase
             }
             if self.replay_if_stale(r) {
                 continue;
             }
-            let op = std::mem::take(self.fu(r));
+            let op = self.fus.take_op(slot);
             match FuClass::from_bits(op.class) {
                 FuClass::Store => self.agu_store(op),
                 _ => self.agu_load(op),

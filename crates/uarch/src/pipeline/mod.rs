@@ -33,11 +33,12 @@ use tfsim_isa::Program;
 use tfsim_mem::{PageSet, SparseMemory};
 use tfsim_protect::{TimeoutAction, TimeoutCounter};
 
+use crate::access::AccessLog;
 use crate::bpred::{BranchPredictor, Btb, Ras};
 use crate::caches::{MhrFile, TagCache};
 use crate::config::{sizes, PipelineConfig};
-use crate::exec::{FuBank, Scheduler};
-use crate::queues::{lqw, sqw, ExcCode, FetchQueue, Lsq, Rob, SlotPayload, SQ_BASE};
+use crate::exec::{fuw, schedw, FuBank, Scheduler};
+use crate::queues::{flw, lqw, sqw, ExcCode, FetchQueue, Lsq, Rob, SlotPayload, SQ_BASE};
 use crate::regfile::PhysRegFile;
 use crate::rename::{FreeList, Rat};
 use crate::storesets::StoreSets;
@@ -202,6 +203,9 @@ pub struct Pipeline {
     pub(crate) dec1: Vec<SlotPayload>, // 4-wide
     pub(crate) dec2: Vec<SlotPayload>,
     pub(crate) ren: Vec<SlotPayload>,
+    /// Word-granular access log for the front-end latches (fetch buffers
+    /// and decode/rename pipe); ordinals per [`crate::queues::flw`].
+    pub(crate) flatch_log: AccessLog,
     pub(crate) bpred: BranchPredictor,
     pub(crate) btb: Btb,
     pub(crate) ras: Ras,
@@ -267,6 +271,7 @@ impl Pipeline {
             dec1: (0..sizes::DECODE_WIDTH).map(|_| SlotPayload::default()).collect(),
             dec2: (0..sizes::DECODE_WIDTH).map(|_| SlotPayload::default()).collect(),
             ren: (0..sizes::DECODE_WIDTH).map(|_| SlotPayload::default()).collect(),
+            flatch_log: AccessLog::default(),
             bpred: BranchPredictor::new(),
             btb: Btb::new(),
             ras: Ras::new(),
@@ -404,7 +409,7 @@ impl Pipeline {
             .count() as f64;
         Occupancy {
             rob: self.rob.len() as f64 / sizes::ROB as f64,
-            scheduler: self.sched.slots.iter().filter(|e| e.valid).count() as f64
+            scheduler: (sizes::SCHEDULER - self.sched.free_count()) as f64
                 / sizes::SCHEDULER as f64,
             fetch_queue: self.fq.len() as f64 / sizes::FETCH_QUEUE as f64,
             load_queue: self.lsq.lq_count.min(sizes::LOAD_QUEUE as u64) as f64
@@ -486,6 +491,27 @@ impl Pipeline {
         self.mhrs.log.set_enabled(on);
     }
 
+    /// Enables (or disables) the *extended* access-tracking tier: the core
+    /// structures plus every remaining loggable structure — fetch queue,
+    /// fetch-buffer and decode-pipe latches, rename maps and free lists,
+    /// scheduler, ROB, and functional units (the units declaring
+    /// [`tfsim_bitstate::Loggability::Extended`]). The analytic masking
+    /// pruner builds its footprint from this wider tier; the sliced trial
+    /// engine keeps the narrower core tier so its audited ride/heal kernel
+    /// is unchanged.
+    pub fn set_access_tracking_extended(&mut self, on: bool) {
+        self.set_access_tracking(on);
+        self.fq.log.set_enabled(on);
+        self.flatch_log.set_enabled(on);
+        self.spec_rat.log.set_enabled(on);
+        self.arch_rat.log.set_enabled(on);
+        self.spec_fl.log.set_enabled(on);
+        self.arch_fl.log.set_enabled(on);
+        self.sched.log.set_enabled(on);
+        self.rob.log.set_enabled(on);
+        self.fus.log.set_enabled(on);
+    }
+
     /// Drains every logged access since the previous drain, in program
     /// order per structure (LSQ first, then register file, then MHRs),
     /// mapping each structure-local fixed ordinal to the *visit-order*
@@ -519,6 +545,81 @@ impl Pipeline {
         self.mhrs.log.drain(&mut |ord, w| f(UnitId::ArchCtrl, mhr_base + ord, w));
     }
 
+    /// Drains every logged access of the *extended* tier (fetch queue,
+    /// rename structures, scheduler, ROB, then the core structures), with
+    /// the same `(unit, visit-order field ordinal, is_write)` contract as
+    /// [`Pipeline::drain_accesses`]. Entry-granular logs (fetch queue,
+    /// ROB) are expanded to every visit word of the touched entry.
+    pub fn drain_accesses_extended(&mut self, f: &mut dyn FnMut(UnitId, u32, bool)) {
+        let parity = self.config.insn_parity;
+        let ptr_ecc = self.config.pointer_ecc;
+        // Front: fetch-queue slots sit after the 6 scalar fetch-control
+        // latches and the 3x8 fetch-buffer slots in the unit's walk.
+        let sw = 8 + parity as u32;
+        let fq_base = 6 + 3 * sizes::FETCH_WIDTH as u32 * sw;
+        self.fq.log.drain(&mut |entry, w| {
+            let base = fq_base + entry * sw;
+            for k in 0..sw {
+                f(UnitId::Front, base + k, w);
+            }
+        });
+        // Front-end latches: fixed 9-word slots (the parity word drops out
+        // when instruction parity is off). Fetch-buffer slots sit right
+        // after the 6 fetch-control scalars; the decode/rename pipe sits
+        // after the fetch queue and its 3 ring-pointer latches.
+        let dec_base = fq_base + sizes::FETCH_QUEUE as u32 * sw + 3;
+        self.flatch_log.drain(&mut |ord, w| {
+            let (slot, k) = (ord / flw::WORDS, ord % flw::WORDS);
+            if k == flw::PARITY && !parity {
+                return;
+            }
+            let k = if k > flw::PARITY && !parity { k - 1 } else { k };
+            let base =
+                if slot < flw::DEC1 { 6 + slot * sw } else { dec_base + (slot - flw::DEC1) * sw };
+            f(UnitId::Front, base + k, w);
+        });
+        // Rename: four blocks in visit order. RAT and free-list local
+        // ordinals coincide with their block's internal visit order (the
+        // queue-control latches at the end of each free-list block are
+        // never logged).
+        let rat_words: u32 = if ptr_ecc { 64 } else { 32 };
+        let fl_words: u32 = if ptr_ecc { 96 + 3 } else { 48 + 3 };
+        self.spec_rat.log.drain(&mut |ord, w| f(UnitId::Rename, ord, w));
+        self.arch_rat.log.drain(&mut |ord, w| f(UnitId::Rename, rat_words + ord, w));
+        self.spec_fl.log.drain(&mut |ord, w| f(UnitId::Rename, 2 * rat_words + ord, w));
+        self.arch_fl
+            .log
+            .drain(&mut |ord, w| f(UnitId::Rename, 2 * rat_words + fl_words + ord, w));
+        // Sched: fixed 23-word numbering; without pointer ECC the last
+        // four (ECC) words are absent from the walk — drop their events
+        // (they sit at the end of the entry, so no gap closes).
+        let sched_vw = if ptr_ecc { schedw::WORDS } else { schedw::WORDS - 4 };
+        self.sched.log.drain(&mut |ord, w| {
+            let (entry, k) = (ord / schedw::WORDS, ord % schedw::WORDS);
+            if k < sched_vw {
+                f(UnitId::Sched, entry * sched_vw + k, w);
+            }
+        });
+        // Rob: entry-granular, expanded to the entry's visit words.
+        let rob_vw = 16 + parity as u32 + if ptr_ecc { 2 } else { 0 };
+        self.rob.log.drain(&mut |entry, w| {
+            let base = entry * rob_vw;
+            for k in 0..rob_vw {
+                f(UnitId::Rob, base + k, w);
+            }
+        });
+        // Functional units: fixed 28-word slots; the four pointer-ECC
+        // words at the end drop out when the protection is off.
+        let fu_vw = if ptr_ecc { fuw::WORDS } else { fuw::WORDS - 4 };
+        self.fus.log.drain(&mut |ord, w| {
+            let (slot, k) = (ord / fuw::WORDS, ord % fuw::WORDS);
+            if k < fu_vw {
+                f(UnitId::Fus, slot * fu_vw + k, w);
+            }
+        });
+        self.drain_accesses(f);
+    }
+
     /// Whether a `(unit, visit-order field ordinal)` pair lies inside the
     /// range covered by the access log (the word set `drain_accesses` can
     /// report). Faults in untracked words cannot be reasoned about from a
@@ -537,6 +638,48 @@ impl Pipeline {
                 (mhr_base..mhr_base + sizes::MHRS as u32 * 3).contains(&ord)
             }
             _ => false,
+        }
+    }
+
+    /// Like [`Pipeline::access_tracked`], but for the word set
+    /// [`Pipeline::drain_accesses_extended`] covers. Queue-control
+    /// latches (the fetch queue's ring pointers) and the fetch-control
+    /// scalars remain untracked in every tier.
+    pub fn access_tracked_extended(&self, unit: UnitId, ord: u32) -> bool {
+        let parity = self.config.insn_parity;
+        let ptr_ecc = self.config.pointer_ecc;
+        match unit {
+            UnitId::Front => {
+                let sw = 8 + parity as u32;
+                let fq_end = 6 + (3 * sizes::FETCH_WIDTH + sizes::FETCH_QUEUE) as u32 * sw;
+                let dec_base = fq_end + 3;
+                let dec_end = dec_base + 3 * sizes::DECODE_WIDTH as u32 * sw;
+                (6..fq_end).contains(&ord) || (dec_base..dec_end).contains(&ord)
+            }
+            UnitId::Fus => {
+                let vw = if ptr_ecc { fuw::WORDS } else { fuw::WORDS - 4 };
+                ord < FuBank::SLOTS as u32 * vw
+            }
+            UnitId::Rename => {
+                let rat_words: u32 = if ptr_ecc { 64 } else { 32 };
+                let fl_slots: u32 = if ptr_ecc { 96 } else { 48 };
+                let fl_words = fl_slots + 3;
+                if ord < 2 * rat_words {
+                    true
+                } else {
+                    let off = (ord - 2 * rat_words) % fl_words;
+                    ord < 2 * rat_words + 2 * fl_words && off < fl_slots
+                }
+            }
+            UnitId::Sched => {
+                let vw = if ptr_ecc { schedw::WORDS } else { schedw::WORDS - 4 };
+                ord < sizes::SCHEDULER as u32 * vw
+            }
+            UnitId::Rob => {
+                let vw = 16 + parity as u32 + if ptr_ecc { 2 } else { 0 };
+                ord < sizes::ROB as u32 * vw
+            }
+            _ => self.access_tracked(unit, ord),
         }
     }
 
@@ -633,7 +776,8 @@ impl Pipeline {
         ring("arch-freelist", h, t, c, sizes::FREELIST as u64);
 
         let pregs = sizes::PHYS_REGS as u64;
-        for (i, e) in self.rob.slots.iter().enumerate() {
+        for i in 0..sizes::ROB as u64 {
+            let e = self.rob.peek(i);
             if e.has_dst {
                 if e.dst_preg >= pregs {
                     out.push(format!("rob[{i}]: dst preg {} out of range", e.dst_preg));
@@ -643,7 +787,8 @@ impl Pipeline {
                 }
             }
         }
-        for (i, e) in self.sched.slots.iter().enumerate() {
+        for i in 0..sizes::SCHEDULER {
+            let e = self.sched.peek(i);
             if !e.valid {
                 continue;
             }

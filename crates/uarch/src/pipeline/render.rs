@@ -35,7 +35,7 @@ impl Pipeline {
         let fq: Vec<String> = (0..self.fq.len())
             .map(|k| {
                 let i = ((self.fq.head + k) % sizes::FETCH_QUEUE as u64) as usize;
-                format!("{:#x}", self.fq.slots[i].pc)
+                format!("{:#x}", self.fq.peek(i).pc)
             })
             .collect();
         out.push_str(&format!("fetch queue [{}]: {}\n", self.fq.len(), fq.join(" ")));
@@ -44,7 +44,7 @@ impl Pipeline {
         out.push_str(&format!("rob [{}/{}]:\n", self.rob.len(), sizes::ROB));
         for k in 0..self.rob.len().min(sizes::ROB as u64) {
             let tag = (self.rob.head + k) % sizes::ROB as u64;
-            let e = self.rob.entry(tag);
+            let e = self.rob.peek(tag);
             let insn = decode(e.raw as u32);
             out.push_str(&format!(
                 "  [{tag:2}] {:#8x} {:<24} {}{}{}\n",
@@ -57,10 +57,8 @@ impl Pipeline {
         }
 
         // Scheduler.
-        let waiting: Vec<String> = self
-            .sched
-            .slots
-            .iter()
+        let waiting: Vec<String> = (0..sizes::SCHEDULER)
+            .map(|i| self.sched.peek(i))
             .filter(|e| e.valid)
             .map(|e| {
                 format!(

@@ -3,7 +3,8 @@
 //! exceptions and the protection mechanisms.
 
 use crate::config::sizes;
-use crate::queues::SlotPayload;
+use crate::exec::FuBank;
+use crate::queues::{flw, SlotPayload};
 
 use super::{FlowEvent, Pipeline};
 
@@ -23,30 +24,30 @@ impl Pipeline {
     }
 
     /// Clears every instruction in the fetch buffers, fetch queue, and
-    /// decode/rename pipe.
+    /// decode/rename pipe. The valid probe inside `squash_slot` feeds only
+    /// the flow log (instrumentation), so each latch slot is logged as a
+    /// pure whole-slot overwrite — the `fq.squash_all` precedent.
     pub(crate) fn clear_frontend(&mut self) {
         let mut stages = std::mem::take(&mut self.fstages);
-        for stage in stages.iter_mut() {
-            for slot in stage.iter_mut() {
+        for (st, stage) in stages.iter_mut().enumerate() {
+            for (i, slot) in stage.iter_mut().enumerate() {
+                self.flatch_write_all(flw::fstage(st, i));
                 self.squash_slot(slot);
             }
         }
         self.fstages = stages;
-        let mut fq = std::mem::take(&mut self.fq.slots);
-        for slot in fq.iter_mut() {
-            self.squash_slot(slot);
+        let cycle = self.cycles;
+        for seq in self.fq.squash_all() {
+            self.log_flow(FlowEvent::Squash { seq, cycle });
         }
-        self.fq.slots = fq;
-        self.fq.head = 0;
-        self.fq.tail = 0;
-        self.fq.count = 0;
-        for stage in ["dec1", "dec2", "ren"] {
+        for (stage, base) in [("dec1", flw::DEC1), ("dec2", flw::DEC2), ("ren", flw::REN)] {
             let mut slots = match stage {
                 "dec1" => std::mem::take(&mut self.dec1),
                 "dec2" => std::mem::take(&mut self.dec2),
                 _ => std::mem::take(&mut self.ren),
             };
-            for slot in slots.iter_mut() {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                self.flatch_write_all(base + i as u32);
                 self.squash_slot(slot);
             }
             match stage {
@@ -104,31 +105,18 @@ impl Pipeline {
         let cutoff = self.rob.age(tag);
         let keep = |age: u64| if inclusive { age < cutoff } else { age <= cutoff };
         for i in 0..sizes::SCHEDULER {
-            let e = &self.sched.slots[i];
-            if e.valid {
-                let age = self.rob.age(e.rob);
+            if self.sched.valid(i) {
+                let age = self.rob.age(self.sched.rob(i));
                 if !keep(age) {
-                    self.sched.slots[i] = Default::default();
+                    self.sched.clear_slot(i);
                 }
             }
         }
-        let ages: Vec<(usize, u64)> = {
-            let rob = &self.rob;
-            self.fus
-                .simple
-                .iter()
-                .chain(self.fus.complex.iter())
-                .chain(self.fus.branch.iter())
-                .chain(self.fus.agu.iter())
-                .enumerate()
-                .filter(|(_, op)| op.valid)
-                .map(|(i, op)| (i, rob.age(op.rob)))
-                .collect()
-        };
-        for (i, age) in ages {
-            if !keep(age) {
-                if let Some(op) = self.fus.all_mut().nth(i) {
-                    *op = Default::default();
+        for slot in 0..FuBank::SLOTS {
+            if self.fus.valid(slot) {
+                let rob_tag = self.fus.rob(slot);
+                if !keep(self.rob.age(rob_tag)) {
+                    self.fus.clear_slot(slot);
                 }
             }
         }
@@ -138,7 +126,7 @@ impl Pipeline {
         // (Alpha-21264-style recovery — this is what makes the
         // architectural RAT live, frequently read state, and hence one of
         // the paper's most vulnerable structures).
-        self.spec_rat.copy_from(&self.arch_rat.clone());
+        self.spec_rat.copy_from(&mut self.arch_rat);
         let survivors = self.rob.len();
         for k in 0..survivors {
             let tag = (self.rob.head + k) % sizes::ROB as u64;
@@ -176,8 +164,8 @@ impl Pipeline {
         self.sched.clear();
         self.fus.clear();
         self.lsq.flush_keep_senior();
-        self.spec_rat.copy_from(&self.arch_rat.clone());
-        self.spec_fl.copy_from(&self.arch_fl.clone());
+        self.spec_rat.copy_from(&mut self.arch_rat);
+        self.spec_fl.copy_from(&mut self.arch_fl);
         self.regfile.all_ready();
         for b in self.spec_ready.iter_mut() {
             *b = false;

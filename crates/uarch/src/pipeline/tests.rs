@@ -400,8 +400,8 @@ fn timeout_counter_recovers_artificial_deadlock() {
     }
     // Force a wedge: mark the scheduler entries invalid while the ROB
     // still waits on them (completion signals lost).
-    for e in cpu.sched.slots.iter_mut() {
-        *e = Default::default();
+    for i in 0..sizes::SCHEDULER {
+        *cpu.sched.poke(i) = Default::default();
     }
     for op in cpu.fus.all_mut() {
         *op = Default::default();
@@ -773,9 +773,9 @@ fn check_invariants_flags_planted_corruptions() {
 
     // Pointer corruption: an out-of-range destination preg in the ROB.
     let mut broken = cpu.clone();
-    let slot = (0..sizes::ROB).find(|&i| broken.rob.slots[i].has_dst);
+    let slot = (0..sizes::ROB).find(|&i| broken.rob.peek(i as u64).has_dst);
     if let Some(i) = slot {
-        broken.rob.slots[i].dst_preg = 0x7f;
+        broken.rob.poke(i as u64).dst_preg = 0x7f;
         let v = broken.check_invariants();
         assert!(v.iter().any(|m| m.contains("rob")), "rob preg corruption not flagged: {v:?}");
     }
@@ -799,7 +799,8 @@ mod access_ordinals {
     use super::*;
     use std::collections::BTreeSet;
     use tfsim_bitstate::{FieldMeta, StateVisitor, UnitId};
-    use crate::queues::{lqw, sqw, LqEntry, SqEntry};
+    use crate::exec::schedw;
+    use crate::queues::{lqw, sqw, LqEntry, RobEntry, SlotPayload, SqEntry};
 
     /// Records `(unit, within-unit field ordinal, value)` for every field.
     struct FieldDump {
@@ -1061,6 +1062,219 @@ mod access_ordinals {
                 cpu.regfile.all_ready();
                 cpu.mhrs.clear();
             });
+        }
+    }
+
+    // --- Extended tier ---------------------------------------------------
+    //
+    // The analytic masking pruner builds its footprint from the *extended*
+    // tracking tier (fetch queue, rename structures, scheduler, ROB on top
+    // of the core set). Its soundness contract is weaker on the write side
+    // than the core tier's: structures may under-claim writes by logging a
+    // read instead (a spurious read only demotes a lane from heal to peel,
+    // which is always simulated). What must never happen is a tracked word
+    // changing with *no* event at all — that would let the pruner prove a
+    // "ride" for a word the machine actually touched.
+
+    /// Runs `op` untracked and diffs the state walk; runs it again with
+    /// extended tracking and drains. Asserts every changed
+    /// extended-tracked field is covered by *some* logged event, and
+    /// returns the (reads, writes) event sets.
+    fn check_extended_events(
+        config: PipelineConfig,
+        op: &dyn Fn(&mut Pipeline),
+    ) -> (BTreeSet<(UnitId, u32)>, BTreeSet<(UnitId, u32)>) {
+        let mut plain = tiny_pipeline(config);
+        let before = dump(&mut plain);
+        op(&mut plain);
+        let after = dump(&mut plain);
+        assert_eq!(before.len(), after.len(), "visit shape changed");
+
+        let mut tracked = tiny_pipeline(config);
+        tracked.set_access_tracking_extended(true);
+        op(&mut tracked);
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeSet::new();
+        tracked.drain_accesses_extended(&mut |u, o, w| {
+            if w {
+                writes.insert((u, o));
+            } else {
+                reads.insert((u, o));
+            }
+        });
+        for ((bu, bo, bv), (_, _, av)) in before.iter().zip(after.iter()) {
+            if bv != av {
+                let u = bu.expect("changed field outside any unit");
+                if tracked.access_tracked_extended(u, *bo) {
+                    assert!(
+                        writes.contains(&(u, *bo)) || reads.contains(&(u, *bo)),
+                        "changed extended-tracked {u:?} ordinal {bo} with no logged event\nreads: {reads:?}\nwrites: {writes:?}"
+                    );
+                }
+            }
+        }
+        (reads, writes)
+    }
+
+    #[test]
+    fn sched_word_ops_pin_to_visit_ordinals() {
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let vw = if config.pointer_ecc { schedw::WORDS } else { schedw::WORDS - 4 };
+            let (_, writes) =
+                check_extended_events(config, &|cpu| cpu.sched.set_issued(2, true));
+            assert_eq!(
+                writes.into_iter().collect::<Vec<_>>(),
+                vec![(UnitId::Sched, 2 * vw + schedw::ISSUED)]
+            );
+            let (reads, _) = check_extended_events(config, &|cpu| {
+                let _ = cpu.sched.src(2, 1);
+            });
+            assert_eq!(
+                reads.into_iter().collect::<Vec<_>>(),
+                vec![(UnitId::Sched, 2 * vw + schedw::src(1))]
+            );
+        }
+    }
+
+    #[test]
+    fn rat_writes_pin_to_rename_visit_ordinals() {
+        // The speculative RAT is the first block of the Rename unit; its
+        // map words sit at the architectural register index, the ECC
+        // syndromes (protected config only) directly after the map.
+        let (_, writes) = check_extended_events(PipelineConfig::baseline(), &|cpu| {
+            cpu.spec_rat.write(5, 33);
+        });
+        assert_eq!(writes.into_iter().collect::<Vec<_>>(), vec![(UnitId::Rename, 5)]);
+        let (_, writes) = check_extended_events(PipelineConfig::protected(), &|cpu| {
+            cpu.spec_rat.write(5, 33);
+        });
+        assert_eq!(
+            writes.into_iter().collect::<Vec<_>>(),
+            vec![(UnitId::Rename, 5), (UnitId::Rename, crate::rename::Rat::ECC_BASE + 5)]
+        );
+    }
+
+    #[test]
+    fn fq_push_expands_to_slot_words() {
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let sw = 8 + config.insn_parity as u32;
+            let fq_base = 6 + 3 * sizes::FETCH_WIDTH as u32 * sw;
+            let (_, writes) = check_extended_events(config, &|cpu| {
+                cpu.fq.push(SlotPayload { valid: true, pc: 0x40, ..Default::default() });
+            });
+            // A fresh queue pushes into slot 0: the write expands to every
+            // visit word of that slot.
+            let expect: BTreeSet<_> =
+                (0..sw).map(|k| (UnitId::Front, fq_base + k)).collect();
+            assert_eq!(writes, expect);
+        }
+    }
+
+    #[test]
+    fn rob_alloc_expands_to_entry_words() {
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let vw = 16 + config.insn_parity as u32
+                + if config.pointer_ecc { 2 } else { 0 };
+            let (_, writes) = check_extended_events(config, &|cpu| {
+                cpu.rob.alloc(RobEntry { pc: 0x1_0040, completed: true, ..Default::default() });
+            });
+            // A fresh ROB allocates tag 0.
+            let expect: BTreeSet<_> = (0..vw).map(|k| (UnitId::Rob, k)).collect();
+            assert_eq!(writes, expect);
+        }
+    }
+
+    #[test]
+    fn extended_stepping_covers_all_tracked_changes() {
+        // Integration for the pruner's footprint: run real cycles (store,
+        // load, a loop branch) with extended tracking on; every change the
+        // step made to an extended-tracked word must come with some logged
+        // event that cycle.
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let build = || {
+                let mut a = Asm::new(0x1_0000);
+                a.li(Reg::R1, 0x10_0000);
+                a.li(Reg::R2, 6);
+                let top = a.here_label();
+                a.stq(Reg::R2, Reg::R1, 0);
+                a.ldq(Reg::R3, Reg::R1, 0);
+                a.subq_i(Reg::R2, 1, Reg::R2);
+                a.bne(Reg::R2, top);
+                a.halt();
+                let p = Program::new("loopy", a).with_data(0x10_0000, vec![0u8; 64]);
+                Pipeline::new(&p, config)
+            };
+            let mut plain = build();
+            let mut tracked = build();
+            tracked.set_access_tracking_extended(true);
+            for _ in 0..80 {
+                let before = dump(&mut plain);
+                plain.step();
+                let after = dump(&mut plain);
+                tracked.step();
+                let mut events = BTreeSet::new();
+                tracked.drain_accesses_extended(&mut |u, o, _| {
+                    events.insert((u, o));
+                });
+                for ((bu, bo, bv), (_, _, av)) in before.iter().zip(after.iter()) {
+                    if bv != av {
+                        if let Some(u) = bu {
+                            if tracked.access_tracked_extended(*u, *bo) {
+                                assert!(
+                                    events.contains(&(*u, *bo)),
+                                    "cycle changed extended-tracked {u:?} ordinal {bo} without logging"
+                                );
+                            }
+                        }
+                    }
+                }
+                if !plain.running() {
+                    break;
+                }
+            }
+            assert!(!plain.running(), "workload did not finish");
+        }
+    }
+
+    #[test]
+    fn loggability_tiers_match_tracking_coverage() {
+        // The per-unit `Loggability` declaration must agree with what the
+        // two drain tiers actually cover: Core units have tracked words in
+        // both tiers, Extended units only in the extended tier, and
+        // Unlogged/Shadow units in neither.
+        use tfsim_bitstate::Loggability;
+        for config in [PipelineConfig::baseline(), PipelineConfig::protected()] {
+            let cpu = tiny_pipeline(config);
+            for unit in UnitId::ALL {
+                let core = (0..4096).any(|o| cpu.access_tracked(unit, o));
+                let extended = (0..4096).any(|o| cpu.access_tracked_extended(unit, o));
+                // The extended tier is a superset of the core tier.
+                for o in 0..4096 {
+                    assert!(
+                        !cpu.access_tracked(unit, o) || cpu.access_tracked_extended(unit, o),
+                        "{unit:?} ordinal {o} tracked in core but not extended"
+                    );
+                }
+                match unit.loggability() {
+                    Loggability::Core => {
+                        assert!(core, "{unit:?} declares Core but has no core-tracked words");
+                    }
+                    Loggability::Extended => {
+                        assert!(!core, "{unit:?} declares Extended but is core-tracked");
+                        assert!(
+                            extended,
+                            "{unit:?} declares Extended but has no extended-tracked words"
+                        );
+                    }
+                    Loggability::Unlogged | Loggability::Shadow => {
+                        assert!(
+                            !extended,
+                            "{unit:?} declares {:?} but has tracked words",
+                            unit.loggability()
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -5,7 +5,7 @@
 use tfsim_isa::{alu, decode, Mnemonic};
 
 use crate::config::sizes;
-use crate::exec::{FuClass, FuOp};
+use crate::exec::{FuBank, FuClass, FuOp};
 use crate::queues::ExcCode;
 
 use super::Pipeline;
@@ -15,27 +15,20 @@ use super::Pipeline;
 pub(crate) type FuRef = (u8, usize);
 
 impl Pipeline {
-    pub(crate) fn fu(&mut self, r: FuRef) -> &mut FuOp {
-        match r.0 {
-            0 => &mut self.fus.simple[r.1],
-            1 => &mut self.fus.complex[r.1],
-            2 => &mut self.fus.branch[r.1],
-            _ => &mut self.fus.agu[r.1],
-        }
-    }
-
-    pub(crate) fn completing_ops(&self, banks: &[u8]) -> Vec<FuRef> {
+    pub(crate) fn completing_ops(&mut self, banks: &[u8]) -> Vec<FuRef> {
         let mut refs: Vec<(FuRef, u64)> = Vec::new();
         for &bank in banks {
-            let ops = match bank {
-                0 => &self.fus.simple,
-                1 => &self.fus.complex,
-                2 => &self.fus.branch,
-                _ => &self.fus.agu,
+            let n = match bank {
+                0 => self.fus.simple.len(),
+                1 => self.fus.complex.len(),
+                2 => self.fus.branch.len(),
+                _ => self.fus.agu.len(),
             };
-            for (i, op) in ops.iter().enumerate() {
-                if op.valid && op.remaining <= 1 {
-                    refs.push(((bank, i), self.rob.age(op.rob)));
+            for i in 0..n {
+                let slot = FuBank::flat(bank, i);
+                if self.fus.valid(slot) && self.fus.remaining(slot) <= 1 {
+                    let rob_tag = self.fus.rob(slot);
+                    refs.push(((bank, i), self.rob.age(rob_tag)));
                 }
             }
         }
@@ -45,13 +38,14 @@ impl Pipeline {
 
     pub(crate) fn writeback_phase(&mut self) {
         for r in self.completing_ops(&[0, 1, 2]) {
-            if !self.fu(r).valid {
+            let slot = FuBank::flat(r.0, r.1);
+            if !self.fus.valid(slot) {
                 continue; // squashed by an older branch earlier this phase
             }
             if self.replay_if_stale(r) {
                 continue;
             }
-            let op = std::mem::take(self.fu(r));
+            let op = self.fus.take_op(slot);
             if r.0 == 2 {
                 self.complete_branch(op);
             } else {
@@ -66,27 +60,35 @@ impl Pipeline {
     /// meantime are refreshed in the operand latches (modeling the bypass
     /// network delivering the value at execute).
     pub(crate) fn replay_if_stale(&mut self, r: FuRef) -> bool {
-        let (srcs, needed, spec, sched_idx, rob_tag) = {
-            let op = self.fu(r);
-            (op.srcs, op.src_needed, op.src_spec, op.sched as usize, op.rob)
-        };
+        let slot = FuBank::flat(r.0, r.1);
+        // The op completes (or replays) this cycle: the execute stage
+        // latches out every field, a whole-slot read.
+        let op = self.fus.read_op(slot);
+        let (srcs, needed, spec, sched_idx, rob_tag) =
+            (op.srcs, op.src_needed, op.src_spec, op.sched as usize, op.rob);
         let mut refreshed = [None; 3];
         for s in 0..3 {
             if needed[s] && spec[s] {
                 if self.regfile.is_ready(srcs[s]) {
                     refreshed[s] = Some(self.regfile.read(srcs[s]));
                 } else {
-                    let entry = &mut self.sched.slots[sched_idx % sizes::SCHEDULER];
-                    if entry.valid && entry.rob == rob_tag {
-                        entry.issued = false;
+                    let i = sched_idx % sizes::SCHEDULER;
+                    if self.sched.valid(i) && self.sched.rob(i) == rob_tag {
+                        self.sched.set_issued(i, false);
                         self.stats.replays += 1;
                     }
-                    *self.fu(r) = FuOp::default();
+                    self.fus.clear_slot(slot);
                     return true;
                 }
             }
         }
-        let op = self.fu(r);
+        // Bypass refresh: deliberately unlogged. It always follows the
+        // whole-slot read above in the same cycle, which shadows it in the
+        // footprint's first-event-per-cycle dedup (the `set_repaired_ptrs`
+        // precedent), and the refreshed value does not depend on the
+        // latch's prior content only when the source was speculative —
+        // the read keeps the conservative disposition either way.
+        let op = self.fus.poke(slot);
         if let Some(v) = refreshed[0] {
             op.a = v;
         }
@@ -102,9 +104,9 @@ impl Pipeline {
     /// Frees the scheduler entry an op came from (guarded against stale or
     /// corrupted links).
     pub(crate) fn free_sched(&mut self, sched_idx: u64, rob_tag: u64) {
-        let entry = &mut self.sched.slots[(sched_idx as usize) % sizes::SCHEDULER];
-        if entry.valid && entry.rob == rob_tag {
-            *entry = Default::default();
+        let i = (sched_idx as usize) % sizes::SCHEDULER;
+        if self.sched.valid(i) && self.sched.rob(i) == rob_tag {
+            self.sched.clear_slot(i);
         }
     }
 
@@ -205,11 +207,7 @@ impl Pipeline {
 
     /// Advances multi-cycle operations one cycle.
     pub(crate) fn execute_phase(&mut self) {
-        for op in self.fus.all_mut() {
-            if op.valid && op.remaining > 1 {
-                op.remaining -= 1;
-            }
-        }
+        self.fus.tick();
     }
 
     /// Select: oldest-first issue of up to 2 simple, 1 complex, 1 branch,
@@ -217,41 +215,51 @@ impl Pipeline {
     pub(crate) fn issue_phase(&mut self) {
         // Clear satisfied memory-dependence waits.
         for i in 0..sizes::SCHEDULER {
-            let e = &self.sched.slots[i];
-            if e.valid && e.wait_sq_valid {
-                let wsq = (e.wait_sq as usize) % sizes::STORE_QUEUE;
+            if self.sched.valid(i) && self.sched.wait_sq_valid(i) {
+                let wsq = (self.sched.wait_sq(i) as usize) % sizes::STORE_QUEUE;
                 if !self.lsq.sq_valid(wsq) || self.lsq.sq_addr_valid(wsq) {
-                    self.sched.slots[i].wait_sq_valid = false;
+                    self.sched.set_wait_sq_valid(i, false);
                 }
             }
         }
 
         // Gather ready candidates.
         let mut cands: Vec<(usize, u64)> = Vec::new();
-        for (i, e) in self.sched.slots.iter().enumerate() {
-            if !e.valid || e.issued || e.wait_sq_valid {
+        for i in 0..sizes::SCHEDULER {
+            if !self.sched.valid(i) || self.sched.issued(i) || self.sched.wait_sq_valid(i) {
                 continue;
             }
             let ready = (0..3).all(|s| {
-                !e.src_needed[s]
-                    || self.regfile.is_ready(e.srcs[s])
-                    || self.spec_ready.get(e.srcs[s] as usize).copied().unwrap_or(false)
+                !self.sched.src_needed(i, s) || {
+                    let src = self.sched.src(i, s);
+                    self.regfile.is_ready(src)
+                        || self.spec_ready.get(src as usize).copied().unwrap_or(false)
+                }
             });
             if ready {
-                cands.push((i, self.rob.age(e.rob)));
+                let rob_tag = self.sched.rob(i);
+                cands.push((i, self.rob.age(rob_tag)));
             }
         }
         cands.sort_by_key(|&(_, age)| age);
 
-        let mut free_simple: Vec<usize> =
-            (0..self.fus.simple.len()).filter(|&i| !self.fus.simple[i].valid).collect();
-        let mut complex_free = !self.fus.complex[0].valid;
-        let mut branch_free = !self.fus.branch[0].valid;
-        let mut free_agu: Vec<usize> =
-            (0..self.fus.agu.len()).filter(|&i| !self.fus.agu[i].valid).collect();
+        let mut free_simple: Vec<usize> = Vec::new();
+        for i in 0..self.fus.simple.len() {
+            if !self.fus.valid(FuBank::flat(0, i)) {
+                free_simple.push(i);
+            }
+        }
+        let mut complex_free = !self.fus.valid(FuBank::flat(1, 0));
+        let mut branch_free = !self.fus.valid(FuBank::flat(2, 0));
+        let mut free_agu: Vec<usize> = Vec::new();
+        for i in 0..self.fus.agu.len() {
+            if !self.fus.valid(FuBank::flat(3, i)) {
+                free_agu.push(i);
+            }
+        }
 
         for (i, _) in cands {
-            let class = FuClass::from_bits(self.sched.slots[i].class);
+            let class = FuClass::from_bits(self.sched.class(i));
             let slot: Option<FuRef> = match class {
                 FuClass::Simple => free_simple.pop().map(|s| (0, s)),
                 FuClass::Complex => {
@@ -278,7 +286,7 @@ impl Pipeline {
     }
 
     fn issue_to(&mut self, sched_idx: usize, slot: FuRef, class: FuClass) {
-        let mut e = self.sched.slots[sched_idx].clone();
+        let mut e = self.sched.read_entry(sched_idx);
         // Pointer-ECC repair point: operand and destination pointers are
         // checked as they leave the scheduler.
         if self.config.pointer_ecc {
@@ -286,8 +294,7 @@ impl Pipeline {
                 e.srcs[s] = self.ptr_repair(e.srcs[s], e.src_ecc[s]);
             }
             e.dst_preg = self.ptr_repair(e.dst_preg, e.dst_ecc);
-            self.sched.slots[sched_idx].srcs = e.srcs;
-            self.sched.slots[sched_idx].dst_preg = e.dst_preg;
+            self.sched.set_repaired_ptrs(sched_idx, e.srcs, e.dst_preg);
         }
         let insn = decode(e.raw as u32);
         let mut vals = [0u64; 3];
@@ -325,8 +332,8 @@ impl Pipeline {
             src_ecc: e.src_ecc,
             dst_ecc: e.dst_ecc,
         };
-        *self.fu(slot) = op;
-        self.sched.slots[sched_idx].issued = true;
+        self.fus.install(FuBank::flat(slot.0, slot.1), op);
+        self.sched.set_issued(sched_idx, true);
     }
 }
 

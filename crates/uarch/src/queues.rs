@@ -62,17 +62,72 @@ impl SlotPayload {
     }
 }
 
+/// Fixed per-slot word ordinals for the front-end latch access log: the
+/// fetch-buffer stages and the decode/rename pipe, all holding
+/// [`SlotPayload`]s in latch form.
+///
+/// Slot numbering: fetch-buffer stage `st`, lane `i` is `st * FETCH_WIDTH
+/// + i` (0..24), then `dec1`, `dec2`, `ren` (`DECODE_WIDTH` slots each,
+/// 24..36). The parity word is reserved whether or not instruction parity
+/// is configured (the drain mapping drops it when absent), so ordinals are
+/// stable across configurations. Word order matches `SlotPayload::visit`.
+pub mod flw {
+    use crate::config::sizes;
+
+    /// `valid` flag.
+    pub const VALID: u32 = 0;
+    /// Raw instruction word.
+    pub const RAW: u32 = 1;
+    /// Instruction address.
+    pub const PC: u32 = 2;
+    /// Predicted direction.
+    pub const PRED_TAKEN: u32 = 3;
+    /// Predicted target.
+    pub const PRED_TARGET: u32 = 4;
+    /// Fetch-fault flag.
+    pub const FETCH_FAULT: u32 = 5;
+    /// Instruction-word parity bit (reserved when parity is off).
+    pub const PARITY: u32 = 6;
+    /// GHR snapshot (shadow).
+    pub const GHR: u32 = 7;
+    /// RAS snapshot (shadow).
+    pub const RAS: u32 = 8;
+    /// Words per latch slot in the fixed numbering.
+    pub const WORDS: u32 = 9;
+
+    /// Flat slot index of fetch-buffer stage `st`, lane `i`.
+    pub fn fstage(st: usize, i: usize) -> u32 {
+        (st * sizes::FETCH_WIDTH + i) as u32
+    }
+    /// First `dec1` slot.
+    pub const DEC1: u32 = 3 * sizes::FETCH_WIDTH as u32;
+    /// First `dec2` slot.
+    pub const DEC2: u32 = DEC1 + sizes::DECODE_WIDTH as u32;
+    /// First `ren` slot.
+    pub const REN: u32 = DEC2 + sizes::DECODE_WIDTH as u32;
+    /// Total front-end latch slots.
+    pub const SLOTS: u32 = REN + sizes::DECODE_WIDTH as u32;
+}
+
 /// The 32-entry fetch queue (a circular RAM queue of [`SlotPayload`]s).
+///
+/// The entry array is private: the step path goes through the logged
+/// methods below, which record *entry-granular* accesses (ordinal = ring
+/// position; `Pipeline::drain_accesses` expands an entry event to the
+/// per-word visit ordinals of the active configuration). Pushes overwrite
+/// a whole slot with content computed independently of it, so they are
+/// logged as writes; pops consume the slot, so they are logged as reads.
 #[derive(Debug, Clone)]
 pub struct FetchQueue {
-    /// Entries, indexed by ring position.
-    pub slots: Vec<SlotPayload>,
+    slots: Vec<SlotPayload>,
     /// Ring head (5-bit).
     pub head: u64,
     /// Ring tail (5-bit).
     pub tail: u64,
     /// Occupancy (6-bit).
     pub count: u64,
+    /// Entry-granular access log (extended-tier tracking).
+    pub log: AccessLog,
 }
 
 impl FetchQueue {
@@ -85,7 +140,19 @@ impl FetchQueue {
             head: 0,
             tail: 0,
             count: 0,
+            log: AccessLog::default(),
         }
+    }
+
+    /// Unlogged slot access for observers and tests only.
+    pub fn peek(&self, i: usize) -> &SlotPayload {
+        &self.slots[i % sizes::FETCH_QUEUE]
+    }
+
+    /// Test-only mutable access; logs nothing.
+    #[doc(hidden)]
+    pub fn poke(&mut self, i: usize) -> &mut SlotPayload {
+        &mut self.slots[i % sizes::FETCH_QUEUE]
     }
 
     /// Current occupancy (clamped to capacity).
@@ -106,6 +173,7 @@ impl FetchQueue {
     /// Appends an instruction (caller must check [`FetchQueue::free`]).
     pub fn push(&mut self, p: SlotPayload) {
         let i = (self.tail % Self::CAP) as usize;
+        self.log.write(i as u32);
         self.slots[i] = p;
         self.slots[i].valid = true;
         self.tail = (self.tail + 1) % Self::CAP;
@@ -118,20 +186,34 @@ impl FetchQueue {
             return None;
         }
         let i = (self.head % Self::CAP) as usize;
+        self.log.read(i as u32);
         let p = std::mem::take(&mut self.slots[i]);
         self.head = (self.head + 1) % Self::CAP;
         self.count = (self.count - 1) & 0x3f;
         Some(p)
     }
 
-    /// Empties the queue (squash).
+    /// Empties the queue (squash): a content-independent full overwrite of
+    /// every slot, logged as entry writes.
     pub fn clear(&mut self) {
-        for s in self.slots.iter_mut() {
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            self.log.write(i as u32);
             *s = SlotPayload::default();
         }
         self.head = 0;
         self.tail = 0;
         self.count = 0;
+    }
+
+    /// Empties the queue for a squash, returning the fetch sequence number
+    /// of each occupied slot so the pipeline can flow-log the squashed
+    /// instructions. The occupancy probe feeds instrumentation only (the
+    /// flow log), never machine behaviour, so this is still logged as a
+    /// pure full-queue overwrite.
+    pub fn squash_all(&mut self) -> Vec<u64> {
+        let seqs = self.slots.iter().filter(|s| s.valid).map(|s| s.seq).collect();
+        self.clear();
+        seqs
     }
 
     /// Visits all slots and ring pointers.
@@ -265,16 +347,27 @@ impl RobEntry {
 }
 
 /// The 64-entry reorder buffer (circular).
+///
+/// The entry array is private: step-path access goes through the logged
+/// methods below, which record *entry-granular* events (ordinal = ring
+/// position, expanded to per-word visit ordinals by
+/// `Pipeline::drain_accesses`). [`Rob::entry`] / [`Rob::entry_mut`] log a
+/// read of the whole entry — `entry_mut` callers may also write fields,
+/// but an unlogged write only under-claims (the word looks live), never
+/// over-claims, which is the safe direction for the dead-window proofs.
+/// Only [`Rob::alloc`] and [`Rob::clear`] log writes: both replace whole
+/// entries with content computed independently of the old bits.
 #[derive(Debug, Clone)]
 pub struct Rob {
-    /// Entries, indexed by ring position.
-    pub slots: Vec<RobEntry>,
+    slots: Vec<RobEntry>,
     /// Ring head: the oldest unretired instruction (6-bit).
     pub head: u64,
     /// Ring tail: the next allocation slot (6-bit).
     pub tail: u64,
     /// Occupancy (7-bit).
     pub count: u64,
+    /// Entry-granular access log (extended-tier tracking).
+    pub log: AccessLog,
 }
 
 impl Rob {
@@ -287,7 +380,19 @@ impl Rob {
             head: 0,
             tail: 0,
             count: 0,
+            log: AccessLog::default(),
         }
+    }
+
+    /// Unlogged entry access for observers and tests only.
+    pub fn peek(&self, tag: u64) -> &RobEntry {
+        &self.slots[(tag % Self::CAP) as usize]
+    }
+
+    /// Test-only mutable access; logs nothing.
+    #[doc(hidden)]
+    pub fn poke(&mut self, tag: u64) -> &mut RobEntry {
+        &mut self.slots[(tag % Self::CAP) as usize]
     }
 
     /// Current occupancy (clamped).
@@ -305,9 +410,12 @@ impl Rob {
         self.len() >= Self::CAP
     }
 
-    /// Allocates the tail entry and returns its tag.
+    /// Allocates the tail entry and returns its tag: a logged full-entry
+    /// write (the new entry is built from rename-stage state, never from
+    /// the slot's old bits).
     pub fn alloc(&mut self, entry: RobEntry) -> u64 {
         let tag = self.tail % Self::CAP;
+        self.log.write(tag as u32);
         self.slots[tag as usize] = entry;
         self.tail = (self.tail + 1) % Self::CAP;
         self.count = (self.count + 1) & 0x7f;
@@ -319,20 +427,26 @@ impl Rob {
         self.head % Self::CAP
     }
 
-    /// Pops the head entry (retirement). Caller checks emptiness/state.
+    /// Pops the head entry (retirement): the entry's content is consumed,
+    /// so this logs a read (the same-cycle zeroing write is shadowed by
+    /// the read and deliberately unlogged).
     pub fn retire_head(&mut self) -> RobEntry {
         let tag = self.head_tag() as usize;
+        self.log.read(tag as u32);
         let e = std::mem::take(&mut self.slots[tag]);
         self.head = (self.head + 1) % Self::CAP;
         self.count = (self.count - 1) & 0x7f;
         e
     }
 
-    /// Removes the youngest entry (misprediction walk). Returns it.
+    /// Removes the youngest entry (misprediction walk). Returns it, so
+    /// like retirement it is a logged read.
     pub fn pop_tail(&mut self) -> RobEntry {
         self.tail = (self.tail + Self::CAP - 1) % Self::CAP;
         self.count = (self.count - 1) & 0x7f;
-        std::mem::take(&mut self.slots[(self.tail % Self::CAP) as usize])
+        let tag = (self.tail % Self::CAP) as usize;
+        self.log.read(tag as u32);
+        std::mem::take(&mut self.slots[tag])
     }
 
     /// Ring age of `tag`: 0 for the head, increasing toward the tail.
@@ -345,19 +459,26 @@ impl Rob {
         self.age(a) > self.age(b)
     }
 
-    /// Access an entry by tag (always in range via masking).
-    pub fn entry(&self, tag: u64) -> &RobEntry {
-        &self.slots[(tag % Self::CAP) as usize]
+    /// Access an entry by tag (always in range via masking): a logged
+    /// whole-entry read.
+    pub fn entry(&mut self, tag: u64) -> &RobEntry {
+        let tag = (tag % Self::CAP) as usize;
+        self.log.read(tag as u32);
+        &self.slots[tag]
     }
 
-    /// Mutable access by tag.
+    /// Mutable access by tag: logged as a read (field writes through the
+    /// returned reference stay unlogged — the safe, under-claiming side).
     pub fn entry_mut(&mut self, tag: u64) -> &mut RobEntry {
-        &mut self.slots[(tag % Self::CAP) as usize]
+        let tag = (tag % Self::CAP) as usize;
+        self.log.read(tag as u32);
+        &mut self.slots[tag]
     }
 
-    /// Empties the ROB (full flush).
+    /// Empties the ROB (full flush): logged full-entry writes.
     pub fn clear(&mut self) {
-        for s in self.slots.iter_mut() {
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            self.log.write(i as u32);
             *s = RobEntry::default();
         }
         self.head = 0;

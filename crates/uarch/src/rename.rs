@@ -17,6 +17,7 @@
 use tfsim_bitstate::{Category, FieldMeta, StateVisitor, StorageKind};
 use tfsim_protect::{pointer_code, Decoded};
 
+use crate::access::AccessLog;
 use crate::config::sizes;
 
 /// Applies pointer-ECC correction to a stored (pointer, check) pair,
@@ -54,6 +55,9 @@ pub struct Rat {
     ecc: Vec<u64>,
     category: Category,
     ecc_enabled: bool,
+    /// Word-granular access log: `map[i]` is ordinal `i`, `ecc[i]` is
+    /// ordinal `32 + i` (ECC ordinals only appear when ECC is enabled).
+    pub log: AccessLog,
 }
 
 impl Rat {
@@ -63,8 +67,11 @@ impl Rat {
     pub fn new(category: Category, ecc_enabled: bool) -> Rat {
         let map: Vec<u64> = (0..sizes::ARCH_REGS as u64).collect();
         let ecc = map.iter().map(|&p| encode_ptr(p)).collect();
-        Rat { map, ecc, category, ecc_enabled }
+        Rat { map, ecc, category, ecc_enabled, log: AccessLog::default() }
     }
+
+    /// Ordinal of the ECC word shadowing `map[i]`.
+    pub const ECC_BASE: u32 = sizes::ARCH_REGS as u32;
 
     /// Reads the mapping for `areg`, applying pointer-ECC repair if
     /// enabled. Out-of-range architectural indices (impossible from decode,
@@ -73,6 +80,10 @@ impl Rat {
         let i = areg as usize;
         if i >= self.map.len() {
             return 0;
+        }
+        self.log.read(i as u32);
+        if self.ecc_enabled {
+            self.log.read(Self::ECC_BASE + i as u32);
         }
         checked_read(&mut self.map[i], &mut self.ecc[i], self.ecc_enabled) & 0x7f
     }
@@ -83,12 +94,28 @@ impl Rat {
         if i >= self.map.len() {
             return;
         }
+        self.log.write(i as u32);
+        if self.ecc_enabled {
+            self.log.write(Self::ECC_BASE + i as u32);
+        }
         self.map[i] = preg & 0x7f;
         self.ecc[i] = encode_ptr(preg);
     }
 
-    /// Copies another RAT's contents (full-flush recovery).
-    pub fn copy_from(&mut self, other: &Rat) {
+    /// Copies another RAT's contents (full-flush recovery): a logged read
+    /// of every source word and a logged overwrite of every destination
+    /// word.
+    pub fn copy_from(&mut self, other: &mut Rat) {
+        if other.log.enabled() || self.log.enabled() {
+            for i in 0..self.map.len() as u32 {
+                other.log.read(i);
+                self.log.write(i);
+                if self.ecc_enabled {
+                    other.log.read(Self::ECC_BASE + i);
+                    self.log.write(Self::ECC_BASE + i);
+                }
+            }
+        }
         self.map.copy_from_slice(&other.map);
         self.ecc.copy_from_slice(&other.ecc);
     }
@@ -124,6 +151,9 @@ pub struct FreeList {
     count: u64,
     category: Category,
     ecc_enabled: bool,
+    /// Word-granular access log: `slots[i]` is ordinal `i`, `ecc[i]` is
+    /// ordinal `48 + i`. The queue-control latches are not logged.
+    pub log: AccessLog,
 }
 
 impl FreeList {
@@ -143,10 +173,14 @@ impl FreeList {
             count: sizes::FREELIST as u64,
             category,
             ecc_enabled,
+            log: AccessLog::default(),
         }
     }
 
     const CAP: u64 = sizes::FREELIST as u64;
+
+    /// Ordinal of the ECC word shadowing `slots[i]`.
+    pub const ECC_BASE: u32 = sizes::FREELIST as u32;
 
     /// Free registers currently available.
     pub fn len(&self) -> u64 {
@@ -164,6 +198,10 @@ impl FreeList {
             return None;
         }
         let i = (self.head % Self::CAP) as usize;
+        self.log.read(i as u32);
+        if self.ecc_enabled {
+            self.log.read(Self::ECC_BASE + i as u32);
+        }
         let preg = checked_read(&mut self.slots[i], &mut self.ecc[i], self.ecc_enabled) & 0x7f;
         self.head = (self.head + 1) % Self::CAP;
         self.count = (self.count - 1) & 0x3f;
@@ -175,6 +213,10 @@ impl FreeList {
     pub fn unpop(&mut self, preg: u64) {
         self.head = (self.head + Self::CAP - 1) % Self::CAP;
         let i = (self.head % Self::CAP) as usize;
+        self.log.write(i as u32);
+        if self.ecc_enabled {
+            self.log.write(Self::ECC_BASE + i as u32);
+        }
         self.slots[i] = preg & 0x7f;
         self.ecc[i] = encode_ptr(preg);
         self.count = (self.count + 1) & 0x3f;
@@ -183,6 +225,10 @@ impl FreeList {
     /// Appends a freed register at the tail (retirement).
     pub fn push(&mut self, preg: u64) {
         let i = (self.tail % Self::CAP) as usize;
+        self.log.write(i as u32);
+        if self.ecc_enabled {
+            self.log.write(Self::ECC_BASE + i as u32);
+        }
         self.slots[i] = preg & 0x7f;
         self.ecc[i] = encode_ptr(preg);
         self.tail = (self.tail + 1) % Self::CAP;
@@ -195,8 +241,20 @@ impl FreeList {
         (self.head, self.tail, self.count)
     }
 
-    /// Copies another free list's full state (full-flush recovery).
-    pub fn copy_from(&mut self, other: &FreeList) {
+    /// Copies another free list's full state (full-flush recovery): a
+    /// logged read of every source slot and a logged overwrite of every
+    /// destination slot (ring latches are not logged).
+    pub fn copy_from(&mut self, other: &mut FreeList) {
+        if other.log.enabled() || self.log.enabled() {
+            for i in 0..self.slots.len() as u32 {
+                other.log.read(i);
+                self.log.write(i);
+                if self.ecc_enabled {
+                    other.log.read(Self::ECC_BASE + i);
+                    self.log.write(Self::ECC_BASE + i);
+                }
+            }
+        }
         self.slots.copy_from_slice(&other.slots);
         self.ecc.copy_from_slice(&other.ecc);
         self.head = other.head;
@@ -341,7 +399,7 @@ mod tests {
         // Arch side performs its own sequence.
         arch.pop();
         arch.push(50);
-        spec.copy_from(&arch);
+        spec.copy_from(&mut arch);
         assert_eq!(spec.len(), arch.len());
         let (a, b) = (spec.pop(), arch.pop());
         assert_eq!(a, b);

@@ -150,6 +150,114 @@ fn sliced_campaign_is_byte_identical_to_the_ladder() {
 }
 
 #[test]
+fn pruned_campaign_is_byte_identical_to_the_unpruned_engines() {
+    use tfsim::inject::{
+        run_campaign_journaled, run_campaign_observed, CampaignJournal, CampaignObs, JournalMeta,
+    };
+    use tfsim::obs::{strip_wall_clock, Event, RingSink};
+
+    let workloads: Vec<_> = workloads::all()
+        .into_iter()
+        .filter(|w| w.name == "gzip-like" || w.name == "vpr-like")
+        .collect();
+
+    // The full per-trial event stream must agree with both unpruned
+    // engines everywhere except the footer, which additionally carries the
+    // pruner's disposition tally.
+    let run_traced = |pruned: bool, sliced: bool| {
+        let mut cfg = config(2);
+        cfg.pruned = pruned;
+        cfg.sliced = sliced;
+        let sink = RingSink::new(1 << 16);
+        let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+        let r = run_campaign_observed(&cfg, &workloads, &obs);
+        (outcome_census(&r), strip_wall_clock(&sink.events()), r.prune)
+    };
+    let (ladder_census, ladder_events, ladder_prune) = run_traced(false, false);
+    let (sliced_census, sliced_events, sliced_prune) = run_traced(false, true);
+    let (pruned_census, pruned_events, pruned_prune) = run_traced(true, false);
+
+    assert_eq!(ladder_census, sliced_census);
+    assert_eq!(ladder_census, pruned_census, "pruned campaign census diverged");
+    assert!(ladder_prune.is_none() && sliced_prune.is_none(), "unpruned runs carry no tally");
+
+    let (pruned_footer, pruned_rest) = pruned_events.split_last().unwrap();
+    let (ladder_footer, ladder_rest) = ladder_events.split_last().unwrap();
+    assert_eq!(sliced_events.split_last().unwrap().1, pruned_rest);
+    assert_eq!(ladder_rest, pruned_rest, "pruned campaign event stream diverged");
+    match (ladder_footer, pruned_footer) {
+        (
+            Event::CampaignEnd {
+                trials,
+                matched,
+                gray,
+                failed,
+                quarantined,
+                eligible_bits,
+                wall_ns,
+                prune: None,
+            },
+            Event::CampaignEnd {
+                trials: pt,
+                matched: pm,
+                gray: pg,
+                failed: pf,
+                quarantined: pq,
+                eligible_bits: pe,
+                wall_ns: pw,
+                prune: Some(p),
+            },
+        ) => {
+            assert_eq!(
+                (trials, matched, gray, failed, quarantined, eligible_bits, wall_ns),
+                (pt, pm, pg, pf, pq, pe, pw),
+                "footer counts diverged"
+            );
+            assert_eq!(p.total(), *pt, "every trial gets exactly one disposition");
+            assert_eq!(Some(*p), pruned_prune, "footer tally must match the result's");
+        }
+        other => panic!("footers have the wrong shape: {other:?}"),
+    }
+
+    // Journal files: `pruned` is an execution strategy, not experiment
+    // identity — a journal written by the pruner resumes under any engine,
+    // byte for byte.
+    let journal_bytes = |pruned: bool| {
+        let mut cfg = config(1);
+        cfg.pruned = pruned;
+        let path = std::env::temp_dir()
+            .join(format!("tfsim-pruned-journal-{}-{pruned}.jsonl", std::process::id()));
+        let meta = JournalMeta::new(&cfg, &workloads, false);
+        let j = CampaignJournal::create(&path, &meta).unwrap();
+        run_campaign_journaled(&cfg, &workloads, &CampaignObs::disabled(), Some(&j));
+        drop(j);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        bytes
+    };
+    assert_eq!(
+        journal_bytes(false),
+        journal_bytes(true),
+        "pruned campaign journal diverged from the ladder"
+    );
+
+    // A forced mid-trial panic flows through the pruner's delegate
+    // remapping into the same quarantine record.
+    let shim = (1usize, 1u32, 5u32);
+    let run_shimmed = |pruned: bool| {
+        let mut cfg = config(2);
+        cfg.pruned = pruned;
+        cfg.panic_shim = Some(shim);
+        run_campaign_on(&cfg, &workloads)
+    };
+    let ladder_q = run_shimmed(false);
+    let pruned_q = run_shimmed(true);
+    assert_eq!(outcome_census(&ladder_q), outcome_census(&pruned_q));
+    assert_eq!(ladder_q.quarantined, pruned_q.quarantined);
+    assert_eq!(pruned_q.quarantined.len(), 1);
+}
+
+#[test]
 fn different_seeds_change_the_trial_mix() {
     // Guards against the degenerate "deterministic because the seed is
     // ignored" failure mode: two seeds must draw different trial sets.

@@ -12,6 +12,11 @@
 //! * A lane of the dense `SlicedState` container, flipped and extracted,
 //!   must equal the scalar machine flipped by `FlipBit` at the same
 //!   target — hit attribution (`FlippedBit.unit`) included.
+//! * The analytic masking pruner `run_trials_pruned` must return the same
+//!   records as the ladder and the naive path over random plans, windows,
+//!   protection configs, and delegate lane widths in `1..=64` — and a
+//!   site the pruner proves dead must classify identically under a full
+//!   scalar `run_trial` replay.
 //!
 //! Together these are the proof obligations that let the campaign use the
 //! fast path without ever changing an outcome census. A failing property
@@ -34,6 +39,10 @@ const MASK: InjectionMask = InjectionMask::LatchesAndRams;
 /// A store/branch-heavy loop kernel, warmed past the cold-start phase with
 /// the flow log on (the shape `StartPoint::prepare` expects).
 fn warmed_pipeline() -> Pipeline {
+    warmed_pipeline_with(PipelineConfig::baseline())
+}
+
+fn warmed_pipeline_with(config: PipelineConfig) -> Pipeline {
     let mut a = Asm::new(0x1_0000);
     a.li(Reg::R10, 0x9e3779b97f4a7c15u64);
     a.li(Reg::R1, 0x10_0000);
@@ -56,7 +65,7 @@ fn warmed_pipeline() -> Pipeline {
     let p = Program::new("fastpath-bed", a).with_data(0x10_0000, vec![0u8; 256]);
     let mut probe = tfsim::arch::FuncSim::new(&p);
     probe.run(50_000_000);
-    let mut cpu = Pipeline::new(&p, PipelineConfig::baseline());
+    let mut cpu = Pipeline::new(&p, config);
     cpu.set_tlbs(probe.code_pages().clone(), probe.data_pages().clone());
     cpu.enable_flow_log();
     for _ in 0..400 {
@@ -68,6 +77,13 @@ fn warmed_pipeline() -> Pipeline {
 fn start_point() -> &'static StartPoint {
     static SP: OnceLock<StartPoint> = OnceLock::new();
     SP.get_or_init(|| StartPoint::prepare(&warmed_pipeline(), 700, MASK))
+}
+
+fn protected_start_point() -> &'static StartPoint {
+    static SP: OnceLock<StartPoint> = OnceLock::new();
+    SP.get_or_init(|| {
+        StartPoint::prepare(&warmed_pipeline_with(PipelineConfig::protected()), 700, MASK)
+    })
 }
 
 fn base_pipeline() -> &'static Pipeline {
@@ -135,6 +151,65 @@ fn sliced_equals_ladder_equals_naive_at_every_lane_width() {
         prop_assert_eq!(sliced_census, naive_census);
         Ok(())
     });
+}
+
+#[test]
+fn pruned_equals_ladder_equals_naive_at_every_lane_width() {
+    // Random plans through the analytic masking pruner against the ladder
+    // and the naive path, across random monitoring windows, protection
+    // configs, and delegate lane widths. The pruner may discharge a site
+    // analytically, collapse it into a class, or delegate it — whatever it
+    // picks, the records must be bit-identical to the scalar walk, and
+    // every site must land in exactly one disposition bucket.
+    let mut cfg = Config::from_env();
+    cfg.cases = cfg.cases.min(12);
+    let gen = (
+        vecs((ints(0u64..40_000), ints(0u64..64)), 1..8),
+        ints(1usize..65),
+        ints(120u64..500),
+        ints(0u8..2),
+    );
+    prop::run(&cfg, "pruned_equals_ladder_equals_naive_at_every_lane_width", &gen, |val| {
+        let (plan, width, monitor, protected) = val.clone();
+        let sp = if protected == 1 { protected_start_point() } else { start_point() };
+        let specs: Vec<TrialSpec> =
+            plan.iter().map(|&(target, inject_cycle)| TrialSpec { target, inject_cycle }).collect();
+        let ladder = sp.run_trials(MASK, &specs, monitor);
+        let (pruned, dispo) = sp.run_trials_pruned_with_width(MASK, &specs, monitor, width);
+        prop_assert_eq!(&pruned, &ladder, "pruned (width {}) != ladder", width);
+        prop_assert_eq!(dispo.total(), specs.len() as u64, "dispositions must cover every site");
+        for (i, s) in specs.iter().enumerate() {
+            let naive = sp.run_trial(MASK, s.target, s.inject_cycle, monitor);
+            prop_assert_eq!(pruned[i], naive, "pruned != naive at trial {}", i);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn pruned_proved_dead_site_equals_the_scalar_trial() {
+    // Single-site plans make the disposition tally name *this* site's
+    // fate: when the pruner proves the site dead (dead window, overwrite
+    // before read, or pre-read lock/halt decision), the record it emits
+    // without simulating anything must equal the full scalar replay's.
+    // The cross-case counter then pins that the property actually
+    // exercised the analytic path, not just delegated everything.
+    let cfg = Config::from_env();
+    let proved = std::cell::Cell::new(0u64);
+    let gen = (ints(0u64..40_000), ints(0u64..64), ints(60u64..500), ints(0u8..2));
+    prop::run(&cfg, "pruned_proved_dead_site_equals_the_scalar_trial", &gen, |val| {
+        let (target, inject_cycle, monitor, protected) = *val;
+        let sp = if protected == 1 { protected_start_point() } else { start_point() };
+        let spec = TrialSpec { target, inject_cycle };
+        let (pruned, dispo) = sp.run_trials_pruned(MASK, &[spec], monitor);
+        prop_assert_eq!(dispo.total(), 1);
+        prop_assert_eq!(pruned.len(), 1);
+        let naive = sp.run_trial(MASK, target, inject_cycle, monitor);
+        prop_assert_eq!(pruned[0], naive, "disposition {:?} changed the record", dispo);
+        proved.set(proved.get() + dispo.proved_dead);
+        Ok(())
+    });
+    assert!(proved.get() > 0, "no case ever took the analytic proved-dead path");
 }
 
 #[test]
