@@ -24,6 +24,17 @@
 # engine's records are byte-identical to the ladder's (pinned by the
 # equivalence suite), so the ratio is pure execution-strategy gain.
 #
+# The deep-trace pair extends the telemetry-overhead story:
+# `inject/trials-per-sec-deep-traced` runs the identical plan with full
+# divergence timelines on (per-unit diverged-set samples on divergent
+# check cycles — dense just after injection, every eighth check once
+# sparse — from a dedicated incremental fingerprint engine). After
+# recording, the default filter gates two ratios from the fresh medians:
+# deep-traced must stay within 25% of traced (timelines sample only
+# already-divergent cycles, at bounded cadence), and traced must stay
+# within 15% of untraced (the longstanding within-noise telemetry
+# contract, now enforced where the numbers are produced).
+#
 # The analytic-pruner pair rides the same plan:
 # `inject/trials-per-sec-pruned` runs it through the masking pruner
 # (dead-window proofs + site equivalence classes on the extended-tier
@@ -42,3 +53,20 @@ out=BENCH_campaign.json
 cargo run --release --offline -q -p tfsim-bench --bin perf -- "$filter" --json \
   | tee /dev/stderr | grep '^{' > "$out"
 echo "wrote $out" >&2
+
+# Overhead gates (only when the run recorded the trio).
+median() {
+  sed -n "s/^{\"name\":\"$(printf '%s' "$1" | sed 's/\//\\\//g')\",\"median_ns\":\([0-9.]*\).*/\1/p" "$out"
+}
+untraced=$(median "inject/trials-per-sec")
+traced=$(median "inject/trials-per-sec-traced")
+deep=$(median "inject/trials-per-sec-deep-traced")
+if [ -n "$untraced" ] && [ -n "$traced" ] && [ -n "$deep" ]; then
+  awk -v u="$untraced" -v t="$traced" -v d="$deep" 'BEGIN {
+    printf "traced/untraced: %.3fx   deep/traced: %.3fx\n", t/u, d/t
+    bad = 0
+    if (t > 1.15 * u) { print "GATE FAIL: traced exceeds untraced by >15%"; bad = 1 }
+    if (d > 1.25 * t) { print "GATE FAIL: deep-traced exceeds traced by >25%"; bad = 1 }
+    exit bad
+  }' >&2
+fi

@@ -50,6 +50,30 @@ cargo run --release --offline -q -p tfsim-bench --bin tfsim-run -- \
     report "$trace" > target/ci_report.txt
 grep -q "outcome census" target/ci_report.txt
 
+echo "==> deep-trace propagation smoke (gating)"
+# A deep-traced campaign streams per-trial divergence timelines into the
+# trace; the propagation report must render non-empty chains, the
+# residency heatmap, the machine-readable aggregates, and the span
+# profiler must account for (>=95% of) the start-point wall time.
+deep_trace=target/ci_deep_trace.jsonl
+cargo run --release --offline -q -p tfsim-bench --bin tfsim-run -- \
+    campaign --quick --seed 7 --start-points 1 --trials 10 --monitor 1500 \
+    --scale 1 --workloads gzip-like,twolf-like --trace "$deep_trace" --deep-trace \
+    --profile target/ci_profile.collapsed > target/ci_deep_campaign.txt 2>/dev/null
+grep -q "phase coverage: 9[5-9]\|phase coverage: 100" target/ci_deep_campaign.txt
+test -s target/ci_profile.collapsed
+cargo run --release --offline -q -p tfsim-bench --bin tfsim-run -- \
+    report "$deep_trace" --propagation > target/ci_propagation.txt
+grep -q "propagation chains" target/ci_propagation.txt
+grep -q "residency heatmap" target/ci_propagation.txt
+grep -q '"chains":\[{"chain":\[' target/ci_propagation.txt
+# The deep-traced census block must be byte-identical to the untraced one.
+cargo run --release --offline -q -p tfsim-bench --bin tfsim-run -- \
+    campaign --quick --seed 7 --start-points 1 --trials 10 --monitor 1500 \
+    --scale 1 --workloads gzip-like,twolf-like > target/ci_census_shallow.txt 2>/dev/null
+census_block() { sed -n '/^outcome census/,/^eligible bits/p' "$1"; }
+diff <(census_block target/ci_census_shallow.txt) <(census_block target/ci_deep_campaign.txt)
+
 echo "==> journal resume smoke (gating)"
 # A journaled quick campaign, interrupted by truncating the journal
 # mid-file, must resume to the byte-identical census of an uninterrupted

@@ -99,6 +99,13 @@ fn campaign_plan(sp: &StartPoint, trials: u64, window: u64) -> Vec<TrialSpec> {
 ///   the untraced bench is the telemetry overhead; the untraced bench
 ///   itself must not move, which is the zero-overhead-when-disabled
 ///   contract pinned by `BENCH_campaign.json`.
+/// * `inject/trials-per-sec-deep-traced` — the identical batch through
+///   the deep-traced path: on top of tracing, µArch-divergent checks
+///   sample the per-unit diverged set into the trial's divergence
+///   timeline (dense just after injection, every eighth check once
+///   sparse, via a dedicated incremental fingerprint engine). The
+///   deep/traced median ratio is the timeline cost; it is bounded even
+///   for faults that stay diverged across the whole monitor window.
 /// * `inject/trials-per-sec-sliced` — the identical 100-trial batch
 ///   through the word-parallel (bit-sliced) engine: lanes whose flipped
 ///   word is overwritten or never read ride the shared golden evaluation,
@@ -125,6 +132,7 @@ fn bench_campaign(b: &mut Bench) {
     const MASK: InjectionMask = InjectionMask::LatchesAndRams;
     if !wants(b, "inject/trials-per-sec")
         && !wants(b, "inject/trials-per-sec-traced")
+        && !wants(b, "inject/trials-per-sec-deep-traced")
         && !wants(b, "inject/trials-per-sec-sliced")
         && !wants(b, "inject/trials-per-sec-pruned")
         && !wants(b, "inject/pruner-overhead")
@@ -138,6 +146,9 @@ fn bench_campaign(b: &mut Bench) {
     let plan = campaign_plan(&sp, 100, WINDOW);
     b.bench("inject/trials-per-sec", || sp.run_trials(MASK, &plan, MONITOR));
     b.bench("inject/trials-per-sec-traced", || sp.run_trials_traced(MASK, &plan, MONITOR));
+    b.bench("inject/trials-per-sec-deep-traced", || {
+        sp.run_trials_deep_traced(MASK, &plan, MONITOR)
+    });
     // Prime the lazily built golden footprints so the benches measure the
     // steady-state per-batch cost, like every batch after the first.
     sp.run_trials_sliced(MASK, &plan[..1], MONITOR);

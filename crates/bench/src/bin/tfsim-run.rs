@@ -7,9 +7,9 @@
 //! tfsim-run campaign [--quick|--default-scale|--paper] [--seed N]
 //!           [--threads N] [--scale N] [--start-points N] [--trials N]
 //!           [--monitor N] [--workloads a,b,...] [--sliced] [--pruned]
-//!           [--trace PATH]
+//!           [--trace PATH [--deep-trace]] [--profile PATH]
 //!           [--journal PATH [--resume]]
-//! tfsim-run report PATH [--top N]
+//! tfsim-run report PATH [--top N] [--propagation]
 //! ```
 //!
 //! `--disasm` prints the program listing; `--trace N` prints a per-cycle
@@ -38,9 +38,21 @@
 //! census of an uninterrupted run. Trials the harness had to quarantine
 //! (contained panics) are listed after the census, never inside it.
 //!
+//! `--trace PATH --deep-trace` additionally records each trial's full
+//! divergence timeline (which units disagreed with the golden run, cycle
+//! by cycle) as `propagation` events in the trace — the census and
+//! journal stay byte-identical to the shallower runs. `--profile PATH`
+//! turns on the hierarchical span profiler, prints a wall-time footer
+//! (campaign → benchmark → start point → phases), and writes a
+//! collapsed-stack file flamegraph tooling reads directly.
+//!
 //! `report` parses a JSONL trace back and renders the full
 //! fault-propagation report (census, per-category/per-unit vulnerability,
-//! propagation pairs, latency histograms, phase timings).
+//! propagation pairs, latency histograms, phase timings, span profile).
+//! `report PATH --propagation` renders the deep-trace aggregation
+//! instead: propagation chains, a per-unit residency heatmap over cycle
+//! offsets, per-unit detection latencies, and a machine-readable JSON
+//! line of the same aggregates.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,7 +64,7 @@ use tfsim_inject::{
     CampaignResult, FailureMode, JournalMeta, OutcomeCounts,
 };
 use tfsim_isa::{text, Program};
-use tfsim_obs::{parse_trace, EventSink, JsonlSink, Progress};
+use tfsim_obs::{parse_trace, EventSink, JsonlSink, NoopSink, Progress, SpanProfiler};
 use tfsim_stats::{census_rows, render_census, TelemetryReport};
 use tfsim_uarch::{Pipeline, PipelineConfig};
 
@@ -82,6 +94,8 @@ fn cmd_campaign(args: &[String]) {
     let mut trials = None::<u32>;
     let mut monitor = None::<u64>;
     let mut trace = None::<PathBuf>;
+    let mut deep_trace = false;
+    let mut profile = None::<PathBuf>;
     let mut workload_list = None::<String>;
     let mut journal_path = None::<PathBuf>;
     let mut resume = false;
@@ -133,6 +147,19 @@ fn cmd_campaign(args: &[String]) {
                         std::process::exit(2);
                     },
                 )));
+                i += 2;
+            }
+            "--deep-trace" => {
+                deep_trace = true;
+                i += 1;
+            }
+            "--profile" => {
+                profile = Some(PathBuf::from(
+                    args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("--profile needs a file path");
+                        std::process::exit(2);
+                    }),
+                ));
                 i += 2;
             }
             "--journal" => {
@@ -191,6 +218,11 @@ fn cmd_campaign(args: &[String]) {
     }
     config.sliced = sliced;
     config.pruned = pruned;
+    config.deep_trace = deep_trace;
+    if deep_trace && trace.is_none() {
+        eprintln!("--deep-trace needs --trace PATH (timelines stream into the trace)");
+        std::process::exit(2);
+    }
     let workloads = match &workload_list {
         None => tfsim_workloads::all(),
         Some(csv) => csv
@@ -211,7 +243,7 @@ fn cmd_campaign(args: &[String]) {
     // The journal header pins the telemetry decision too: a traced run's
     // journal carries traces an untraced resume must not mix with.
     let journal = journal_path.as_ref().map(|path| {
-        let meta = JournalMeta::new(&config, &workloads, trace.is_some());
+        let meta = JournalMeta::new(&config, &workloads);
         let opened = if resume {
             CampaignJournal::resume(path, &meta)
         } else {
@@ -229,6 +261,11 @@ fn cmd_campaign(args: &[String]) {
     });
     let journal = journal.as_ref();
 
+    // The span profiler rides along whenever someone will read it: the
+    // `--profile` dump, or the trace (span events land in the JSONL
+    // stream). The plain untraced path keeps `spans: None` and stays on
+    // the zero-overhead machine code.
+    let profiler = (profile.is_some() || trace.is_some()).then(SpanProfiler::new);
     let result = match &trace {
         Some(path) => {
             let sink = JsonlSink::create(path).unwrap_or_else(|e| {
@@ -250,6 +287,7 @@ fn cmd_campaign(args: &[String]) {
                     sink: &sink,
                     metrics: Some(&metrics),
                     progress: Some(&progress),
+                    spans: profiler.as_ref(),
                 };
                 let result = run_campaign_journaled(&config, &workloads, &obs, journal);
                 finished.store(true, Ordering::Relaxed);
@@ -262,11 +300,42 @@ fn cmd_campaign(args: &[String]) {
             println!();
             result
         }
-        None => run_campaign_journaled(&config, &workloads, &CampaignObs::disabled(), journal),
+        None => {
+            let noop = NoopSink;
+            let obs = CampaignObs {
+                sink: &noop,
+                metrics: None,
+                progress: None,
+                spans: profiler.as_ref(),
+            };
+            run_campaign_journaled(&config, &workloads, &obs, journal)
+        }
     };
     print!("{}", census(&result.totals()));
     println!("eligible bits: {}", result.eligible_bits);
     print_quarantine_footer(&result);
+    if let Some(p) = &profiler {
+        let tree = p.snapshot();
+        println!("\nspan profile (wall time, summed across workers)");
+        print!("{}", tree.render());
+        // Depth 2 is the start-point layer; its children are the
+        // {warmup, golden, trials, journal} phases. The engine's own
+        // counters must explain (nearly) all of the time the harness
+        // measured around them.
+        if let Some(cov) = tree.coverage_at_depth(2) {
+            println!(
+                "phase coverage: {:.1}% of start-point wall time attributed to phases",
+                100.0 * cov
+            );
+        }
+        if let Some(path) = &profile {
+            std::fs::write(path, tree.collapsed()).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            eprintln!("collapsed-stack profile written to {}", path.display());
+        }
+    }
 }
 
 /// Prints the quarantine footer *after* the census and eligible-bits
@@ -290,16 +359,21 @@ fn print_quarantine_footer(result: &CampaignResult) {
 
 fn cmd_report(args: &[String]) {
     let Some(path) = args.first() else {
-        eprintln!("usage: tfsim-run report PATH [--top N]");
+        eprintln!("usage: tfsim-run report PATH [--top N] [--propagation]");
         std::process::exit(2);
     };
     let mut top = 10usize;
+    let mut propagation = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--top" => {
                 top = parse_num(args, i, "--top");
                 i += 2;
+            }
+            "--propagation" => {
+                propagation = true;
+                i += 1;
             }
             other => {
                 eprintln!("report: unknown argument {other:?}");
@@ -319,7 +393,15 @@ fn cmd_report(args: &[String]) {
         eprintln!("{path}: {e}");
         std::process::exit(2);
     });
-    print!("{}", report.render(top));
+    if propagation {
+        print!("{}", report.render_propagation(top));
+        if report.deep_trials() > 0 {
+            println!("\nmachine-readable aggregates (one JSON object):");
+            println!("{}", report.propagation_json().render());
+        }
+    } else {
+        print!("{}", report.render(top));
+    }
 }
 
 fn load_program(spec: &str) -> Program {

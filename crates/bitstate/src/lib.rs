@@ -287,6 +287,28 @@ impl UnitId {
         self as usize
     }
 
+    /// Bitmask (bit `index()`) of the units whose hashes differ between
+    /// two per-unit fingerprint arrays — the diverged-unit set the
+    /// deep-trace mode samples at each microarchitectural check. `u16`
+    /// because [`UnitId::COUNT`] is 14; a unit bracketing change that
+    /// overflows it would fail the width assertion in every build.
+    pub fn diverged_mask(a: &[u128; UnitId::COUNT], b: &[u128; UnitId::COUNT]) -> u16 {
+        const { assert!(UnitId::COUNT <= u16::BITS as usize) };
+        let mut mask = 0u16;
+        for i in 0..UnitId::COUNT {
+            if a[i] != b[i] {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// The units set in a [`UnitId::diverged_mask`] bitmask, in
+    /// [`UnitId::ALL`] order.
+    pub fn from_mask(mask: u16) -> impl Iterator<Item = UnitId> {
+        UnitId::ALL.into_iter().filter(move |u| mask & (1 << u.index()) != 0)
+    }
+
     /// Short lowercase label for reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -965,6 +987,21 @@ impl StateVisitor for CachedFingerprint {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn diverged_mask_flags_differing_units() {
+        let a = [7u128; UnitId::COUNT];
+        let mut b = a;
+        assert_eq!(UnitId::diverged_mask(&a, &b), 0);
+        assert_eq!(UnitId::from_mask(0).count(), 0);
+        b[UnitId::Rob.index()] ^= 1;
+        b[UnitId::Dcache.index()] ^= 99;
+        let mask = UnitId::diverged_mask(&a, &b);
+        let units: Vec<UnitId> = UnitId::from_mask(mask).collect();
+        assert_eq!(units, vec![UnitId::Rob, UnitId::Dcache]);
+        let all = UnitId::diverged_mask(&[0; UnitId::COUNT], &[1; UnitId::COUNT]);
+        assert_eq!(UnitId::from_mask(all).count(), UnitId::COUNT);
+    }
 
     struct Toy {
         pc: u64,

@@ -23,11 +23,11 @@ use std::time::Instant;
 
 use tfsim_check::Rng;
 
-use tfsim_bitstate::{Category, InjectionMask, StorageKind};
+use tfsim_bitstate::{Category, InjectionMask, StorageKind, UnitId};
 use tfsim_isa::Program;
 use tfsim_obs::{
-    CounterId, Event, EventSink, HistogramId, MetricsRegistry, NoopSink, Progress,
-    PruneDispositions, SCHEMA_VERSION,
+    CounterId, DeepTrace, Event, EventSink, HistogramId, LocalSpans, MetricsRegistry, NoopSink,
+    Progress, PruneDispositions, SpanProfiler, SCHEMA_VERSION,
 };
 use tfsim_uarch::PipelineConfig;
 use tfsim_workloads::Workload;
@@ -91,6 +91,16 @@ pub struct CampaignConfig {
     /// deliberately *not* part of the journal identity. Implies the sliced
     /// engine for whatever still simulates.
     pub pruned: bool,
+    /// Record each trial's full divergence timeline (which units held
+    /// faulty state, per µArch check) and emit it as
+    /// [`Event::Propagation`] after the trial's event. A trace *level*,
+    /// not an experiment parameter: censuses, records, traces, and
+    /// journals are byte-identical with or without it, so — like `sliced`
+    /// and `threads` — it is deliberately not part of the journal
+    /// identity. Timelines are not journaled either: tasks replayed from a
+    /// journal contribute no `Propagation` events. Only effective when
+    /// telemetry is on (an [`EventSink`] or metrics are attached).
+    pub deep_trace: bool,
     /// Test hook: force the trial at `(benchmark, start_point, trial)` to
     /// panic mid-run, exercising the containment/quarantine machinery
     /// end-to-end. Never set by the presets; not part of the experiment
@@ -116,6 +126,7 @@ impl CampaignConfig {
             threads: 0,
             sliced: false,
             pruned: false,
+            deep_trace: false,
             panic_shim: None,
         }
     }
@@ -138,6 +149,7 @@ impl CampaignConfig {
             threads: 0,
             sliced: false,
             pruned: false,
+            deep_trace: false,
             panic_shim: None,
         }
     }
@@ -158,6 +170,7 @@ impl CampaignConfig {
             threads: 0,
             sliced: false,
             pruned: false,
+            deep_trace: false,
             panic_shim: None,
         }
     }
@@ -417,6 +430,11 @@ pub struct CampaignObs<'a> {
     pub metrics: Option<&'a CampaignMetrics>,
     /// Live task-completion gauge, if wanted.
     pub progress: Option<&'a Progress>,
+    /// Hierarchical wall-time self-profile, if wanted: workers time each
+    /// task's phases into thread-local [`LocalSpans`] scratchpads, merged
+    /// here once per task. With a sink attached, the merged tree is also
+    /// emitted as [`Event::Span`] events before the campaign footer.
+    pub spans: Option<&'a SpanProfiler>,
 }
 
 impl CampaignObs<'static> {
@@ -424,7 +442,7 @@ impl CampaignObs<'static> {
     /// telemetry layer did not exist.
     pub fn disabled() -> CampaignObs<'static> {
         static NOOP: NoopSink = NoopSink;
-        CampaignObs { sink: &NOOP, metrics: None, progress: None }
+        CampaignObs { sink: &NOOP, metrics: None, progress: None, spans: None }
     }
 }
 
@@ -496,7 +514,14 @@ pub fn run_campaign_journaled(
 
     // Trace collection is active if anything downstream consumes it; the
     // untraced path must stay byte-for-byte the pre-telemetry machine code.
-    let traced = obs.sink.enabled() || obs.metrics.is_some();
+    // A journal is such a consumer: journaled runs always compute (and
+    // journal) traces so the file's bytes are independent of trace level
+    // and a resume replays full trial fidelity.
+    let traced =
+        obs.sink.enabled() || obs.metrics.is_some() || obs.spans.is_some() || journal.is_some();
+    // Deep tracing is a refinement of tracing: without a consumer the
+    // timelines would be dropped on the floor, so the flag is inert.
+    let deep = traced && config.deep_trace;
     let campaign_t0 = traced.then(Instant::now);
     if let Some(p) = obs.progress {
         p.set_total(task_count);
@@ -526,6 +551,10 @@ pub fn run_campaign_journaled(
         // Telemetry (empty / zero on the untraced path).
         specs: Vec<TrialSpec>,
         traces: Vec<TrialTrace>,
+        /// Divergence timelines, aligned with `records` (empty unless the
+        /// campaign ran deep-traced; replayed tasks have none — timelines
+        /// are not journaled).
+        deeps: Vec<DeepTrace>,
         warmup_ns: u64,
         prepare_ns: u64,
         advance_ns: u64,
@@ -590,6 +619,7 @@ pub fn run_campaign_journaled(
             prune: None,
             specs: t.specs,
             traces: t.traces,
+            deeps: Vec::new(),
             warmup_ns: 0,
             prepare_ns: 0,
             advance_ns: 0,
@@ -617,11 +647,31 @@ pub fn run_campaign_journaled(
                 let w = &workloads[task.bench];
                 let program: Program = w.build(config.scale);
                 let warm = config.warmup_cycles + config.spacing_cycles * task.start_point as u64;
+                // Per-task span scratchpad: campaign → benchmark → spN →
+                // {warmup, golden, trials, journal}, merged into the shared
+                // profiler once, after the task.
+                let mut spans = obs.spans.map(|_| {
+                    let mut ls = LocalSpans::new();
+                    ls.enter("campaign");
+                    ls.enter(w.name);
+                    ls.enter(&format!("sp{}", task.start_point));
+                    ls
+                });
+                if let Some(ls) = spans.as_mut() {
+                    ls.enter("warmup");
+                }
                 let t0 = traced.then(Instant::now);
                 let pipeline = warm_pipeline(&program, config.pipeline, warm);
                 let t1 = traced.then(Instant::now);
+                if let Some(ls) = spans.as_mut() {
+                    ls.exit();
+                    ls.enter("golden");
+                }
                 let sp = StartPoint::prepare(&pipeline, config.horizon(), config.mask);
                 let t2 = traced.then(Instant::now);
+                if let Some(ls) = spans.as_mut() {
+                    ls.exit();
+                }
 
                 // Every (benchmark, start point) task owns PRNG substream
                 // `bench << 32 | start_point` of the campaign seed, so the
@@ -645,6 +695,9 @@ pub fn run_campaign_journaled(
                     (b == task.bench && s == task.start_point).then_some(t as usize)
                 });
                 let mut prune = None;
+                if let Some(ls) = spans.as_mut() {
+                    ls.enter("trials");
+                }
                 let batch = match (traced, config.pruned, config.sliced) {
                     (true, true, _) => {
                         let (batch, d) = sp.run_trials_pruned_core::<true>(
@@ -653,6 +706,7 @@ pub fn run_campaign_journaled(
                             config.monitor_cycles,
                             crate::sliced::LANE_WIDTH,
                             shim,
+                            deep,
                         );
                         prune = Some(d);
                         batch
@@ -664,22 +718,32 @@ pub fn run_campaign_journaled(
                             config.monitor_cycles,
                             crate::sliced::LANE_WIDTH,
                             shim,
+                            false,
                         );
                         prune = Some(d);
                         batch
                     }
-                    (true, false, false) => {
-                        sp.run_trials_core::<true>(config.mask, &specs, config.monitor_cycles, shim)
-                    }
-                    (false, false, false) => {
-                        sp.run_trials_core::<false>(config.mask, &specs, config.monitor_cycles, shim)
-                    }
+                    (true, false, false) => sp.run_trials_core::<true>(
+                        config.mask,
+                        &specs,
+                        config.monitor_cycles,
+                        shim,
+                        deep,
+                    ),
+                    (false, false, false) => sp.run_trials_core::<false>(
+                        config.mask,
+                        &specs,
+                        config.monitor_cycles,
+                        shim,
+                        false,
+                    ),
                     (true, false, true) => sp.run_trials_sliced_core::<true>(
                         config.mask,
                         &specs,
                         config.monitor_cycles,
                         crate::sliced::LANE_WIDTH,
                         shim,
+                        deep,
                     ),
                     (false, false, true) => sp.run_trials_sliced_core::<false>(
                         config.mask,
@@ -687,10 +751,27 @@ pub fn run_campaign_journaled(
                         config.monitor_cycles,
                         crate::sliced::LANE_WIDTH,
                         shim,
+                        false,
                     ),
                 };
-                let (records, traces, faults, advance_ns, monitor_ns) =
-                    (batch.records, batch.traces, batch.faults, batch.advance_ns, batch.monitor_ns);
+                if let Some(ls) = spans.as_mut() {
+                    // Engine-internal phase attribution: counted by the
+                    // batch itself (no extra clocks here), charged as
+                    // children of the open `trials` span.
+                    ls.record("advance", batch.advance_ns, batch.records.len() as u64);
+                    ls.record("ride", batch.ride_ns, 1);
+                    ls.record("classify", batch.classify_ns, 1);
+                    ls.record("prune", batch.prune_ns, 1);
+                    ls.exit();
+                }
+                let (records, traces, deeps, faults, advance_ns, monitor_ns) = (
+                    batch.records,
+                    batch.traces,
+                    batch.deeps,
+                    batch.faults,
+                    batch.advance_ns,
+                    batch.monitor_ns,
+                );
                 let warmup_ns = match (t0, t1) {
                     (Some(a), Some(b)) => b.duration_since(a).as_nanos() as u64,
                     _ => 0,
@@ -730,6 +811,9 @@ pub fn run_campaign_journaled(
                 }
 
                 let scatter = scatter_of(task.bench, &records);
+                if let Some(ls) = spans.as_mut() {
+                    ls.enter("journal");
+                }
                 if let Some(j) = journal {
                     // Durability before visibility: the task joins the
                     // in-memory aggregation only after its journal line is
@@ -752,6 +836,13 @@ pub fn run_campaign_journaled(
                         );
                     }
                 }
+                if let Some((ls, profiler)) = spans.as_mut().zip(obs.spans) {
+                    ls.exit(); // journal
+                    ls.exit(); // spN
+                    ls.exit(); // benchmark
+                    ls.exit(); // campaign
+                    profiler.absorb(ls);
+                }
                 lock_recover(&outputs).push(TaskOutput {
                     bench: task.bench,
                     start_point: task.start_point,
@@ -762,6 +853,7 @@ pub fn run_campaign_journaled(
                     prune,
                     specs,
                     traces,
+                    deeps,
                     warmup_ns,
                     prepare_ns,
                     advance_ns,
@@ -857,6 +949,7 @@ pub fn run_campaign_journaled(
             // a run without the panic.
             let mut fault_iter = out.faults.iter().peekable();
             let mut classified = out.records.iter().zip(out.traces.iter());
+            let mut deep_iter = out.deeps.iter();
             for (i, spec) in out.specs.iter().enumerate() {
                 if fault_iter.peek().is_some_and(|f| f.index == i) {
                     let f = fault_iter.next().expect("peeked");
@@ -888,6 +981,27 @@ pub fn run_campaign_journaled(
                     diverged_unit: tr.diverged_unit.map(|u| u.label().to_string()),
                     valid_instructions: rec.valid_instructions as u64,
                 });
+                // Deep-traced campaigns follow each trial with its
+                // divergence timeline (omitted when the trial never
+                // diverged — an empty timeline carries no information).
+                if let Some(d) = deep_iter.next() {
+                    if !d.is_empty() {
+                        obs.sink.emit(&Event::Propagation {
+                            benchmark: bench,
+                            start_point: sp,
+                            trial: i as u64,
+                            samples: d.to_labels(|b| UnitId::ALL[b].label().to_string()),
+                        });
+                    }
+                }
+            }
+        }
+        // The merged span tree rides in the event stream too (sorted by
+        // path: deterministic at any thread count once wall clocks are
+        // stripped).
+        if let Some(profiler) = obs.spans {
+            for ev in profiler.snapshot().events() {
+                obs.sink.emit(&ev);
             }
         }
         let totals = result.totals();
@@ -975,7 +1089,12 @@ mod tests {
         let sink = tfsim_obs::RingSink::new(10_000);
         let metrics = CampaignMetrics::new();
         let progress = Progress::new();
-        let obs = CampaignObs { sink: &sink, metrics: Some(&metrics), progress: Some(&progress) };
+        let obs = CampaignObs {
+            sink: &sink,
+            metrics: Some(&metrics),
+            progress: Some(&progress),
+            spans: None,
+        };
         let observed = run_campaign_observed(&config, &workloads, &obs);
 
         // Observation must not change science.

@@ -41,17 +41,25 @@ use crate::trial::{FailureMode, Outcome, TrialFault, TrialRecord, TrialSpec, Tri
 /// Format marker on the header line.
 const MAGIC: &str = "tfsim-campaign";
 /// Journal format version.
-const VERSION: u64 = 1;
+///
+/// History: v1 carried a `traced` flag in the header; v2 dropped it —
+/// trace *level* (untraced / traced / deep-traced) is an observation
+/// choice, not part of the experiment identity, so journals are
+/// byte-identical across it and any run can resume any journal.
+const VERSION: u64 = 2;
 
 /// The experiment configuration a journal belongs to, pinned on the
 /// header line and validated on [`CampaignJournal::resume`]: replaying a
 /// task into a campaign with a different seed, mask, scale, workload set,
 /// or protection config would silently corrupt the census.
 ///
-/// `CampaignConfig::threads`, `sliced`, and `pruned` are deliberately
-/// *not* part of the identity (they are execution strategies and results
-/// are byte-identical across them), and neither is the hidden
-/// `panic_shim` test hook.
+/// `CampaignConfig::threads`, `sliced`, `pruned`, and `deep_trace` are
+/// deliberately *not* part of the identity (they are execution strategies
+/// or observation levels and results are byte-identical across them), and
+/// neither is the trace level of the run (traced or not) or the hidden
+/// `panic_shim` test hook. Divergence timelines are likewise not
+/// journaled: a deep-traced campaign resumed from a journal emits no
+/// `propagation` events for the replayed tasks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalMeta {
     seed: u64,
@@ -69,15 +77,15 @@ pub struct JournalMeta {
     inject_window: u64,
     monitor_cycles: u64,
     benchmarks: Vec<String>,
-    traced: bool,
 }
 
 impl JournalMeta {
-    /// Captures the identity of a campaign over `workloads`. `traced`
-    /// must match the telemetry decision of the run that will use the
-    /// journal (a sink or metrics attached): replayed tasks from a traced
-    /// run carry traces a later untraced run must not mix with.
-    pub fn new(config: &CampaignConfig, workloads: &[Workload], traced: bool) -> JournalMeta {
+    /// Captures the identity of a campaign over `workloads`. Trace level
+    /// is not part of it: a journaled run always computes and journals
+    /// per-trial traces (they are a deterministic observation of the same
+    /// trials), so untraced, traced, and deep-traced runs write
+    /// byte-identical journals and share them freely.
+    pub fn new(config: &CampaignConfig, workloads: &[Workload]) -> JournalMeta {
         JournalMeta {
             seed: config.seed,
             mask: config.mask,
@@ -94,7 +102,6 @@ impl JournalMeta {
             inject_window: config.inject_window,
             monitor_cycles: config.monitor_cycles,
             benchmarks: workloads.iter().map(|w| w.name.to_string()).collect(),
-            traced,
         }
     }
 
@@ -132,7 +139,6 @@ impl JournalMeta {
                 "benchmarks",
                 Json::Arr(self.benchmarks.iter().map(|b| Json::Str(b.clone())).collect()),
             ),
-            ("traced", Json::Bool(self.traced)),
         ])
     }
 }
@@ -469,7 +475,7 @@ impl CampaignJournal {
                     return Err(invalid(format!(
                         "journal {}: header does not match this campaign \
                          configuration (different seed, mask, scale, workloads, \
-                         protection, or tracing)",
+                         or protection)",
                         path.display()
                     )));
                 }
@@ -556,7 +562,7 @@ mod tests {
     }
 
     fn meta() -> JournalMeta {
-        JournalMeta::new(&CampaignConfig::quick(0xD5_2004), &tfsim_workloads::all(), false)
+        JournalMeta::new(&CampaignConfig::quick(0xD5_2004), &tfsim_workloads::all())
     }
 
     fn sample_task(sp: u32) -> JournaledTask {
@@ -639,7 +645,7 @@ mod tests {
         other.seed ^= 1;
         let err = CampaignJournal::resume(
             &path,
-            &JournalMeta::new(&other, &tfsim_workloads::all(), false),
+            &JournalMeta::new(&other, &tfsim_workloads::all()),
         )
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);

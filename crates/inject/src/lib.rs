@@ -46,7 +46,7 @@
 //!
 //! // The same campaign with the trial-event stream kept in memory:
 //! let sink = RingSink::new(4096);
-//! let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+//! let obs = CampaignObs { sink: &sink, metrics: None, progress: None, spans: None };
 //! let traced = run_campaign_observed(&config, &tfsim_workloads::all(), &obs);
 //! assert_eq!(traced.totals(), result.totals());
 //! println!("{} events captured", sink.events().len());

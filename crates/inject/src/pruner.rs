@@ -70,10 +70,12 @@
 use std::collections::BTreeMap;
 
 use tfsim_bitstate::InjectionMask;
-use tfsim_obs::PruneDispositions;
+use tfsim_obs::{DeepTrace, PruneDispositions};
 
 use crate::footprint::{first_event_after, Resolver, Span, Tier};
-use crate::trial::{Outcome, StartPoint, TracedBatch, TrialFault, TrialRecord, TrialSpec, TrialTrace};
+use crate::trial::{
+    Outcome, StartPoint, TracedBatch, TrialFault, TrialObservers, TrialRecord, TrialSpec, TrialTrace,
+};
 use crate::sliced::LANE_WIDTH;
 
 /// Identity of an equivalence class: same word and bit, same inter-access
@@ -171,7 +173,7 @@ impl StartPoint {
         monitor: u64,
     ) -> (Vec<TrialRecord>, PruneDispositions) {
         let (batch, dispo) =
-            self.run_trials_pruned_core::<false>(mask, specs, monitor, LANE_WIDTH, None);
+            self.run_trials_pruned_core::<false>(mask, specs, monitor, LANE_WIDTH, None, false);
         (batch.records, dispo)
     }
 
@@ -187,7 +189,7 @@ impl StartPoint {
         lane_width: usize,
     ) -> (Vec<TrialRecord>, PruneDispositions) {
         let (batch, dispo) =
-            self.run_trials_pruned_core::<false>(mask, specs, monitor, lane_width, None);
+            self.run_trials_pruned_core::<false>(mask, specs, monitor, lane_width, None, false);
         (batch.records, dispo)
     }
 
@@ -198,7 +200,20 @@ impl StartPoint {
         specs: &[TrialSpec],
         monitor: u64,
     ) -> (TracedBatch, PruneDispositions) {
-        self.run_trials_pruned_core::<true>(mask, specs, monitor, LANE_WIDTH, None)
+        self.run_trials_pruned_core::<true>(mask, specs, monitor, LANE_WIDTH, None, false)
+    }
+
+    /// [`StartPoint::run_trials_deep_traced`] semantics with analytic
+    /// pruning: class members derive their divergence timelines from the
+    /// representative's ([`DeepTrace::derive`] — head cycle pinned to the
+    /// member's own injection, horizon clipped to its window).
+    pub fn run_trials_pruned_deep_traced(
+        &self,
+        mask: InjectionMask,
+        specs: &[TrialSpec],
+        monitor: u64,
+    ) -> (TracedBatch, PruneDispositions) {
+        self.run_trials_pruned_core::<true>(mask, specs, monitor, LANE_WIDTH, None, true)
     }
 
     /// The pruning pass plus delegation. Mirrors the contracts of
@@ -211,7 +226,13 @@ impl StartPoint {
         monitor: u64,
         lane_width: usize,
         panic_shim: Option<usize>,
+        deep: bool,
     ) -> (TracedBatch, PruneDispositions) {
+        let deep = TRACED && deep;
+        // Passes 1 and 2 (and the footprint/resolver builds they need) are
+        // the pruner's own analysis time, attributed to `prune_ns` — they
+        // run before any trial, outside the monitor bracket.
+        let prune_t0 = TRACED.then(std::time::Instant::now);
         let fp = self.extended_footprint();
         let resolver = Resolver::build(&self.checkpoint, mask);
         let last = self.fps.len() as u64 - 1;
@@ -294,6 +315,8 @@ impl StartPoint {
             }
         }
 
+        let prune_ns = prune_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+
         // Delegate everything simulated to the sliced engine in one batch.
         // Always traced internally: representative detect cycles drive the
         // member derivation, and records are trace-independent.
@@ -311,16 +334,26 @@ impl StartPoint {
             monitor,
             lane_width,
             delegate_shim,
+            deep,
         );
         let mut advance_ns = sub.advance_ns;
         let mut monitor_ns = sub.monitor_ns;
+        let mut ride_ns = sub.ride_ns;
+        let mut classify_ns = sub.classify_ns;
 
         // Scatter the delegate's outputs back to original indices.
-        let mut sub_out: Vec<Option<(TrialRecord, TrialTrace)>> = vec![None; delegate_idx.len()];
+        let mut sub_out: Vec<Option<(TrialRecord, TrialTrace, DeepTrace)>> =
+            vec![None; delegate_idx.len()];
         {
             let mut faulted: Vec<usize> = sub.faults.iter().map(|f| f.index).collect();
             faulted.sort_unstable();
-            let mut recs = sub.records.into_iter().zip(sub.traces);
+            let sub_deeps = if deep { sub.deeps } else { vec![DeepTrace::new(); sub.records.len()] };
+            let mut recs = sub
+                .records
+                .into_iter()
+                .zip(sub.traces)
+                .zip(sub_deeps)
+                .map(|((r, t), d)| (r, t, d));
             for (k, slot) in sub_out.iter_mut().enumerate() {
                 if faulted.binary_search(&k).is_err() {
                     *slot = recs.next();
@@ -341,7 +374,7 @@ impl StartPoint {
         // back to simulating each of them individually.
         let rep_result = |rep: usize| {
             let k = delegate_idx.binary_search(&rep).expect("representatives are delegated");
-            sub_out[k]
+            sub_out[k].clone()
         };
         let mut retry_idx: Vec<usize> = plan
             .iter()
@@ -350,16 +383,32 @@ impl StartPoint {
             .map(|(i, _)| i)
             .collect();
         retry_idx.sort_unstable();
-        let mut retry_out: Vec<Option<(TrialRecord, TrialTrace)>> = vec![None; retry_idx.len()];
+        let mut retry_out: Vec<Option<(TrialRecord, TrialTrace, DeepTrace)>> =
+            vec![None; retry_idx.len()];
         if !retry_idx.is_empty() {
             let retry_specs: Vec<TrialSpec> = retry_idx.iter().map(|&i| specs[i]).collect();
-            let sub2 =
-                self.run_trials_sliced_core::<true>(mask, &retry_specs, monitor, lane_width, None);
+            let sub2 = self.run_trials_sliced_core::<true>(
+                mask,
+                &retry_specs,
+                monitor,
+                lane_width,
+                None,
+                deep,
+            );
             advance_ns += sub2.advance_ns;
             monitor_ns += sub2.monitor_ns;
+            ride_ns += sub2.ride_ns;
+            classify_ns += sub2.classify_ns;
             let mut faulted: Vec<usize> = sub2.faults.iter().map(|f| f.index).collect();
             faulted.sort_unstable();
-            let mut recs = sub2.records.into_iter().zip(sub2.traces);
+            let sub2_deeps =
+                if deep { sub2.deeps } else { vec![DeepTrace::new(); sub2.records.len()] };
+            let mut recs = sub2
+                .records
+                .into_iter()
+                .zip(sub2.traces)
+                .zip(sub2_deeps)
+                .map(|((r, t), d)| (r, t, d));
             for (k, slot) in retry_out.iter_mut().enumerate() {
                 if faulted.binary_search(&k).is_err() {
                     *slot = recs.next();
@@ -376,6 +425,7 @@ impl StartPoint {
         let mut dispo = PruneDispositions::default();
         let mut out: Vec<Option<TrialRecord>> = vec![None; specs.len()];
         let mut traces = vec![TrialTrace::default(); if TRACED { specs.len() } else { 0 }];
+        let mut deeps = vec![DeepTrace::new(); if deep { specs.len() } else { 0 }];
         let t0 = TRACED.then(std::time::Instant::now);
         for (i, p) in plan.iter().enumerate() {
             let spec = specs[i];
@@ -383,20 +433,25 @@ impl StartPoint {
                 Plan::Analytic { span, heal } => {
                     dispo.proved_dead += 1;
                     let trace_slot = if TRACED { Some(&mut traces[i]) } else { None };
-                    out[i] = Some(self.ride_lane(fp, span, *heal, spec, monitor, trace_slot));
+                    let deep_slot = if deep { Some(&mut deeps[i]) } else { None };
+                    let obs = TrialObservers { trace: trace_slot, deep: deep_slot };
+                    out[i] = Some(self.ride_lane(fp, span, *heal, spec, monitor, obs));
                 }
                 Plan::Simulate => {
                     dispo.simulated += 1;
                     let k = delegate_idx.binary_search(&i).expect("simulated sites delegate");
-                    if let Some((rec, tr)) = sub_out[k] {
+                    if let Some((rec, tr, dp)) = sub_out[k].clone() {
                         out[i] = Some(rec);
                         if TRACED {
                             traces[i] = tr;
                         }
+                        if deep {
+                            deeps[i] = dp;
+                        }
                     }
                 }
                 Plan::Derived { rep, span } => match rep_result(*rep) {
-                    Some((rrec, rtr)) => {
+                    Some((rrec, rtr, rdeep)) => {
                         dispo.class_collapsed += 1;
                         let horizon = horizon_of(spec.inject_cycle);
                         // The representative's window covers this one; a
@@ -425,14 +480,26 @@ impl StartPoint {
                                 diverged_unit: span.unit,
                             };
                         }
+                        if deep {
+                            // Rep and member are state-identical from the
+                            // shared read on, and before it both timelines
+                            // hold the single sample {injected unit}: the
+                            // member's timeline is the rep's with the head
+                            // pinned to its own injection and the tail
+                            // clipped to its own window.
+                            deeps[i] = rdeep.derive(spec.inject_cycle + 1, horizon);
+                        }
                     }
                     None => {
                         dispo.simulated += 1;
                         let k = retry_idx.binary_search(&i).expect("orphaned members retry");
-                        if let Some((rec, tr)) = retry_out[k] {
+                        if let Some((rec, tr, dp)) = retry_out[k].clone() {
                             out[i] = Some(rec);
                             if TRACED {
                                 traces[i] = tr;
+                            }
+                            if deep {
+                                deeps[i] = dp;
                             }
                         }
                     }
@@ -440,21 +507,39 @@ impl StartPoint {
             }
         }
         if let Some(t0) = t0 {
-            monitor_ns += t0.elapsed().as_nanos() as u64;
+            // Pass 3 is dominated by the analytic riders: monitor time on
+            // the ride side of the split.
+            let dt = t0.elapsed().as_nanos() as u64;
+            monitor_ns += dt;
+            ride_ns += dt;
         }
 
         faults.sort_by_key(|f| f.index);
         let mut records = Vec::with_capacity(specs.len());
         let mut kept_traces = Vec::with_capacity(traces.len());
+        let mut kept_deeps = Vec::with_capacity(deeps.len());
         for (i, rec) in out.into_iter().enumerate() {
             if let Some(rec) = rec {
                 records.push(rec);
                 if TRACED {
                     kept_traces.push(traces[i]);
                 }
+                if deep {
+                    kept_deeps.push(std::mem::take(&mut deeps[i]));
+                }
             }
         }
-        let batch = TracedBatch { records, traces: kept_traces, faults, advance_ns, monitor_ns };
+        let batch = TracedBatch {
+            records,
+            traces: kept_traces,
+            faults,
+            deeps: kept_deeps,
+            advance_ns,
+            monitor_ns,
+            ride_ns,
+            classify_ns,
+            prune_ns,
+        };
         (batch, dispo)
     }
 }
@@ -569,7 +654,7 @@ mod tests {
         let (full, full_dispo) = sp.run_trials_pruned(MASK, &specs, 1_000);
         for width in [1usize, 2, 7, 63, 64] {
             let (batch, dispo) =
-                sp.run_trials_pruned_core::<false>(MASK, &specs, 1_000, width, None);
+                sp.run_trials_pruned_core::<false>(MASK, &specs, 1_000, width, None, false);
             assert_eq!(batch.records, full, "lane width {width} changed results");
             assert_eq!(dispo, full_dispo, "lane width {width} changed dispositions");
         }
@@ -635,6 +720,33 @@ mod tests {
         assert_eq!(pruned.traces, ladder.traces, "derived traces must match the scalar walk");
         assert_eq!(dispo.total(), specs.len() as u64);
         assert!(dispo.class_collapsed > 0, "gap-aimed pairs should form classes: {dispo:?}");
+
+        // Deep mode on the same bed: derived timelines must equal the
+        // scalar walk's sample-for-sample, through the class collapse.
+        let deep_ladder = sp.run_trials_deep_traced(MASK, &specs, 1_200);
+        let (deep_pruned, deep_dispo) = sp.run_trials_pruned_deep_traced(MASK, &specs, 1_200);
+        assert_eq!(deep_pruned.records, ladder.records);
+        assert_eq!(deep_pruned.traces, ladder.traces);
+        assert_eq!(deep_pruned.deeps, deep_ladder.deeps, "derived timelines must match");
+        assert_eq!(deep_dispo, dispo, "deep mode must not change dispositions");
+    }
+
+    #[test]
+    fn pruned_deep_traced_matches_the_ladder_deep_traced() {
+        let sp = hash_start_point(PipelineConfig::baseline());
+        let specs: Vec<TrialSpec> = (0..40u64)
+            .map(|t| TrialSpec {
+                target: (t * 13_577) % sp.bit_count(),
+                inject_cycle: (t * 31) % 180,
+            })
+            .collect();
+        let ladder = sp.run_trials_deep_traced(MASK, &specs, 1_500);
+        let (pruned, dispo) = sp.run_trials_pruned_deep_traced(MASK, &specs, 1_500);
+        assert_eq!(pruned.records, ladder.records);
+        assert_eq!(pruned.traces, ladder.traces);
+        assert_eq!(pruned.deeps, ladder.deeps, "timelines must match sample-for-sample");
+        assert!(pruned.deeps.iter().any(|d| !d.is_empty()), "sweep should see divergence");
+        assert_eq!(dispo.total(), specs.len() as u64);
     }
 
     /// The forced-panic shim flows through the delegate remapping: the
@@ -650,7 +762,8 @@ mod tests {
             })
             .collect();
         let shim = 13usize;
-        let (batch, dispo) = sp.run_trials_pruned_core::<false>(MASK, &specs, 1_000, 64, Some(shim));
+        let (batch, dispo) =
+            sp.run_trials_pruned_core::<false>(MASK, &specs, 1_000, 64, Some(shim), false);
         assert_eq!(batch.faults.len(), 1);
         assert_eq!(batch.faults[0].index, shim);
         assert_eq!(batch.faults[0].spec, specs[shim]);

@@ -61,10 +61,12 @@ use std::time::Instant;
 
 use tfsim_bitstate::{InjectionMask, UnitId};
 
+use tfsim_obs::DeepTrace;
+
 use crate::footprint::{disposition, Disposition, Footprint, Resolver, Span};
 use crate::trial::{
     install_containment_hook, panic_message, FailureMode, Outcome, StartPoint, TracedBatch,
-    TrialFault, TrialRecord, TrialSpec, TrialTrace, CONTAINED,
+    TrialFault, TrialObservers, TrialRecord, TrialSpec, TrialTrace, CONTAINED,
 };
 
 /// Lanes per word: one trial per bit of a 64-bit bookkeeping word.
@@ -88,7 +90,7 @@ impl StartPoint {
         specs: &[TrialSpec],
         monitor: u64,
     ) -> Vec<TrialRecord> {
-        self.run_trials_sliced_core::<false>(mask, specs, monitor, LANE_WIDTH, None).records
+        self.run_trials_sliced_core::<false>(mask, specs, monitor, LANE_WIDTH, None, false).records
     }
 
     /// [`StartPoint::run_trials_traced`] semantics on the word-parallel
@@ -101,7 +103,21 @@ impl StartPoint {
         specs: &[TrialSpec],
         monitor: u64,
     ) -> TracedBatch {
-        self.run_trials_sliced_core::<true>(mask, specs, monitor, LANE_WIDTH, None)
+        self.run_trials_sliced_core::<true>(mask, specs, monitor, LANE_WIDTH, None, false)
+    }
+
+    /// [`StartPoint::run_trials_deep_traced`] semantics on the
+    /// word-parallel path: identical records, traces, *and* divergence
+    /// timelines. Riding/healing lanes synthesize their timelines
+    /// analytically (the δ diverges exactly its own unit until healed);
+    /// peeled lanes sample through the scalar classifier.
+    pub fn run_trials_sliced_deep_traced(
+        &self,
+        mask: InjectionMask,
+        specs: &[TrialSpec],
+        monitor: u64,
+    ) -> TracedBatch {
+        self.run_trials_sliced_core::<true>(mask, specs, monitor, LANE_WIDTH, None, true)
     }
 
     /// [`StartPoint::run_trials_sliced`] with an explicit lane width in
@@ -115,7 +131,7 @@ impl StartPoint {
         monitor: u64,
         lane_width: usize,
     ) -> Vec<TrialRecord> {
-        self.run_trials_sliced_core::<false>(mask, specs, monitor, lane_width, None).records
+        self.run_trials_sliced_core::<false>(mask, specs, monitor, lane_width, None, false).records
     }
 
     /// The shared word-parallel ladder. Mirrors `run_trials_core`'s
@@ -128,7 +144,9 @@ impl StartPoint {
         monitor: u64,
         lane_width: usize,
         panic_shim: Option<usize>,
+        deep: bool,
     ) -> TracedBatch {
+        let deep = TRACED && deep;
         assert!((1..=LANE_WIDTH).contains(&lane_width), "lane width must be 1..=64");
         install_containment_hook();
         let fp = self.golden_footprint();
@@ -141,9 +159,12 @@ impl StartPoint {
         let mut walked = 0u64;
         let mut out: Vec<Option<TrialRecord>> = vec![None; specs.len()];
         let mut traces = vec![TrialTrace::default(); if TRACED { specs.len() } else { 0 }];
+        let mut deeps = vec![DeepTrace::new(); if deep { specs.len() } else { 0 }];
         let mut faults = Vec::new();
         let mut advance_ns = 0u64;
         let mut monitor_ns = 0u64;
+        let mut ride_ns = 0u64;
+        let mut classify_ns = 0u64;
 
         for word in order.chunks(lane_width) {
             // Per-word lane masks: bookkeeping plus the invariant that
@@ -186,9 +207,13 @@ impl StartPoint {
                             None => riding |= lane_bit,
                         }
                         let trace_slot = if TRACED { Some(&mut traces[i]) } else { None };
-                        out[i] = Some(self.ride_lane(fp, span, heal, spec, monitor, trace_slot));
+                        let deep_slot = if deep { Some(&mut deeps[i]) } else { None };
+                        let obs = TrialObservers { trace: trace_slot, deep: deep_slot };
+                        out[i] = Some(self.ride_lane(fp, span, heal, spec, monitor, obs));
                         if let Some(t0) = t0 {
-                            monitor_ns += t0.elapsed().as_nanos() as u64;
+                            let dt = t0.elapsed().as_nanos() as u64;
+                            monitor_ns += dt;
+                            ride_ns += dt;
                         }
                     }
                     Plan::Scalar => {
@@ -202,6 +227,7 @@ impl StartPoint {
                             advance_ns += t1.duration_since(t0).as_nanos() as u64;
                         }
                         let trace_slot = if TRACED { Some(&mut traces[i]) } else { None };
+                        let deep_slot = if deep { Some(&mut deeps[i]) } else { None };
                         CONTAINED.with(|c| c.set(true));
                         let classified = panic::catch_unwind(AssertUnwindSafe(|| {
                             if panic_shim == Some(i) {
@@ -210,7 +236,14 @@ impl StartPoint {
                                     spec.target, spec.inject_cycle
                                 );
                             }
-                            self.classify(mask, walker.clone(), spec, monitor, true, trace_slot)
+                            self.classify(
+                                mask,
+                                walker.clone(),
+                                spec,
+                                monitor,
+                                true,
+                                TrialObservers { trace: trace_slot, deep: deep_slot },
+                            )
                         }));
                         CONTAINED.with(|c| c.set(false));
                         match classified {
@@ -222,7 +255,9 @@ impl StartPoint {
                             }),
                         }
                         if let Some(t1) = t1 {
-                            monitor_ns += t1.elapsed().as_nanos() as u64;
+                            let dt = t1.elapsed().as_nanos() as u64;
+                            monitor_ns += dt;
+                            classify_ns += dt;
                         }
                     }
                 }
@@ -239,15 +274,29 @@ impl StartPoint {
         faults.sort_by_key(|f| f.index);
         let mut records = Vec::with_capacity(specs.len());
         let mut kept_traces = Vec::with_capacity(traces.len());
+        let mut kept_deeps = Vec::with_capacity(deeps.len());
         for (i, rec) in out.into_iter().enumerate() {
             if let Some(rec) = rec {
                 records.push(rec);
                 if TRACED {
                     kept_traces.push(traces[i]);
                 }
+                if deep {
+                    kept_deeps.push(std::mem::take(&mut deeps[i]));
+                }
             }
         }
-        TracedBatch { records, traces: kept_traces, faults, advance_ns, monitor_ns }
+        TracedBatch {
+            records,
+            traces: kept_traces,
+            faults,
+            deeps: kept_deeps,
+            advance_ns,
+            monitor_ns,
+            ride_ns,
+            classify_ns,
+            prune_ns: 0,
+        }
     }
 
     /// The analytic classifier for a riding/healing lane: a literal mirror
@@ -262,10 +311,17 @@ impl StartPoint {
         heal_cycle: Option<u64>,
         spec: TrialSpec,
         monitor: u64,
-        trace: Option<&mut TrialTrace>,
+        obs: TrialObservers<'_>,
     ) -> TrialRecord {
+        let TrialObservers { trace, mut deep } = obs;
         let inject_cycle = spec.inject_cycle;
         let traced = trace.is_some();
+        // Deep-trace mirror: a riding/healing lane's state differs from
+        // golden in exactly its own unit until healed, so the diverged-unit
+        // set the scalar walk would sample is `{span.unit}` (or empty once
+        // healed). Change-only pushes at the same check cycles make the
+        // synthesized timeline byte-equal to the scalar one.
+        let unit_mask = span.unit.map(|u| 1u16 << u.index()).unwrap_or(0);
         // Whether the machine is still running after `c` steps: the golden
         // run raises no exceptions (prepare forbids it), so only the halt
         // ends it — and the lane replays golden.
@@ -337,10 +393,20 @@ impl StartPoint {
                     // Fingerprint check: the lane equals golden except for
                     // the δ, so equality holds exactly once healed.
                     if heal_cycle.is_some_and(|hc| step >= hc) {
+                        if let Some(d) = deep.as_deref_mut() {
+                            d.push(step, 0);
+                        }
                         break 'decide (Outcome::MicroArchMatch, step);
                     }
                     if traced && divergence.is_none() {
                         divergence = Some((step, span.unit));
+                    }
+                    if let Some(d) = deep.as_deref_mut() {
+                        // Mirror of `classify`'s deep-sampling cadence:
+                        // dense window, then every eighth check.
+                        if dense || step % 64 == 0 {
+                            d.push(step, unit_mask);
+                        }
                     }
                 }
                 if !running_at(step) {
@@ -350,17 +416,21 @@ impl StartPoint {
             (Outcome::GrayArea, last_step)
         };
 
+        if outcome != Outcome::MicroArchMatch && (traced || deep.is_some()) {
+            // Mirror of `classify`'s post-decision attribution walk:
+            // at the decision state the lane differs from golden iff
+            // the δ is still unhealed, and then exactly in its unit.
+            let at = last_step.min(self.fps.len() as u64 - 1);
+            let unhealed = heal_cycle.is_none_or(|hc| last_step < hc);
+            if traced && divergence.is_none() && unhealed {
+                divergence = Some((at, span.unit));
+            }
+            if let Some(d) = deep {
+                d.push(at, if unhealed { unit_mask } else { 0 });
+            }
+        }
         if let Some(tr) = trace {
             tr.detect_cycle = decided_at;
-            if divergence.is_none() && outcome != Outcome::MicroArchMatch {
-                // Mirror of `classify`'s post-decision attribution walk:
-                // at the decision state the lane differs from golden iff
-                // the δ is still unhealed, and then exactly in its unit.
-                let at = last_step.min(self.fps.len() as u64 - 1);
-                if heal_cycle.is_none_or(|hc| last_step < hc) {
-                    divergence = Some((at, span.unit));
-                }
-            }
             if let Some((cycle, unit)) = divergence {
                 tr.divergence_cycle = Some(cycle);
                 tr.diverged_unit = unit;
@@ -433,6 +503,28 @@ mod tests {
         assert_eq!(sliced.records, ladder.records);
         assert_eq!(sliced.traces, ladder.traces, "traces must match cycle-for-cycle");
         assert_eq!(sliced.faults, ladder.faults);
+    }
+
+    #[test]
+    fn sliced_deep_traced_matches_the_ladder_deep_traced() {
+        let sp = start_point(PipelineConfig::baseline());
+        let specs: Vec<TrialSpec> = (0..40u64)
+            .map(|t| TrialSpec {
+                target: (t * 13_577) % sp.bit_count(),
+                inject_cycle: (t * 31) % 180,
+            })
+            .collect();
+        let ladder = sp.run_trials_deep_traced(InjectionMask::LatchesAndRams, &specs, 1_500);
+        let sliced = sp.run_trials_sliced_deep_traced(InjectionMask::LatchesAndRams, &specs, 1_500);
+        assert_eq!(sliced.records, ladder.records);
+        assert_eq!(sliced.traces, ladder.traces);
+        assert_eq!(sliced.deeps, ladder.deeps, "timelines must match sample-for-sample");
+        assert!(sliced.deeps.iter().any(|d| !d.is_empty()), "sweep should see divergence");
+        // Deep mode must not perturb what the plain traced path records.
+        let plain = sp.run_trials_sliced_traced(InjectionMask::LatchesAndRams, &specs, 1_500);
+        assert_eq!(plain.records, sliced.records);
+        assert_eq!(plain.traces, sliced.traces);
+        assert!(plain.deeps.is_empty());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use tfsim_bitstate::{
     StorageKind, UnitId, VisitState,
 };
 use tfsim_isa::{decode, Program};
+use tfsim_obs::DeepTrace;
 use tfsim_uarch::{ExcCode, FlowEvent, Pipeline, RetireEvent};
 
 /// The paper's seven failure modes (Table 2).
@@ -154,6 +155,16 @@ pub struct TrialTrace {
     pub diverged_unit: Option<UnitId>,
 }
 
+/// The per-trial observer slots a classification writes into: `trace`
+/// receives the decision and first-divergence cycles, `deep` the full
+/// divergence timeline. Both are pure observability — a `None` slot costs
+/// nothing and never alters the outcome.
+#[derive(Default)]
+pub(crate) struct TrialObservers<'a> {
+    pub trace: Option<&'a mut TrialTrace>,
+    pub deep: Option<&'a mut DeepTrace>,
+}
+
 /// A trial whose faulted run escaped the hardened model and unwound.
 ///
 /// This is a *harness-level* record, kept strictly separate from the
@@ -187,10 +198,22 @@ pub struct TracedBatch {
     /// `catch_unwind` supervisor. Empty on every fault-free-harness run;
     /// `faults[k].index` names the input spec each one came from.
     pub faults: Vec<TrialFault>,
+    /// One divergence timeline per classified input spec, aligned with
+    /// `records`. Empty unless the batch ran in deep-trace mode.
+    pub deeps: Vec<DeepTrace>,
     /// Wall-clock time spent advancing the fault-free walker.
     pub advance_ns: u64,
     /// Wall-clock time spent flipping, monitoring, and classifying.
     pub monitor_ns: u64,
+    /// Portion of `monitor_ns` spent in the analytic ride/heal classifier
+    /// (sliced and pruned paths; zero on the scalar ladder).
+    pub ride_ns: u64,
+    /// Portion of `monitor_ns` spent in scalar classification.
+    pub classify_ns: u64,
+    /// Wall-clock time spent in the pruner's analysis passes (disposition
+    /// proofs and class formation). Zero outside the pruned path; *not*
+    /// part of `monitor_ns` — the analysis runs before any trial.
+    pub prune_ns: u64,
 }
 
 thread_local! {
@@ -426,7 +449,14 @@ impl StartPoint {
             cpu.step();
         }
 
-        self.classify(mask, cpu, TrialSpec { target, inject_cycle }, monitor, false, None)
+        self.classify(
+            mask,
+            cpu,
+            TrialSpec { target, inject_cycle },
+            monitor,
+            false,
+            TrialObservers::default(),
+        )
     }
 
     /// Runs a batch of trials against this start point, equivalent to
@@ -449,7 +479,7 @@ impl StartPoint {
         specs: &[TrialSpec],
         monitor: u64,
     ) -> Vec<TrialRecord> {
-        self.run_trials_core::<false>(mask, specs, monitor, None).records
+        self.run_trials_core::<false>(mask, specs, monitor, None, false).records
     }
 
     /// [`StartPoint::run_trials`] with telemetry: additionally returns a
@@ -468,7 +498,26 @@ impl StartPoint {
         specs: &[TrialSpec],
         monitor: u64,
     ) -> TracedBatch {
-        self.run_trials_core::<true>(mask, specs, monitor, None)
+        self.run_trials_core::<true>(mask, specs, monitor, None, false)
+    }
+
+    /// [`StartPoint::run_trials_traced`] in deep-trace mode: additionally
+    /// fills [`TracedBatch::deeps`] with each trial's change-only
+    /// divergence timeline — the set of diverged units sampled at every
+    /// µArch check that ran, recovered from the hierarchical per-unit
+    /// fingerprints rather than per-cycle state diffs.
+    ///
+    /// Records and traces are byte-identical to the plain traced path:
+    /// deep sampling reads fingerprints the classifier computes anyway (or
+    /// performs its own walks after the relevant decision), never touching
+    /// the decision state.
+    pub fn run_trials_deep_traced(
+        &self,
+        mask: InjectionMask,
+        specs: &[TrialSpec],
+        monitor: u64,
+    ) -> TracedBatch {
+        self.run_trials_core::<true>(mask, specs, monitor, None, true)
     }
 
     /// The shared batched ladder. `TRACED` is a compile-time switch: the
@@ -485,13 +534,19 @@ impl StartPoint {
     /// `panic_shim` names an input spec index whose trial panics on
     /// purpose before classification (campaign test hook: exercises the
     /// quarantine machinery end-to-end without needing a real escape).
+    ///
+    /// `deep` (only meaningful with `TRACED`; the untraced instantiation
+    /// constant-folds `TRACED && deep` to `false`, so its machine code is
+    /// untouched) additionally records each trial's divergence timeline.
     pub(crate) fn run_trials_core<const TRACED: bool>(
         &self,
         mask: InjectionMask,
         specs: &[TrialSpec],
         monitor: u64,
         panic_shim: Option<usize>,
+        deep: bool,
     ) -> TracedBatch {
+        let deep = TRACED && deep;
         install_containment_hook();
         let mut order: Vec<usize> = (0..specs.len()).collect();
         order.sort_by_key(|&i| specs[i].inject_cycle);
@@ -500,6 +555,7 @@ impl StartPoint {
         let mut walked = 0u64;
         let mut out: Vec<Option<TrialRecord>> = vec![None; specs.len()];
         let mut traces = vec![TrialTrace::default(); if TRACED { specs.len() } else { 0 }];
+        let mut deeps = vec![DeepTrace::new(); if deep { specs.len() } else { 0 }];
         let mut faults = Vec::new();
         let mut advance_ns = 0u64;
         let mut monitor_ns = 0u64;
@@ -515,6 +571,7 @@ impl StartPoint {
                 advance_ns += t1.duration_since(t0).as_nanos() as u64;
             }
             let trace_slot = if TRACED { Some(&mut traces[i]) } else { None };
+            let deep_slot = if deep { Some(&mut deeps[i]) } else { None };
             CONTAINED.with(|c| c.set(true));
             let classified = panic::catch_unwind(AssertUnwindSafe(|| {
                 if panic_shim == Some(i) {
@@ -523,7 +580,14 @@ impl StartPoint {
                         spec.target, spec.inject_cycle
                     );
                 }
-                self.classify(mask, walker.clone(), spec, monitor, true, trace_slot)
+                self.classify(
+                    mask,
+                    walker.clone(),
+                    spec,
+                    monitor,
+                    true,
+                    TrialObservers { trace: trace_slot, deep: deep_slot },
+                )
             }));
             CONTAINED.with(|c| c.set(false));
             match classified {
@@ -536,20 +600,35 @@ impl StartPoint {
                 monitor_ns += t1.elapsed().as_nanos() as u64;
             }
         }
-        // Quarantined trials have no record or trace; everything else
-        // stays in input order.
+        // Quarantined trials have no record, trace, or deep timeline;
+        // everything else stays in input order.
         faults.sort_by_key(|f| f.index);
         let mut records = Vec::with_capacity(specs.len());
         let mut kept_traces = Vec::with_capacity(traces.len());
+        let mut kept_deeps = Vec::with_capacity(deeps.len());
         for (i, rec) in out.into_iter().enumerate() {
             if let Some(rec) = rec {
                 records.push(rec);
                 if TRACED {
                     kept_traces.push(traces[i]);
                 }
+                if deep {
+                    kept_deeps.push(std::mem::take(&mut deeps[i]));
+                }
             }
         }
-        TracedBatch { records, traces: kept_traces, faults, advance_ns, monitor_ns }
+        // On the scalar ladder all monitor time is classification time.
+        TracedBatch {
+            records,
+            traces: kept_traces,
+            faults,
+            deeps: kept_deeps,
+            advance_ns,
+            monitor_ns,
+            ride_ns: 0,
+            classify_ns: monitor_ns,
+            prune_ns: 0,
+        }
     }
 
     /// The shared classification loop: takes a machine already advanced
@@ -558,9 +637,18 @@ impl StartPoint {
     /// (fast path); without, on flat [`fingerprint_of`] (reference path).
     /// Both hash definitions are identical by construction.
     ///
-    /// With `trace`, the decision cycle and first observed divergence are
-    /// recorded into it. Tracing never alters the classification: all trace
-    /// work happens off the decision path, after the outcome is sealed.
+    /// With `obs.trace`, the decision cycle and first observed divergence
+    /// are recorded into it. Tracing never alters the classification: all
+    /// trace work happens off the decision path, after the outcome is
+    /// sealed.
+    ///
+    /// With `obs.deep`, divergent µArch checks additionally sample the
+    /// full diverged-unit set into the given [`DeepTrace`] — densely just
+    /// after injection, at every eighth check once sparse. The samples come
+    /// from a *dedicated* incremental [`CachedFingerprint`], never the
+    /// classifier's, whose suspect short-circuit feeds the journaled
+    /// `diverged_unit` attribution and must stay byte-identical to the
+    /// non-deep run.
     pub(crate) fn classify(
         &self,
         mask: InjectionMask,
@@ -568,8 +656,9 @@ impl StartPoint {
         spec: TrialSpec,
         monitor: u64,
         cached_fp: bool,
-        trace: Option<&mut TrialTrace>,
+        obs: TrialObservers<'_>,
     ) -> TrialRecord {
+        let TrialObservers { trace, mut deep } = obs;
         let TrialSpec { target, inject_cycle } = spec;
         let traced = trace.is_some();
         let base_instret = self.checkpoint.instret();
@@ -607,6 +696,13 @@ impl StartPoint {
             // (which bypasses generation stamps) can never be hidden by a
             // stale entry.
             let mut engine = cached_fp.then(CachedFingerprint::new);
+            // Deep sampling gets its own incremental engine: it must never
+            // touch the classifier's (whose suspect short-circuit feeds the
+            // journaled attribution), and a flat walk per divergent check
+            // would dominate the monitor loop on long-lived divergences.
+            // Also created post-flip, so its cold cache cannot hide the
+            // flipped word.
+            let mut deep_engine = deep.is_some().then(CachedFingerprint::new);
 
             for step in (inject_cycle + 1)..=horizon {
                 last_step = step;
@@ -722,6 +818,11 @@ impl StartPoint {
                         None => fingerprint_of(&mut cpu) == self.fps[step as usize],
                     };
                     if eq {
+                        // A heal closes the divergence timeline (change-only
+                        // push: a no-op unless divergence was ever sampled).
+                        if let Some(d) = deep.as_deref_mut() {
+                            d.push(step, 0);
+                        }
                         break 'decide (Outcome::MicroArchMatch, step);
                     }
                     if traced && divergence.is_none() {
@@ -729,6 +830,26 @@ impl StartPoint {
                         // short-circuiting: reading the suspect is free.
                         divergence =
                             Some((step, engine.as_ref().and_then(|e| e.suspect())));
+                    }
+                    if let Some(d) = deep.as_deref_mut() {
+                        // Deep sample: which units hold faulty state right
+                        // now — at every check in the dense window, then at
+                        // every eighth check. Change-only encoding collapses
+                        // repeats anyway, and the residency buckets the
+                        // timeline feeds are far coarser than 64 cycles.
+                        // The sampling cadence is mirrored verbatim by
+                        // `ride_lane`'s synthesized timelines.
+                        if dense || step % 64 == 0 {
+                            let e = deep_engine.as_mut().expect("deep sampling engine");
+                            e.fingerprint(&mut cpu);
+                            d.push(
+                                step,
+                                UnitId::diverged_mask(
+                                    e.unit_hashes(),
+                                    &self.unit_fps[step as usize],
+                                ),
+                            );
+                        }
                     }
                 }
 
@@ -739,22 +860,29 @@ impl StartPoint {
             (Outcome::GrayArea, last_step)
         };
 
+        if outcome != Outcome::MicroArchMatch
+            && ((traced && divergence.is_none()) || deep.is_some())
+        {
+            // The outcome was decided without any µArch check observing
+            // the divergence (e.g. an architectural mismatch in the
+            // retire stream): attribute it with one hierarchical walk
+            // at the decision state. Deep mode reuses the same walk to
+            // close the timeline with the final diverged-unit set.
+            // Happens after the outcome is sealed, so it cannot perturb
+            // classification.
+            let at = last_step.min(self.fps.len() as u64 - 1);
+            let mut fp = Fingerprint::new();
+            cpu.visit_state(&mut fp);
+            if traced && divergence.is_none() && fp.value() != self.fps[at as usize] {
+                let units = self.diverging_units(at, fp.unit_hashes());
+                divergence = Some((at, units.first().copied()));
+            }
+            if let Some(d) = deep {
+                d.push(at, UnitId::diverged_mask(fp.unit_hashes(), &self.unit_fps[at as usize]));
+            }
+        }
         if let Some(tr) = trace {
             tr.detect_cycle = decided_at;
-            if divergence.is_none() && outcome != Outcome::MicroArchMatch {
-                // The outcome was decided without any µArch check observing
-                // the divergence (e.g. an architectural mismatch in the
-                // retire stream): attribute it with one hierarchical walk
-                // at the decision state. Happens after the outcome is
-                // sealed, so it cannot perturb classification.
-                let at = last_step.min(self.fps.len() as u64 - 1);
-                let mut fp = Fingerprint::new();
-                cpu.visit_state(&mut fp);
-                if fp.value() != self.fps[at as usize] {
-                    let units = self.diverging_units(at, fp.unit_hashes());
-                    divergence = Some((at, units.first().copied()));
-                }
-            }
             if let Some((cycle, unit)) = divergence {
                 tr.divergence_cycle = Some(cycle);
                 tr.diverged_unit = unit;
@@ -1012,6 +1140,41 @@ mod tests {
         // Injection sites are attributed too (the machine brackets all
         // injectable state into units).
         assert!(traced.records.iter().all(|r| r.unit.is_some()));
+    }
+
+    #[test]
+    fn deep_traced_batch_is_pure_observation() {
+        // Deep mode fills divergence timelines without changing a byte of
+        // the records or traces the plain traced path produces.
+        let sp = start_point();
+        let specs: Vec<TrialSpec> = (0..20u64)
+            .map(|t| TrialSpec {
+                target: (t * 13_577) % sp.bit_count(),
+                inject_cycle: (t * 31) % 180,
+            })
+            .collect();
+        let traced = sp.run_trials_traced(InjectionMask::LatchesAndRams, &specs, 1_500);
+        let deep = sp.run_trials_deep_traced(InjectionMask::LatchesAndRams, &specs, 1_500);
+        assert_eq!(deep.records, traced.records, "deep tracing must not change classification");
+        assert_eq!(deep.traces, traced.traces, "deep tracing must not change attribution");
+        assert!(traced.deeps.is_empty(), "plain traced path records no timelines");
+        assert_eq!(deep.deeps.len(), specs.len());
+        assert!(deep.deeps.iter().any(|d| !d.is_empty()), "sweep should see divergence");
+        for (tr, d) in deep.traces.iter().zip(deep.deeps.iter()) {
+            let samples = d.samples();
+            // Timelines are strictly cycle-ordered and change-only.
+            for w in samples.windows(2) {
+                assert!(w[0].0 < w[1].0, "timeline out of order: {samples:?}");
+                assert_ne!(w[0].1, w[1].1, "timeline not change-only: {samples:?}");
+            }
+            if let Some(&(first, mask)) = samples.first() {
+                assert!(mask != 0, "a timeline opens with a diverged set");
+                // A non-empty timeline means a fingerprint diverged, which
+                // the trace must have attributed no later than the sample.
+                let dc = tr.divergence_cycle.expect("timeline without attributed divergence");
+                assert!(dc <= first, "deep sample before divergence: {tr:?} {samples:?}");
+            }
+        }
     }
 
     #[test]

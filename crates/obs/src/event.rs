@@ -13,7 +13,17 @@
 use crate::json::{obj, parse, Json};
 
 /// Version stamp written into every `CampaignStart` event.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 — trial/phase/quarantine/footer events (PR 3, extended with
+/// quarantine and prune keys in PRs 4/8 without a bump, since old readers
+/// parse those traces correctly). v2 — adds the deep-trace `propagation`
+/// event (per-trial divergence timelines) and the `span` event (hierarchical
+/// wall-time profile).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version this reader still understands. v1 traces contain a
+/// strict subset of the v2 event kinds, so they parse unchanged.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Per-site disposition counts from the analytic masking pruner: how each
 /// planned trial of a pruned campaign was discharged. Carried as `None` on
@@ -109,6 +119,41 @@ pub enum Event {
         diverged_unit: Option<String>,
         /// Architecturally valid instructions retired before the outcome.
         valid_instructions: u64,
+    },
+    /// Full divergence timeline of one deep-traced trial (schema v2).
+    ///
+    /// Each sample is `(cycle, diverged unit labels)`: the set of pipeline
+    /// units whose fingerprints differed from the golden run at that cycle.
+    /// Samples are change-only — one entry per *distinct* diverged set, at
+    /// the first cycle it was observed — so a fault that settles into one
+    /// unit costs one sample regardless of how long it survives. Emitted
+    /// immediately after the matching `Trial` event; trials whose timeline
+    /// is empty (no divergence ever observed) emit no propagation event.
+    Propagation {
+        /// Benchmark index into the `CampaignStart` workload list.
+        benchmark: u64,
+        /// Start-point index within the benchmark.
+        start_point: u64,
+        /// Trial index within the start point.
+        trial: u64,
+        /// `(cycle, unit labels)` change-only divergence samples, in
+        /// cycle order. Labels within a sample are in `UnitId` order.
+        samples: Vec<(u64, Vec<String>)>,
+    },
+    /// One node of the hierarchical span profile (schema v2).
+    ///
+    /// Emitted once per distinct span path at campaign end, sorted by
+    /// path, before `CampaignEnd`. Paths are `;`-separated from the root
+    /// (e.g. `campaign;task;trials;classify`), the collapsed-stack
+    /// convention flamegraph tooling consumes directly.
+    Span {
+        /// Root-to-leaf span path, `;`-separated.
+        path: String,
+        /// Total wall-clock nanoseconds spent in this span, summed across
+        /// all workers (zeroed by [`strip_wall_clock`]).
+        wall_ns: u64,
+        /// Number of times the span was entered.
+        calls: u64,
     },
     /// A trial whose faulted run panicked and was contained by the
     /// harness supervisor. Harness bookkeeping, not an outcome: these
@@ -231,6 +276,34 @@ impl Event {
                 ("diverged_unit", opt_str(diverged_unit)),
                 ("valid_instructions", int(*valid_instructions)),
             ]),
+            Event::Propagation { benchmark, start_point, trial, samples } => obj([
+                ("ev", Json::Str("propagation".to_string())),
+                ("benchmark", int(*benchmark)),
+                ("start_point", int(*start_point)),
+                ("trial", int(*trial)),
+                (
+                    "samples",
+                    Json::Arr(
+                        samples
+                            .iter()
+                            .map(|(cycle, units)| {
+                                Json::Arr(vec![
+                                    int(*cycle),
+                                    Json::Arr(
+                                        units.iter().map(|u| Json::Str(u.clone())).collect(),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::Span { path, wall_ns, calls } => obj([
+                ("ev", Json::Str("span".to_string())),
+                ("path", Json::Str(path.clone())),
+                ("wall_ns", int(*wall_ns)),
+                ("calls", int(*calls)),
+            ]),
             Event::Quarantine { benchmark, start_point, trial, target, inject_cycle, panic_msg } => {
                 obj([
                     ("ev", Json::Str("quarantine".to_string())),
@@ -345,6 +418,40 @@ impl Event {
                 diverged_unit: opt_text("diverged_unit")?,
                 valid_instructions: field("valid_instructions")?,
             }),
+            "propagation" => {
+                let samples = match v.get("samples") {
+                    Some(Json::Arr(xs)) => xs
+                        .iter()
+                        .map(|x| match x {
+                            Json::Arr(pair) if pair.len() == 2 => {
+                                let cycle = pair[0].as_u64()?;
+                                let units = match &pair[1] {
+                                    Json::Arr(us) => us
+                                        .iter()
+                                        .map(|u| u.as_str().map(str::to_string))
+                                        .collect::<Option<Vec<_>>>()?,
+                                    _ => return None,
+                                };
+                                Some((cycle, units))
+                            }
+                            _ => None,
+                        })
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or("propagation: malformed \"samples\" entry")?,
+                    _ => return Err("propagation: missing \"samples\" array".to_string()),
+                };
+                Ok(Event::Propagation {
+                    benchmark: field("benchmark")?,
+                    start_point: field("start_point")?,
+                    trial: field("trial")?,
+                    samples,
+                })
+            }
+            "span" => Ok(Event::Span {
+                path: text("path")?,
+                wall_ns: field("wall_ns")?,
+                calls: field("calls")?,
+            }),
             "quarantine" => Ok(Event::Quarantine {
                 benchmark: field("benchmark")?,
                 start_point: field("start_point")?,
@@ -397,10 +504,12 @@ pub fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
         let ev = Event::from_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         if events.is_empty() {
             match ev {
-                Event::CampaignStart { schema, .. } if schema == SCHEMA_VERSION => {}
+                Event::CampaignStart { schema, .. }
+                    if (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) => {}
                 Event::CampaignStart { schema, .. } => {
                     return Err(format!(
-                        "unsupported schema version {schema} (reader understands {SCHEMA_VERSION})"
+                        "unsupported schema version {schema} (reader understands \
+                         {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
                     ));
                 }
                 _ => return Err("trace does not begin with a campaign_start event".to_string()),
@@ -426,6 +535,7 @@ pub fn strip_wall_clock(events: &[Event]) -> Vec<Event> {
             Event::Phase { benchmark, start_point, phase, .. } => {
                 Event::Phase { benchmark, start_point, phase, wall_ns: 0 }
             }
+            Event::Span { path, calls, .. } => Event::Span { path, wall_ns: 0, calls },
             Event::CampaignEnd {
                 trials,
                 matched,
@@ -530,6 +640,21 @@ mod tests {
                     simulated: 10,
                 }),
             },
+            Event::Propagation {
+                benchmark: 0,
+                start_point: 0,
+                trial: 3,
+                samples: vec![
+                    (58, vec!["rob".to_string()]),
+                    (60, vec!["rename".to_string(), "rob".to_string()]),
+                    (64, vec![]),
+                ],
+            },
+            Event::Span {
+                path: "campaign;task;trials;classify".to_string(),
+                wall_ns: 98765,
+                calls: 40,
+            },
         ]
     }
 
@@ -566,6 +691,34 @@ mod tests {
     }
 
     #[test]
+    fn accepts_older_schema_versions_back_to_min() {
+        // v1 traces are a strict subset of v2; the reader keeps accepting
+        // them. Anything below MIN or above current is rejected.
+        for schema in MIN_SCHEMA_VERSION..=SCHEMA_VERSION {
+            let header = Event::CampaignStart {
+                schema,
+                seed: 0,
+                benchmarks: vec![],
+                start_points: 0,
+                trials_per_start_point: 0,
+                inject_window: 0,
+                monitor_cycles: 0,
+            };
+            assert!(parse_trace(&header.to_json()).is_ok(), "schema {schema} rejected");
+        }
+        let too_old = Event::CampaignStart {
+            schema: MIN_SCHEMA_VERSION - 1,
+            seed: 0,
+            benchmarks: vec![],
+            start_points: 0,
+            trials_per_start_point: 0,
+            inject_window: 0,
+            monitor_cycles: 0,
+        };
+        assert!(parse_trace(&too_old.to_json()).unwrap_err().contains("schema version"));
+    }
+
+    #[test]
     fn strip_wall_clock_zeroes_only_timing() {
         let events = sample_events();
         let stripped = strip_wall_clock(&events);
@@ -583,6 +736,15 @@ mod tests {
                 assert_eq!(*quarantined, 1);
             }
             _ => panic!("expected campaign_end"),
+        }
+        assert_eq!(stripped[7], events[7]); // propagation carries no wall clock
+        match &stripped[8] {
+            Event::Span { path, wall_ns, calls } => {
+                assert_eq!(*wall_ns, 0);
+                assert_eq!(*calls, 40);
+                assert_eq!(path, "campaign;task;trials;classify");
+            }
+            _ => panic!("expected span"),
         }
     }
 
@@ -650,5 +812,22 @@ mod tests {
             "{\"ev\":\"campaign_end\",\"trials\":\"three\",\"matched\":0,\"gray\":0,\"failed\":0,\"eligible_bits\":0,\"wall_ns\":0}"
         )
         .is_err());
+        // v2 event kinds reject missing or malformed payloads too.
+        assert!(Event::from_json(
+            "{\"ev\":\"propagation\",\"benchmark\":0,\"start_point\":0,\"trial\":0}"
+        )
+        .is_err());
+        assert!(Event::from_json(
+            "{\"ev\":\"propagation\",\"benchmark\":0,\"start_point\":0,\"trial\":0,\
+             \"samples\":[[1]]}"
+        )
+        .is_err());
+        assert!(Event::from_json(
+            "{\"ev\":\"propagation\",\"benchmark\":0,\"start_point\":0,\"trial\":0,\
+             \"samples\":[[1,[2]]]}"
+        )
+        .is_err());
+        assert!(Event::from_json("{\"ev\":\"span\",\"path\":\"campaign\"}").is_err());
+        assert!(Event::from_json("{\"ev\":\"span\",\"path\":7,\"wall_ns\":0,\"calls\":0}").is_err());
     }
 }

@@ -11,6 +11,11 @@
 //! - [`metrics`] — monotonic counters and log2-bucketed latency histograms
 //!   that workers update locally and merge once per task, so the hot path
 //!   takes no locks and touches no atomics.
+//! - [`span`] — hierarchical wall-time spans with the same local-scratchpad
+//!   contention model, for campaign self-profiling (footer + collapsed
+//!   stacks for flamegraph tooling).
+//! - [`trace`] — change-only per-trial divergence timelines ([`DeepTrace`])
+//!   backing the opt-in deep-trace mode.
 //! - [`progress`] — a lock-free done/total gauge for live one-line meters.
 //!
 //! The crate knows nothing about pipelines or faults: producers (the
@@ -26,8 +31,14 @@ pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod sink;
+pub mod span;
+pub mod trace;
 
-pub use event::{parse_trace, strip_wall_clock, Event, PruneDispositions, SCHEMA_VERSION};
+pub use event::{
+    parse_trace, strip_wall_clock, Event, PruneDispositions, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
 pub use metrics::{CounterId, Histogram, HistogramId, LocalMetrics, MetricsRegistry};
 pub use progress::Progress;
 pub use sink::{EventSink, JsonlSink, NoopSink, RingSink};
+pub use span::{LocalSpans, SpanProfiler, SpanTree};
+pub use trace::DeepTrace;

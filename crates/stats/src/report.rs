@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use tfsim_obs::json::{obj, Json};
 use tfsim_obs::{Event, Histogram, PruneDispositions};
 
 use crate::{pct, wilson_ci, Confidence, Table};
@@ -54,6 +55,25 @@ struct Slice {
     failed: u64,
 }
 
+/// Cycle-offset buckets in the residency heatmap. Few enough to render in
+/// an 80-column terminal, enough to show front-loaded vs. lingering faults.
+const RESIDENCY_BUCKETS: usize = 16;
+
+/// Intensity ramp for heatmap cells, blank through densest.
+const HEATMAP_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Per-unit divergence-episode statistics from deep-trace timelines.
+///
+/// One *episode* is one deep-traced trial whose timeline contained the
+/// unit at least once; `ttd` holds, per episode, the cycles from the
+/// unit's first appearance to the trial's detection cycle.
+#[derive(Debug, Clone, Default)]
+struct UnitPropagation {
+    episodes: u64,
+    failed: u64,
+    ttd: Vec<u64>,
+}
+
 /// Aggregated view of a campaign trace, ready for rendering.
 ///
 /// Build with [`TelemetryReport::from_events`] from a stream already
@@ -74,6 +94,18 @@ pub struct TelemetryReport {
     by_category: BTreeMap<String, Slice>,
     by_unit: BTreeMap<String, Slice>,
     propagation: BTreeMap<(String, String), u64>,
+    /// Deep-trace aggregation: distinct propagation chains (units in
+    /// first-appearance order) and how many timelines followed each.
+    chains: BTreeMap<Vec<String>, u64>,
+    /// Deep-trace aggregation: per-unit diverged-cycle weight in each of
+    /// [`RESIDENCY_BUCKETS`] equal cycle-offset buckets after injection.
+    residency: BTreeMap<String, [u64; RESIDENCY_BUCKETS]>,
+    /// Deep-trace aggregation: per-unit divergence episodes and TTDs.
+    unit_propagation: BTreeMap<String, UnitPropagation>,
+    /// Trials that carried a propagation timeline.
+    deep_trials: u64,
+    /// Span profile: `;`-separated path → (total wall ns, calls).
+    spans: BTreeMap<String, (u64, u64)>,
     fail_latency: Histogram,
     match_latency: Histogram,
     divergence_latency: Histogram,
@@ -125,6 +157,11 @@ impl TelemetryReport {
             by_category: BTreeMap::new(),
             by_unit: BTreeMap::new(),
             propagation: BTreeMap::new(),
+            chains: BTreeMap::new(),
+            residency: BTreeMap::new(),
+            unit_propagation: BTreeMap::new(),
+            deep_trials: 0,
+            spans: BTreeMap::new(),
             fail_latency: Histogram::new(),
             match_latency: Histogram::new(),
             divergence_latency: Histogram::new(),
@@ -133,9 +170,19 @@ impl TelemetryReport {
             wall_ns: None,
             prune: None,
         };
+        // Propagation events are only meaningful relative to the trial
+        // they follow (its injection cycle anchors the timeline, its
+        // outcome labels the episode), so the last trial's context —
+        // (identity key, inject cycle, detect cycle, failed) — rides
+        // along between events.
+        type TrialContext = ((u64, u64, u64), u64, u64, bool);
+        let mut last_trial: Option<TrialContext> = None;
         for ev in &events[1..] {
             match ev {
                 Event::Trial {
+                    benchmark,
+                    start_point,
+                    trial,
                     inject_cycle,
                     category,
                     unit,
@@ -175,6 +222,29 @@ impl TelemetryReport {
                         let to = diverged_unit.clone().unwrap_or_else(|| "(global)".to_string());
                         *report.propagation.entry((unit_label, to)).or_insert(0) += 1;
                     }
+                    last_trial = Some((
+                        (*benchmark, *start_point, *trial),
+                        *inject_cycle,
+                        *detect_cycle,
+                        failed,
+                    ));
+                }
+                Event::Propagation { benchmark, start_point, trial, samples } => {
+                    let Some((key, inject, detect, failed)) = last_trial else {
+                        return Err("propagation event before any trial event".to_string());
+                    };
+                    if key != (*benchmark, *start_point, *trial) {
+                        return Err(format!(
+                            "propagation event for trial ({benchmark}, {start_point}, {trial}) \
+                             does not follow its trial event"
+                        ));
+                    }
+                    report.absorb_timeline(samples, inject, detect, failed);
+                }
+                Event::Span { path, wall_ns, calls } => {
+                    let s = report.spans.entry(path.clone()).or_insert((0, 0));
+                    s.0 += wall_ns;
+                    s.1 += calls;
                 }
                 Event::Phase { phase, wall_ns, .. } => {
                     *report.phase_ns.entry(phase.clone()).or_insert(0) += wall_ns;
@@ -221,9 +291,87 @@ impl TelemetryReport {
         Ok(report)
     }
 
+    /// Folds one trial's divergence timeline into the chain, residency,
+    /// and time-to-detection aggregates.
+    ///
+    /// Each change-only sample `(cycle, units)` holds until the next
+    /// sample's cycle; the last sample holds until the trial's detection
+    /// cycle. Residency weight is therefore *cycles spent diverged*, not
+    /// sample counts, so a fault that settles into one unit for 1000
+    /// cycles outweighs one that flickers through it for 2.
+    fn absorb_timeline(
+        &mut self,
+        samples: &[(u64, Vec<String>)],
+        inject: u64,
+        detect: u64,
+        failed: bool,
+    ) {
+        if samples.is_empty() {
+            return;
+        }
+        self.deep_trials += 1;
+
+        // Chain: units in order of first appearance across the timeline.
+        let mut chain: Vec<String> = Vec::new();
+        let mut first_seen: BTreeMap<&str, u64> = BTreeMap::new();
+        for (cycle, units) in samples {
+            for u in units {
+                if !first_seen.contains_key(u.as_str()) {
+                    first_seen.insert(u, *cycle);
+                    chain.push(u.clone());
+                }
+            }
+        }
+        if !chain.is_empty() {
+            *self.chains.entry(chain).or_insert(0) += 1;
+        }
+        for (u, first) in first_seen {
+            let up = self.unit_propagation.entry(u.to_string()).or_default();
+            up.episodes += 1;
+            up.failed += failed as u64;
+            up.ttd.push(detect.saturating_sub(first));
+        }
+
+        // Residency: distribute each sample's hold interval (in cycle
+        // offsets after injection) over the fixed bucket grid.
+        let bucket_cycles = self.bucket_cycles();
+        let horizon = bucket_cycles * RESIDENCY_BUCKETS as u64;
+        for (i, (cycle, units)) in samples.iter().enumerate() {
+            if units.is_empty() {
+                continue;
+            }
+            let start = cycle.saturating_sub(inject).min(horizon);
+            let end = samples
+                .get(i + 1)
+                .map_or(detect.max(*cycle), |(next, _)| *next)
+                .saturating_sub(inject)
+                .clamp(start + 1, horizon.max(start + 1));
+            for b in 0..RESIDENCY_BUCKETS {
+                let lo = (b as u64 * bucket_cycles).max(start);
+                let hi = ((b as u64 + 1) * bucket_cycles).min(end);
+                if lo < hi {
+                    for u in units {
+                        self.residency.entry(u.clone()).or_insert([0; RESIDENCY_BUCKETS])[b] +=
+                            hi - lo;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Width of one residency-heatmap bucket in cycles.
+    fn bucket_cycles(&self) -> u64 {
+        (self.monitor_cycles.max(1)).div_ceil(RESIDENCY_BUCKETS as u64)
+    }
+
     /// Total trials aggregated.
     pub fn trials(&self) -> u64 {
         self.trials
+    }
+
+    /// Trials that carried a deep-trace propagation timeline.
+    pub fn deep_trials(&self) -> u64 {
+        self.deep_trials
     }
 
     /// The outcome census rows (shared shape with the untraced path).
@@ -266,11 +414,21 @@ impl TelemetryReport {
             out.push_str("\nfault propagation (injected unit → first diverging unit)\n");
             let mut pairs: Vec<(&(String, String), &u64)> = self.propagation.iter().collect();
             pairs.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            let dropped = pairs.len().saturating_sub(top_n);
             let mut t = Table::new(&["injected", "diverged", "trials"]);
             for ((from, to), n) in pairs.into_iter().take(top_n) {
                 t.row_owned(vec![from.clone(), to.clone(), n.to_string()]);
             }
             out.push_str(&t.render());
+            out.push_str(&truncation_note(dropped, "pairs"));
+        }
+
+        if self.deep_trials > 0 {
+            out.push_str(&format!(
+                "\n{} deep-traced timelines aggregated — render with --propagation for \
+                 chains, residency heatmap, and per-unit detection latencies\n",
+                self.deep_trials
+            ));
         }
 
         out.push('\n');
@@ -292,6 +450,21 @@ impl TelemetryReport {
                 if !matches!(phase.as_str(), "warmup" | "prepare" | "advance" | "monitor") {
                     t.row_owned(vec![phase.clone(), format!("{:.1}", *ns as f64 / 1e6)]);
                 }
+            }
+            out.push_str(&t.render());
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\nspan profile (wall time per phase, summed across workers)\n");
+            let mut t = Table::new(&["span", "calls", "total ms"]);
+            for (path, (ns, calls)) in &self.spans {
+                // Indent by depth so the `;`-separated paths read as a tree.
+                let depth = path.matches(';').count();
+                let leaf = path.rsplit(';').next().unwrap_or(path);
+                t.row_owned(vec![
+                    format!("{}{leaf}", "  ".repeat(depth)),
+                    calls.to_string(),
+                    format!("{:.1}", *ns as f64 / 1e6),
+                ]);
             }
             out.push_str(&t.render());
         }
@@ -327,6 +500,168 @@ impl TelemetryReport {
         }
         out
     }
+
+    /// Renders the deep-trace propagation report: chains, the per-unit
+    /// residency heatmap, and per-unit detection-latency distributions.
+    ///
+    /// Empty (with a pointer at `--deep-trace`) when the stream carried no
+    /// propagation timelines.
+    pub fn render_propagation(&self, top_n: usize) -> String {
+        if self.deep_trials == 0 {
+            return "no propagation timelines in this trace — record one with \
+                    `tfsim-run campaign --trace … --deep-trace`\n"
+                .to_string();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fault propagation report · {} deep-traced timelines of {} trials\n",
+            self.deep_trials, self.trials,
+        ));
+
+        out.push_str("\npropagation chains (units in first-divergence order)\n");
+        let mut chains: Vec<(&Vec<String>, &u64)> = self.chains.iter().collect();
+        chains.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        let dropped = chains.len().saturating_sub(top_n);
+        let mut t = Table::new(&["chain", "trials", "%"]);
+        for (chain, n) in chains.into_iter().take(top_n) {
+            t.row_owned(vec![chain.join(" → "), n.to_string(), pct(*n, self.deep_trials)]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&truncation_note(dropped, "chains"));
+
+        out.push_str(&self.render_residency_heatmap());
+
+        out.push_str("\nper-unit divergence episodes (95% Wilson CI on failure rate)\n");
+        let mut t = Table::new(&[
+            "unit",
+            "timelines",
+            "failed",
+            "fail %",
+            "ci ±",
+            "ttd p50",
+            "ttd p90",
+            "ttd max",
+        ]);
+        let mut units: Vec<(&String, &UnitPropagation)> = self.unit_propagation.iter().collect();
+        units.sort_by(|a, b| b.1.episodes.cmp(&a.1.episodes).then_with(|| a.0.cmp(b.0)));
+        for (unit, up) in units {
+            let ci = wilson_ci(up.failed, up.episodes, Confidence::P95);
+            let mut ttd = up.ttd.clone();
+            ttd.sort_unstable();
+            let q = |f: f64| ttd[((ttd.len() - 1) as f64 * f) as usize];
+            t.row_owned(vec![
+                unit.clone(),
+                up.episodes.to_string(),
+                up.failed.to_string(),
+                pct(up.failed, up.episodes),
+                format!("{:.1}", 100.0 * ci.half_width),
+                q(0.5).to_string(),
+                q(0.9).to_string(),
+                ttd[ttd.len() - 1].to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+
+    /// ASCII heatmap: one row per unit, one column per cycle-offset
+    /// bucket, cell intensity ∝ diverged-cycle weight (row-normalized so
+    /// a rarely-hit unit's shape is still visible).
+    fn render_residency_heatmap(&self) -> String {
+        let bucket = self.bucket_cycles();
+        let mut out = format!(
+            "\nresidency heatmap (diverged cycles per unit × {RESIDENCY_BUCKETS} buckets of \
+             {bucket} cycles after injection)\n"
+        );
+        let width = self.residency.keys().map(|u| u.len()).max().unwrap_or(4).max(4);
+        let mut rows: Vec<(&String, &[u64; RESIDENCY_BUCKETS])> = self.residency.iter().collect();
+        rows.sort_by(|a, b| {
+            let (sa, sb) = (a.1.iter().sum::<u64>(), b.1.iter().sum::<u64>());
+            sb.cmp(&sa).then_with(|| a.0.cmp(b.0))
+        });
+        for (unit, buckets) in rows {
+            let max = *buckets.iter().max().expect("fixed-size row");
+            let mut cells = String::new();
+            for &v in buckets {
+                let idx = if v == 0 || max == 0 {
+                    0
+                } else {
+                    // Nonzero weight always gets at least the faintest ink.
+                    (v * (HEATMAP_RAMP.len() as u64 - 2)).div_ceil(max) as usize
+                };
+                cells.push(HEATMAP_RAMP[idx] as char);
+            }
+            out.push_str(&format!(
+                "  {unit:<width$} |{cells}|  {} cycles\n",
+                buckets.iter().sum::<u64>()
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<width$} |{}|  ramp: '{}' = 0 → '{}' = row max\n",
+            "",
+            " ".repeat(RESIDENCY_BUCKETS),
+            HEATMAP_RAMP[0] as char,
+            *HEATMAP_RAMP.last().expect("non-empty ramp") as char,
+        ));
+        out
+    }
+
+    /// The propagation aggregates as one machine-readable JSON object
+    /// (chains, residency matrix, per-unit episode stats) for downstream
+    /// tooling; the schema mirrors [`TelemetryReport::render_propagation`].
+    pub fn propagation_json(&self) -> Json {
+        let chains = Json::Arr(
+            self.chains
+                .iter()
+                .map(|(chain, n)| {
+                    Json::Obj(BTreeMap::from([
+                        (
+                            "chain".to_string(),
+                            Json::Arr(chain.iter().map(|u| Json::Str(u.clone())).collect()),
+                        ),
+                        ("trials".to_string(), Json::Int(*n as i128)),
+                    ]))
+                })
+                .collect(),
+        );
+        let residency = Json::Obj(
+            self.residency
+                .iter()
+                .map(|(unit, buckets)| {
+                    (
+                        unit.clone(),
+                        Json::Arr(buckets.iter().map(|&v| Json::Int(v as i128)).collect()),
+                    )
+                })
+                .collect(),
+        );
+        let units = Json::Obj(
+            self.unit_propagation
+                .iter()
+                .map(|(unit, up)| {
+                    (
+                        unit.clone(),
+                        Json::Obj(BTreeMap::from([
+                            ("timelines".to_string(), Json::Int(up.episodes as i128)),
+                            ("failed".to_string(), Json::Int(up.failed as i128)),
+                            (
+                                "ttd".to_string(),
+                                Json::Arr(up.ttd.iter().map(|&v| Json::Int(v as i128)).collect()),
+                            ),
+                        ])),
+                    )
+                })
+                .collect(),
+        );
+        obj([
+            ("deep_trials", Json::Int(self.deep_trials as i128)),
+            ("bucket_cycles", Json::Int(self.bucket_cycles() as i128)),
+            ("residency_buckets", Json::Int(RESIDENCY_BUCKETS as i128)),
+            ("chains", chains),
+            ("residency", residency),
+            ("units", units),
+        ])
+    }
 }
 
 /// Renders a vulnerability table for named slices, most vulnerable first.
@@ -337,6 +672,7 @@ fn render_slices(slices: &BTreeMap<String, Slice>, top_n: usize) -> String {
         let rb = rate(b.1);
         rb.total_cmp(&ra).then_with(|| a.0.cmp(b.0))
     });
+    let dropped = rows.len().saturating_sub(top_n);
     let mut t = Table::new(&["slice", "trials", "failed", "fail %", "ci ±"]);
     for (name, s) in rows.into_iter().take(top_n) {
         let ci = wilson_ci(s.failed, s.trials, Confidence::P95);
@@ -348,7 +684,18 @@ fn render_slices(slices: &BTreeMap<String, Slice>, top_n: usize) -> String {
             format!("{:.1}", 100.0 * ci.half_width),
         ]);
     }
-    t.render()
+    format!("{}{}", t.render(), truncation_note(dropped, "rows"))
+}
+
+/// A one-line `… N more <what> not shown` marker, or nothing when the
+/// table was complete — truncated tables must say so instead of passing
+/// as exhaustive.
+fn truncation_note(dropped: usize, what: &str) -> String {
+    if dropped == 0 {
+        String::new()
+    } else {
+        format!("  … {dropped} more {what} not shown\n")
+    }
 }
 
 fn rate(s: &Slice) -> f64 {

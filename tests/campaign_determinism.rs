@@ -99,7 +99,7 @@ fn sliced_campaign_is_byte_identical_to_the_ladder() {
         let mut cfg = config(2);
         cfg.sliced = sliced;
         let sink = RingSink::new(1 << 16);
-        let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+        let obs = CampaignObs { sink: &sink, metrics: None, progress: None, spans: None };
         let r = run_campaign_observed(&cfg, &workloads, &obs);
         (outcome_census(&r), strip_wall_clock(&sink.events()))
     };
@@ -119,7 +119,7 @@ fn sliced_campaign_is_byte_identical_to_the_ladder() {
         cfg.sliced = sliced;
         let path = std::env::temp_dir()
             .join(format!("tfsim-sliced-journal-{}-{sliced}.jsonl", std::process::id()));
-        let meta = JournalMeta::new(&cfg, &workloads, false);
+        let meta = JournalMeta::new(&cfg, &workloads);
         let j = CampaignJournal::create(&path, &meta).unwrap();
         run_campaign_journaled(&cfg, &workloads, &CampaignObs::disabled(), Some(&j));
         drop(j);
@@ -169,7 +169,7 @@ fn pruned_campaign_is_byte_identical_to_the_unpruned_engines() {
         cfg.pruned = pruned;
         cfg.sliced = sliced;
         let sink = RingSink::new(1 << 16);
-        let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+        let obs = CampaignObs { sink: &sink, metrics: None, progress: None, spans: None };
         let r = run_campaign_observed(&cfg, &workloads, &obs);
         (outcome_census(&r), strip_wall_clock(&sink.events()), r.prune)
     };
@@ -227,7 +227,7 @@ fn pruned_campaign_is_byte_identical_to_the_unpruned_engines() {
         cfg.pruned = pruned;
         let path = std::env::temp_dir()
             .join(format!("tfsim-pruned-journal-{}-{pruned}.jsonl", std::process::id()));
-        let meta = JournalMeta::new(&cfg, &workloads, false);
+        let meta = JournalMeta::new(&cfg, &workloads);
         let j = CampaignJournal::create(&path, &meta).unwrap();
         run_campaign_journaled(&cfg, &workloads, &CampaignObs::disabled(), Some(&j));
         drop(j);
@@ -318,7 +318,7 @@ fn forced_panic_is_quarantined_without_disturbing_other_trials() {
         let mut cfg = config(1);
         cfg.panic_shim = panic_shim;
         let sink = RingSink::new(1 << 16);
-        let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+        let obs = CampaignObs { sink: &sink, metrics: None, progress: None, spans: None };
         run_campaign_observed(&cfg, &workloads, &obs);
         strip_wall_clock(&sink.events())
     };

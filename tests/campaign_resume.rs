@@ -85,7 +85,7 @@ fn truncated_journal_resumes_to_the_uninterrupted_census() {
     let reference = census_of(&run_campaign_on(&cfg, &workloads));
 
     let path = tmp("census.jsonl");
-    let meta = JournalMeta::new(&cfg, &workloads, false);
+    let meta = JournalMeta::new(&cfg, &workloads);
     {
         let j = CampaignJournal::create(&path, &meta).unwrap();
         let full = journaled(&cfg, &workloads, &j);
@@ -132,7 +132,7 @@ fn resume_is_thread_count_independent() {
     let path = tmp("threads.jsonl");
     for threads in [1usize, 2, 0] {
         let cfg = config(threads);
-        let meta = JournalMeta::new(&cfg, &workloads, false);
+        let meta = JournalMeta::new(&cfg, &workloads);
         let j = CampaignJournal::create(&path, &meta).unwrap();
         journaled(&cfg, &workloads, &j);
         drop(j);
@@ -146,7 +146,7 @@ fn resume_is_thread_count_independent() {
             // Re-truncate for each resume so every combination starts
             // from the same partial journal.
             std::fs::write(&path, &bytes[..bytes.len() * 3 / 8]).unwrap();
-            let j = CampaignJournal::resume(&path, &JournalMeta::new(&rcfg, &workloads, false))
+            let j = CampaignJournal::resume(&path, &JournalMeta::new(&rcfg, &workloads))
                 .unwrap();
             let resumed = journaled(&rcfg, &workloads, &j);
             assert_eq!(
@@ -168,7 +168,7 @@ fn quarantined_trials_survive_the_journal_round_trip() {
     assert_eq!(reference.quarantined.len(), 1);
 
     let path = tmp("quarantine.jsonl");
-    let meta = JournalMeta::new(&cfg, &workloads, false);
+    let meta = JournalMeta::new(&cfg, &workloads);
     {
         let j = CampaignJournal::create(&path, &meta).unwrap();
         journaled(&cfg, &workloads, &j);

@@ -1,16 +1,21 @@
 //! End-to-end tests of the campaign telemetry layer: histogram bucket
 //! algebra (property-based), JSONL trace round-tripping through the
-//! report builder, event-stream determinism across thread counts, and
-//! the traced/untraced census byte-identity contract.
+//! report builder, event-stream determinism across thread counts, the
+//! traced/untraced census byte-identity contract, and the deep-trace
+//! layer (propagation timelines, span profile, journal identity across
+//! trace levels).
 
 use tfsim::check::prop::{any_u64, ints, vecs};
 use tfsim_check::{prop_assert, prop_assert_eq, prop_check};
 
 use tfsim::inject::{
-    run_campaign_observed, run_campaign_on, CampaignConfig, CampaignMetrics, CampaignObs,
-    FailureMode, OutcomeCounts,
+    run_campaign_journaled, run_campaign_observed, run_campaign_on, CampaignConfig,
+    CampaignJournal, CampaignMetrics, CampaignObs, FailureMode, JournalMeta, OutcomeCounts,
 };
-use tfsim::obs::{parse_trace, strip_wall_clock, Event, Histogram, JsonlSink, Progress, RingSink};
+use tfsim::obs::{
+    parse_trace, strip_wall_clock, Event, Histogram, JsonlSink, Progress, RingSink, SpanProfiler,
+    SCHEMA_VERSION,
+};
 use tfsim::stats::{census_rows, render_census, TelemetryReport};
 use tfsim::workloads;
 
@@ -84,7 +89,7 @@ fn tiny_workloads() -> Vec<workloads::Workload> {
 
 fn campaign_events(seed: u64, threads: usize) -> (OutcomeCounts, Vec<Event>) {
     let sink = RingSink::new(1 << 16);
-    let obs = CampaignObs { sink: &sink, metrics: None, progress: None };
+    let obs = CampaignObs { sink: &sink, metrics: None, progress: None, spans: None };
     let result = run_campaign_observed(&tiny_config(seed, threads), &tiny_workloads(), &obs);
     (result.totals(), sink.events())
 }
@@ -105,7 +110,7 @@ fn jsonl_trace_round_trips_through_the_report() {
     let sink = JsonlSink::new(Vec::new());
     let metrics = CampaignMetrics::new();
     let progress = Progress::new();
-    let obs = CampaignObs { sink: &sink, metrics: Some(&metrics), progress: Some(&progress) };
+    let obs = CampaignObs { sink: &sink, metrics: Some(&metrics), progress: Some(&progress), spans: None };
     let result = run_campaign_observed(&tiny_config(3, 0), &tiny_workloads(), &obs);
     let text = String::from_utf8(sink.into_inner()).expect("utf8 trace");
 
@@ -154,4 +159,148 @@ fn traced_and_untraced_census_are_byte_identical() {
     let direct = census_of(&untraced.totals());
     let from_trace = TelemetryReport::from_events(&events).expect("consistent trace");
     assert_eq!(direct, render_census(&from_trace.census()));
+}
+
+/// A deep-traced campaign with a span profiler attached: the full
+/// schema-v2 stream (trials + propagation timelines + span profile).
+fn deep_campaign_events(seed: u64, threads: usize) -> (OutcomeCounts, Vec<Event>) {
+    let sink = RingSink::new(1 << 18);
+    let profiler = SpanProfiler::new();
+    let obs =
+        CampaignObs { sink: &sink, metrics: None, progress: None, spans: Some(&profiler) };
+    let mut config = tiny_config(seed, threads);
+    config.deep_trace = true;
+    let result = run_campaign_observed(&config, &tiny_workloads(), &obs);
+    (result.totals(), sink.events())
+}
+
+/// Deep-traced, traced, and untraced campaigns of the same seed produce
+/// byte-identical censuses; the deep stream is a strict superset of the
+/// trial stream (propagation + span events added, nothing else changed).
+#[test]
+fn deep_traced_census_is_byte_identical_and_stream_is_a_superset() {
+    let untraced = run_campaign_on(&tiny_config(7, 0), &tiny_workloads());
+    let (traced_totals, shallow) = campaign_events(7, 0);
+    let (deep_totals, deep) = deep_campaign_events(7, 0);
+    assert_eq!(untraced.totals(), traced_totals);
+    assert_eq!(untraced.totals(), deep_totals);
+    assert_eq!(
+        census_of(&untraced.totals()),
+        render_census(&TelemetryReport::from_events(&deep).expect("consistent").census())
+    );
+
+    // Dropping the new v2 event kinds from the deep stream recovers the
+    // shallow stream exactly: deep tracing is pure observation.
+    let filtered: Vec<Event> = deep
+        .iter()
+        .filter(|e| !matches!(e, Event::Propagation { .. } | Event::Span { .. }))
+        .cloned()
+        .collect();
+    assert_eq!(strip_wall_clock(&filtered), strip_wall_clock(&shallow));
+    assert!(
+        deep.iter().any(|e| matches!(e, Event::Propagation { .. })),
+        "deep stream carries propagation timelines"
+    );
+    assert!(
+        deep.iter().any(|e| matches!(e, Event::Span { .. })),
+        "deep stream carries the span profile"
+    );
+}
+
+/// Deep-trace streams (propagation timelines, span node set) are
+/// deterministic across worker-thread counts, modulo wall clock.
+#[test]
+fn deep_trace_stream_is_deterministic_across_thread_counts() {
+    let (totals_a, events_a) = deep_campaign_events(11, 1);
+    let (totals_b, events_b) = deep_campaign_events(11, 2);
+    assert_eq!(totals_a, totals_b);
+    assert_eq!(strip_wall_clock(&events_a), strip_wall_clock(&events_b));
+}
+
+/// A deep-traced JSONL trace round-trips: parsing the file back yields
+/// the identical stream, and the propagation report renders non-empty
+/// chains and a residency heatmap from it.
+#[test]
+fn deep_jsonl_trace_round_trips_and_renders_propagation() {
+    let sink = JsonlSink::new(Vec::new());
+    let profiler = SpanProfiler::new();
+    let obs =
+        CampaignObs { sink: &sink, metrics: None, progress: None, spans: Some(&profiler) };
+    let mut config = tiny_config(3, 0);
+    config.deep_trace = true;
+    run_campaign_observed(&config, &tiny_workloads(), &obs);
+    let text = String::from_utf8(sink.into_inner()).expect("utf8 trace");
+
+    let parsed = parse_trace(&text).expect("parseable deep trace");
+    let (_, direct) = deep_campaign_events(3, 0);
+    assert_eq!(strip_wall_clock(&parsed), strip_wall_clock(&direct));
+
+    let report = TelemetryReport::from_events(&parsed).expect("consistent trace");
+    assert!(report.deep_trials() > 0, "quick campaign must produce diverging timelines");
+    let rendered = report.render_propagation(10);
+    assert!(rendered.contains("propagation chains"), "missing chains:\n{rendered}");
+    assert!(rendered.contains("residency heatmap"), "missing heatmap:\n{rendered}");
+    assert!(rendered.contains("ttd p50"), "missing per-unit latencies:\n{rendered}");
+    let json = report.propagation_json().render();
+    assert!(json.contains("\"chains\":[{\"chain\":["), "machine aggregates missing:\n{json}");
+}
+
+/// Traces from a future (or prehistoric) schema version are rejected at
+/// parse time, for the new v2 event kinds like everything else.
+#[test]
+fn deep_trace_schema_version_gates_parsing() {
+    let sink = JsonlSink::new(Vec::new());
+    let profiler = SpanProfiler::new();
+    let obs =
+        CampaignObs { sink: &sink, metrics: None, progress: None, spans: Some(&profiler) };
+    let mut config = tiny_config(3, 0);
+    config.deep_trace = true;
+    run_campaign_observed(&config, &tiny_workloads(), &obs);
+    let text = String::from_utf8(sink.into_inner()).expect("utf8 trace");
+    assert!(text.contains("\"ev\":\"propagation\""), "deep trace must carry v2 events");
+
+    let current = format!("\"schema\":{SCHEMA_VERSION}");
+    assert!(text.contains(&current), "header pins the schema version");
+    let future = text.replacen(&current, &format!("\"schema\":{}", SCHEMA_VERSION + 1), 1);
+    assert!(parse_trace(&future).is_err(), "future schema must be rejected");
+    let ancient = text.replacen(&current, "\"schema\":0", 1);
+    assert!(parse_trace(&ancient).is_err(), "pre-v1 schema must be rejected");
+}
+
+/// Untraced, traced, and deep-traced journaled runs write byte-identical
+/// journal files: trace level is an observation channel, not experiment
+/// identity, and journaled runs always journal their traces.
+#[test]
+fn journal_bytes_are_identical_across_trace_levels() {
+    let journal_bytes = |tag: &str, deep: bool, with_sink: bool| {
+        let mut cfg = tiny_config(5, 0);
+        cfg.deep_trace = deep;
+        let workloads = tiny_workloads();
+        let path = std::env::temp_dir()
+            .join(format!("tfsim-tracelevel-journal-{}-{tag}.jsonl", std::process::id()));
+        let meta = JournalMeta::new(&cfg, &workloads);
+        let j = CampaignJournal::create(&path, &meta).unwrap();
+        let sink = RingSink::new(1 << 18);
+        let profiler = SpanProfiler::new();
+        let obs = if with_sink {
+            CampaignObs {
+                sink: &sink,
+                metrics: None,
+                progress: None,
+                spans: Some(&profiler),
+            }
+        } else {
+            CampaignObs::disabled()
+        };
+        run_campaign_journaled(&cfg, &workloads, &obs, Some(&j));
+        drop(j);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        bytes
+    };
+    let untraced = journal_bytes("untraced", false, false);
+    let traced = journal_bytes("traced", false, true);
+    let deep = journal_bytes("deep", true, true);
+    assert_eq!(untraced, traced, "traced journal diverged from untraced");
+    assert_eq!(untraced, deep, "deep-traced journal diverged from untraced");
 }
